@@ -1,0 +1,80 @@
+// Ablation: the keep-compressed threshold (paper sections 5.2 and 6).
+//
+// The paper keeps pages compressed only when they beat 4:3, and concludes "It
+// should be possible to disable compression completely when poor compression is
+// obtained." This benchmark sweeps the threshold on two workloads from opposite
+// ends of the compressibility spectrum:
+//   * a compressible thrasher (the threshold barely matters — everything passes);
+//   * an incompressible thrasher (sort-random-like), where a permissive threshold
+//     keeps useless 90+% "compressed" pages in memory and a strict threshold
+//     degenerates gracefully toward the unmodified system.
+#include <cstdio>
+
+#include "apps/thrasher.h"
+#include "core/machine.h"
+
+using namespace compcache;
+
+namespace {
+
+constexpr uint64_t kUserMemory = 4 * kMiB;
+
+SimDuration RunOne(ContentClass content, bool use_ccache, CompressionThreshold threshold,
+                   BackingKind backing) {
+  MachineConfig config = use_ccache ? MachineConfig::WithCompressionCache(kUserMemory)
+                                    : MachineConfig::Unmodified(kUserMemory);
+  config.threshold = threshold;
+  config.backing = backing;
+  Machine machine(config);
+
+  ThrasherOptions options;
+  options.address_space_bytes = 7 * kMiB;
+  options.write = true;
+  options.passes = 2;
+  options.content = content;
+  Thrasher app(options);
+  app.Run(machine);
+  return app.result().elapsed;
+}
+
+void Sweep(const char* label, ContentClass content, BackingKind backing) {
+  const SimDuration std_time = RunOne(content, false, CompressionThreshold(4, 3), backing);
+  std::printf("%s workload, unmodified system: %s (%.1f s)\n", label,
+              std_time.ToMinSec().c_str(), std_time.seconds());
+  struct Point {
+    const char* name;
+    CompressionThreshold threshold;
+  };
+  const Point points[] = {
+      {"1:1 (keep all)", CompressionThreshold(1, 1)},
+      {"4:3 (paper)", CompressionThreshold(4, 3)},
+      {"2:1", CompressionThreshold(2, 1)},
+      {"4:1", CompressionThreshold(4, 1)},
+      {"16:1 (~disable)", CompressionThreshold(16, 1)},
+  };
+  for (const Point& p : points) {
+    const SimDuration cc_time = RunOne(content, true, p.threshold, backing);
+    std::printf("  threshold %-16s cc: %8s (%.1f s)  speedup vs std: %5.2f\n", p.name,
+                cc_time.ToMinSec().c_str(), cc_time.seconds(),
+                static_cast<double>(std_time.nanos()) / static_cast<double>(cc_time.nanos()));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: keep-compressed threshold (%llu MB machine, 7 MB working set)\n\n",
+              static_cast<unsigned long long>(kUserMemory / kMiB));
+  Sweep("compressible (~4:1), local disk", ContentClass::kSparseNumeric,
+        BackingKind::kLocalDisk);
+  Sweep("incompressible, local disk", ContentClass::kRandom, BackingKind::kLocalDisk);
+  std::printf(
+      "(On the rotational disk the wasted compression effort hides inside the\n"
+      " positioning delay -- the CPU compresses while the platter turns -- which\n"
+      " is part of why the paper's sort random lost only ~10%%. A latency/bandwidth\n"
+      " backing store has no such slack:)\n\n");
+  Sweep("incompressible, wireless link", ContentClass::kRandom, BackingKind::kNetworkLink);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Supporting microbenchmarks: real (host) throughput and compression ratios of the
+// codec library over the content classes, plus the LZRW1 hash-table size
+// trade-off the paper discusses in section 4.4. These are google-benchmark
+// measurements of the actual code, not simulated time — they back the cost
+// model's compression/decompression bandwidth parameters.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "compress/pagegen.h"
+#include "compress/registry.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+using namespace compcache;
+
+namespace {
+
+std::vector<uint8_t> MakeCorpus(ContentClass content, size_t pages) {
+  Rng rng(42);
+  std::vector<uint8_t> corpus(pages * kPageSize);
+  for (size_t p = 0; p < pages; ++p) {
+    FillPage(std::span<uint8_t>(corpus.data() + p * kPageSize, kPageSize), content, rng);
+  }
+  return corpus;
+}
+
+void BM_Compress(benchmark::State& state, const std::string& codec_name,
+                 ContentClass content) {
+  auto codec = MakeCodec(codec_name);
+  const auto corpus = MakeCorpus(content, 64);
+  std::vector<uint8_t> out(codec->MaxCompressedSize(kPageSize));
+  size_t page = 0;
+  uint64_t in_bytes = 0;
+  uint64_t out_bytes = 0;
+  for (auto _ : state) {
+    const auto src = std::span<const uint8_t>(corpus.data() + page * kPageSize, kPageSize);
+    const size_t c = codec->Compress(src, out);
+    benchmark::DoNotOptimize(out.data());
+    in_bytes += kPageSize;
+    out_bytes += c;
+    page = (page + 1) % 64;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(in_bytes));
+  state.counters["ratio_pct"] =
+      100.0 * static_cast<double>(out_bytes) / static_cast<double>(in_bytes);
+}
+
+void BM_Decompress(benchmark::State& state, const std::string& codec_name,
+                   ContentClass content) {
+  auto codec = MakeCodec(codec_name);
+  const auto corpus = MakeCorpus(content, 64);
+  std::vector<std::vector<uint8_t>> compressed(64);
+  for (size_t p = 0; p < 64; ++p) {
+    compressed[p].resize(codec->MaxCompressedSize(kPageSize));
+    const size_t c = codec->Compress(
+        std::span<const uint8_t>(corpus.data() + p * kPageSize, kPageSize), compressed[p]);
+    compressed[p].resize(c);
+  }
+  std::vector<uint8_t> out(kPageSize);
+  size_t page = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    codec->Decompress(compressed[page], out);
+    benchmark::DoNotOptimize(out.data());
+    bytes += kPageSize;
+    page = (page + 1) % 64;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+
+void BM_Lzrw1HashBits(benchmark::State& state) {
+  const auto bits = static_cast<unsigned>(state.range(0));
+  auto codec = MakeCodec("lzrw1", bits);
+  const auto corpus = MakeCorpus(ContentClass::kText, 64);
+  std::vector<uint8_t> out(codec->MaxCompressedSize(kPageSize));
+  size_t page = 0;
+  uint64_t in_bytes = 0;
+  uint64_t out_bytes = 0;
+  for (auto _ : state) {
+    const auto src = std::span<const uint8_t>(corpus.data() + page * kPageSize, kPageSize);
+    out_bytes += codec->Compress(src, out);
+    in_bytes += kPageSize;
+    page = (page + 1) % 64;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(in_bytes));
+  state.counters["ratio_pct"] =
+      100.0 * static_cast<double>(out_bytes) / static_cast<double>(in_bytes);
+  state.counters["table_kb"] = static_cast<double>((4u << bits)) / 1024.0;
+}
+
+void RegisterAll() {
+  const std::pair<ContentClass, const char*> contents[] = {
+      {ContentClass::kZero, "zero"},
+      {ContentClass::kSparseNumeric, "sparse"},
+      {ContentClass::kRepetitiveText, "reptext"},
+      {ContentClass::kText, "text"},
+      {ContentClass::kShuffledWords, "words"},
+      {ContentClass::kRandom, "random"},
+  };
+  for (const auto& name : KnownCodecNames()) {
+    for (const auto& [content, cname] : contents) {
+      benchmark::RegisterBenchmark(("compress/" + name + "/" + cname).c_str(), BM_Compress,
+                                   name, content);
+      benchmark::RegisterBenchmark(("decompress/" + name + "/" + cname).c_str(),
+                                   BM_Decompress, name, content);
+    }
+  }
+  benchmark::RegisterBenchmark("lzrw1/hash_bits", BM_Lzrw1HashBits)
+      ->Arg(8)
+      ->Arg(10)
+      ->Arg(12)
+      ->Arg(14)
+      ->Arg(16)
+      ->Arg(18);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 1(a): "Performance of compressing pages, modeled analytically ...
+// Transferring compressed pages to backing store." Speedup of paging bandwidth as
+// a function of the compression ratio (fraction of bytes left) and the speed of
+// compression relative to I/O; decompression twice as fast as compression.
+//
+// Output: the paper's three regions rendered as an ASCII grid ('#' = speedup off
+// the 6x scale, '+' = 1-6x speedup, '-' = slowdown), plus the numeric values in
+// CSV for plotting.
+#include <cstdio>
+
+#include "model/analytic.h"
+
+using namespace compcache;
+
+int main() {
+  const double ratios[] = {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5,
+                           0.6,  0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0};
+  const double speeds[] = {64, 32, 16, 8, 4, 2, 1, 0.5};
+
+  std::printf("Figure 1(a): bandwidth speedup, compressed transfers to backing store\n");
+  std::printf("(rows: compression speed vs I/O, fast at top; cols: compression ratio,\n");
+  std::printf(" good compression at left; '#' >6x, '+' 1-6x, '-' <1x)\n\n");
+
+  std::printf("speed\\ratio");
+  for (const double r : ratios) {
+    std::printf("%5.2f", r);
+  }
+  std::printf("\n");
+  for (const double s : speeds) {
+    std::printf("%10.1fx", s);
+    for (const double r : ratios) {
+      const double speedup = BandwidthSpeedup(r, s);
+      std::printf("    %c", speedup > 6.0 ? '#' : speedup >= 1.0 ? '+' : '-');
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nCSV: speed,ratio,speedup\n");
+  for (const double s : speeds) {
+    for (const double r : ratios) {
+      std::printf("%g,%g,%.3f\n", s, r, BandwidthSpeedup(r, s));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// A main-memory database on a machine with too little memory — the paper's gold
+// discussion (section 5.2): "one might expect that a main-memory database would
+// benefit from the compression cache if it fits in memory when compressed but not
+// otherwise. Some accesses would be to data that tends to remain uncompressed
+// ('warm' data), while others would be to less frequently used ('cold') data."
+//
+// This example builds an inverted index over a synthetic mail corpus, then runs
+// the same query batch cold and warm on both systems and reports where the
+// compression cache wins and where it loses.
+//
+//   $ ./examples/database_scan
+#include <cstdio>
+
+#include "apps/gold.h"
+#include "core/machine.h"
+
+using namespace compcache;
+
+namespace {
+
+GoldRunResult RunOne(bool use_ccache) {
+  MachineConfig config = use_ccache ? MachineConfig::WithCompressionCache(6 * kMiB)
+                                    : MachineConfig::Unmodified(6 * kMiB);
+  Machine machine(config);
+
+  GoldOptions options;
+  options.num_messages = 4096;
+  options.message_bytes = 2048;
+  options.postings_bytes = 8 * kMiB;
+  options.num_queries = 1024;
+  return RunGoldBenchmarks(machine, options);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Main-memory inverted index (8 MB corpus) on a 6 MB machine\n\n");
+  const GoldRunResult std_result = RunOne(false);
+  const GoldRunResult cc_result = RunOne(true);
+
+  std::printf("%-12s %12s %12s %10s\n", "phase", "unmodified", "ccache", "speedup");
+  const struct {
+    const char* name;
+    const GoldPhaseResult& std_phase;
+    const GoldPhaseResult& cc_phase;
+  } rows[] = {
+      {"create", std_result.create, cc_result.create},
+      {"cold query", std_result.cold, cc_result.cold},
+      {"warm query", std_result.warm, cc_result.warm},
+  };
+  for (const auto& row : rows) {
+    std::printf("%-12s %12s %12s %9.2fx\n", row.name, row.std_phase.elapsed.ToMinSec().c_str(),
+                row.cc_phase.elapsed.ToMinSec().c_str(),
+                static_cast<double>(row.std_phase.elapsed.nanos()) /
+                    static_cast<double>(row.cc_phase.elapsed.nanos()));
+  }
+  std::printf("\nquery hits agree: %s\n",
+              std_result.cold.query_hits == cc_result.cold.query_hits ? "yes" : "NO (bug!)");
+  std::printf(
+      "\nIndex data compresses only ~2:1 and queries touch postings nonsequentially,\n"
+      "so each miss costs a whole-block read — the paper's explanation for why the\n"
+      "gold benchmarks ran slower under the compression cache.\n");
+  return 0;
+}

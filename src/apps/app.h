@@ -1,0 +1,25 @@
+// Common interface for the workload applications used in the paper's evaluation.
+#ifndef COMPCACHE_APPS_APP_H_
+#define COMPCACHE_APPS_APP_H_
+
+#include <string_view>
+
+#include "core/machine.h"
+
+namespace compcache {
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Runs the workload to completion on the given machine. Implementations charge
+  // their own algorithmic CPU time to the machine's clock; the memory system
+  // charges fault/IO/compression time underneath.
+  virtual void Run(Machine& machine) = 0;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_APPS_APP_H_

@@ -1,0 +1,155 @@
+#include "apps/compare.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+#include "vm/heap.h"
+
+namespace compcache {
+
+namespace {
+
+// Strings over a small alphabet with local structure (file contents, not noise).
+std::string MakeSequence(size_t n, Rng& rng) {
+  static constexpr char kAlphabet[] = "abcdefgh";
+  std::string s;
+  s.reserve(n);
+  while (s.size() < n) {
+    // Emit short repeated motifs, as real files do.
+    const size_t motif_len = 3 + rng.Below(6);
+    std::string motif;
+    for (size_t i = 0; i < motif_len; ++i) {
+      motif += kAlphabet[rng.Below(sizeof(kAlphabet) - 1)];
+    }
+    const size_t repeats = 1 + rng.Below(4);
+    for (size_t r = 0; r < repeats && s.size() < n; ++r) {
+      s += motif;
+    }
+  }
+  s.resize(n);
+  return s;
+}
+
+std::string Mutate(const std::string& base, double rate, Rng& rng) {
+  std::string out = base;
+  for (char& ch : out) {
+    if (rng.Chance(rate)) {
+      ch = static_cast<char>('a' + rng.Below(8));
+    }
+  }
+  return out;
+}
+
+// Traceback codes stored per cell. Runs of identical codes are long (the strings
+// mostly match along the diagonal), which is the paper's "recurrence relation
+// that causes frequent repetitions in values ... the data in the array are
+// extremely compressible" (~3:1 under LZRW1).
+constexpr uint8_t kDiag = 0;
+constexpr uint8_t kUp = 1;
+constexpr uint8_t kLeft = 2;
+
+}  // namespace
+
+void Compare::Run(Machine& machine) {
+  const size_t rows = options_.rows;
+  const size_t width = options_.band_width;
+  Rng rng(options_.seed);
+
+  const std::string a = MakeSequence(rows, rng);
+  const std::string b = Mutate(a, options_.mutation_rate, rng);
+
+  // The memory hog is the banded traceback matrix: one byte per (row, band
+  // offset) cell, laid out row-major in simulated pages. The two rolling rows of
+  // absolute distances are transient and live in (simulated-)registers.
+  Heap heap = machine.NewHeap(static_cast<uint64_t>(rows) * width, SimDuration::Nanos(300));
+
+  const SimTime start = machine.clock().Now();
+  const auto half = static_cast<ptrdiff_t>(width / 2);
+  constexpr int32_t kInf = INT32_MAX / 4;
+
+  std::vector<int32_t> prev(width, kInf);
+  std::vector<int32_t> cur(width, kInf);
+  std::vector<uint8_t> row_codes(width, kDiag);
+
+  // Forward pass: row i covers columns j in [i - half, i + half); cells outside
+  // the band act as +infinity. D[i][j] = min(D[i-1][j] + 1, D[i][j-1] + 1,
+  // D[i-1][j-1] + neq); in band coordinates (i-1, j) sits at off+1, (i-1, j-1) at
+  // off, and (i, j-1) at off-1.
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t off = 0; off < width; ++off) {
+      const ptrdiff_t j = static_cast<ptrdiff_t>(i) - half + static_cast<ptrdiff_t>(off);
+      machine.clock().Advance(options_.cpu_per_cell);
+      ++result_.cells_computed;
+
+      int32_t value;
+      uint8_t code;
+      if (j < 0 || j >= static_cast<ptrdiff_t>(rows)) {
+        value = kInf;
+        code = kDiag;
+      } else if (i == 0) {
+        value = static_cast<int32_t>(j);  // first row: insertions only
+        code = kLeft;
+      } else {
+        const int32_t up = off + 1 < width ? prev[off + 1] : kInf;
+        const int32_t left = off > 0 ? cur[off - 1] : kInf;
+        const int32_t diag = prev[off];
+        const int32_t neq = a[i] == b[static_cast<size_t>(j)] ? 0 : 1;
+        value = diag + neq;
+        code = kDiag;
+        if (up + 1 < value) {
+          value = up + 1;
+          code = kUp;
+        }
+        if (left + 1 < value) {
+          value = left + 1;
+          code = kLeft;
+        }
+        if (j == 0 && static_cast<int32_t>(i) < value) {
+          value = static_cast<int32_t>(i);  // boundary column
+          code = kUp;
+        }
+      }
+      cur[off] = value;
+      row_codes[off] = code;
+    }
+    // The row of traceback codes goes into the big array (one page write per
+    // ~4096 cells).
+    heap.WriteBytes(static_cast<uint64_t>(i) * width, row_codes);
+    std::swap(prev, cur);
+  }
+
+  {
+    const ptrdiff_t off = half;  // column j == i sits at band offset half
+    result_.edit_distance = prev[static_cast<size_t>(off)];
+  }
+
+  // Reverse pass: "reverses direction and goes linearly back to the beginning" —
+  // the traceback walks the band from the last row to the first, re-reading it.
+  {
+    std::vector<uint8_t> codes(width);
+    ptrdiff_t off = half;
+    for (size_t ri = rows; ri > 0; --ri) {
+      const size_t i = ri - 1;
+      heap.ReadBytes(static_cast<uint64_t>(i) * width, codes);
+      result_.cells_reread += width;
+      machine.clock().Advance(SimDuration::Nanos(150) * static_cast<int64_t>(width));
+      const uint8_t code = codes[static_cast<size_t>(std::clamp<ptrdiff_t>(
+          off, 0, static_cast<ptrdiff_t>(width) - 1))];
+      // Moving up a row shifts the band window by one: kDiag keeps the offset,
+      // kUp shifts right, kLeft consumes a column within the row.
+      if (code == kUp) {
+        off += 1;
+      } else if (code == kLeft) {
+        off -= 1;
+      }
+      off = std::clamp<ptrdiff_t>(off, 0, static_cast<ptrdiff_t>(width) - 1);
+    }
+  }
+
+  result_.elapsed = machine.clock().Now() - start;
+}
+
+}  // namespace compcache

@@ -1,0 +1,202 @@
+#include "apps/sort.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "apps/wordgen.h"
+#include "util/rng.h"
+#include "util/units.h"
+#include "vm/heap.h"
+
+namespace compcache {
+
+namespace {
+
+// Word descriptor held in the simulated heap alongside the text: a bare byte
+// offset, like the char* line pointers of 1993 sort(1). Word length is found by
+// scanning to the newline. Pages of these pointers are only mildly compressible,
+// which is a big part of why the paper saw ~49% of sort-partial's pages (and 98%
+// of sort-random's) fail the 4:3 threshold.
+using WordRef = uint32_t;
+
+}  // namespace
+
+void TextSort::Run(Machine& machine) {
+  // Build the input file (setup; deterministic). The file lives in the simulated
+  // file system so that reading it exercises the buffer cache like sort(1) did.
+  const auto dictionary = MakeDictionary(options_.dictionary_words, options_.seed);
+  const auto words =
+      options_.variant == SortVariant::kRandom
+          ? MakeUnsortedCopies(dictionary, options_.text_bytes, options_.seed + 1)
+          : MakeNearlySortedCopies(dictionary, options_.text_bytes,
+                                   options_.partial_displacement, options_.seed + 1);
+  const std::string text = JoinWords(words);
+  const FileId input = machine.fs().Create("sort.input");
+  machine.fs().Write(input, 0,
+                     std::span<const uint8_t>(
+                         reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+
+  const uint64_t text_bytes = text.size();
+  const uint64_t num_words = words.size();
+  const uint64_t refs_offset = (text_bytes + kPageSize - 1) / kPageSize * kPageSize;
+  Heap heap = machine.NewHeap(refs_offset + num_words * sizeof(WordRef),
+                              SimDuration::Nanos(400));
+
+  const SimTime start = machine.clock().Now();
+
+  // Read the file into the heap through the buffer cache, chunk by chunk, and
+  // scan for word boundaries (this is sort's input phase).
+  {
+    std::vector<uint8_t> chunk(64 * kKiB);
+    uint64_t pos = 0;
+    uint64_t word_start = 0;
+    uint64_t word_index = 0;
+    while (pos < text_bytes) {
+      const uint64_t n = std::min<uint64_t>(chunk.size(), text_bytes - pos);
+      machine.buffer_cache().Read(input, pos, std::span<uint8_t>(chunk.data(), n));
+      heap.WriteBytes(pos, std::span<const uint8_t>(chunk.data(), n));
+      for (uint64_t i = 0; i < n; ++i) {
+        if (chunk[i] == '\n') {
+          heap.Store(refs_offset + word_index * sizeof(WordRef),
+                     static_cast<WordRef>(word_start));
+          ++word_index;
+          word_start = pos + i + 1;
+        }
+      }
+      pos += n;
+    }
+    result_.words = word_index;
+    CC_ASSERT(word_index == num_words);
+  }
+
+  TypedArray<WordRef> refs(&heap, refs_offset, num_words);
+
+  // Compares two words by their text bytes in the heap (to the newline, like
+  // strcmp on line pointers).
+  auto compare_words = [&](WordRef x, WordRef y) {
+    ++result_.comparisons;
+    machine.clock().Advance(options_.cpu_per_compare);
+    uint8_t bx[64];
+    uint8_t by[64];
+    const uint32_t lx = static_cast<uint32_t>(
+        std::min<uint64_t>(sizeof(bx), text_bytes - x));
+    const uint32_t ly = static_cast<uint32_t>(
+        std::min<uint64_t>(sizeof(by), text_bytes - y));
+    heap.ReadBytes(x, std::span<uint8_t>(bx, lx));
+    heap.ReadBytes(y, std::span<uint8_t>(by, ly));
+    for (uint32_t i = 0;; ++i) {
+      const uint8_t cx = i < lx ? bx[i] : uint8_t{'\n'};
+      const uint8_t cy = i < ly ? by[i] : uint8_t{'\n'};
+      const bool end_x = cx == '\n';
+      const bool end_y = cy == '\n';
+      if (end_x || end_y) {
+        return end_x && end_y ? 0 : end_x ? -1 : 1;
+      }
+      if (cx != cy) {
+        return cx < cy ? -1 : 1;
+      }
+    }
+  };
+
+  auto exchange = [&](size_t i, size_t j) {
+    ++result_.exchanges;
+    const WordRef a = refs.Get(i);
+    const WordRef b = refs.Get(j);
+    refs.Set(i, b);
+    refs.Set(j, a);
+  };
+
+  // Iterative quicksort (median-of-three, insertion sort below 12 elements).
+  std::vector<std::pair<size_t, size_t>> stack;
+  if (num_words > 1) {
+    stack.emplace_back(0, num_words - 1);
+  }
+  while (!stack.empty()) {
+    auto [lo, hi] = stack.back();
+    stack.pop_back();
+    while (lo < hi) {
+      if (hi - lo < 12) {
+        for (size_t i = lo + 1; i <= hi; ++i) {
+          for (size_t j = i; j > lo; --j) {
+            const WordRef a = refs.Get(j - 1);
+            const WordRef b = refs.Get(j);
+            if (compare_words(b, a) < 0) {
+              refs.Set(j - 1, b);
+              refs.Set(j, a);
+              ++result_.exchanges;
+            } else {
+              break;
+            }
+          }
+        }
+        break;
+      }
+      // Median of three into position lo.
+      const size_t mid = lo + (hi - lo) / 2;
+      {
+        WordRef a = refs.Get(lo);
+        WordRef m = refs.Get(mid);
+        WordRef z = refs.Get(hi);
+        if (compare_words(m, a) < 0) {
+          std::swap(a, m);
+        }
+        if (compare_words(z, a) < 0) {
+          std::swap(a, z);
+        }
+        if (compare_words(z, m) < 0) {
+          std::swap(m, z);
+        }
+        refs.Set(lo, m);
+        refs.Set(mid, a);
+        refs.Set(hi, z);
+        result_.exchanges += 3;
+      }
+      const WordRef pivot = refs.Get(lo);
+      size_t i = lo;
+      size_t j = hi + 1;
+      while (true) {
+        do {
+          ++i;
+        } while (i <= hi && compare_words(refs.Get(i), pivot) < 0);
+        do {
+          --j;
+        } while (compare_words(pivot, refs.Get(j)) < 0);
+        if (i >= j) {
+          break;
+        }
+        exchange(i, j);
+      }
+      exchange(lo, j);
+      // Recurse on the smaller side; loop on the larger (bounded stack).
+      if (j > lo && j - lo < hi - j) {
+        if (j > lo + 1) {
+          stack.emplace_back(lo, j - 1);
+        }
+        lo = j + 1;
+      } else {
+        if (j + 1 < hi) {
+          stack.emplace_back(j + 1, hi);
+        }
+        if (j == 0) {
+          break;
+        }
+        hi = j - 1;
+      }
+    }
+  }
+
+  // Verification pass (also the output scan of sort(1)).
+  result_.verified_sorted = true;
+  for (size_t i = 1; i < num_words; ++i) {
+    const WordRef a = refs.Get(i - 1);
+    const WordRef b = refs.Get(i);
+    if (compare_words(a, b) > 0) {
+      result_.verified_sorted = false;
+      break;
+    }
+  }
+
+  result_.elapsed = machine.clock().Now() - start;
+}
+
+}  // namespace compcache

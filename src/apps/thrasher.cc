@@ -1,0 +1,50 @@
+#include "apps/thrasher.h"
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace compcache {
+
+void Thrasher::Run(Machine& machine) {
+  const uint64_t pages = options_.address_space_bytes / kPageSize;
+  CC_EXPECTS(pages > 0);
+  Heap heap = machine.NewHeap(pages * kPageSize, options_.cpu_per_touch);
+  Rng rng(options_.seed);
+
+  // Initialization: write each page once with content of the configured
+  // compressibility. (In the original, the process's address space simply
+  // contained such data; here it must be materialized.)
+  const SimTime setup_start = machine.clock().Now();
+  std::vector<uint8_t> page_image(kPageSize);
+  for (uint64_t p = 0; p < pages; ++p) {
+    FillPage(page_image, options_.content, rng);
+    heap.WriteBytes(p * kPageSize, page_image);
+  }
+  result_.setup_time = machine.clock().Now() - setup_start;
+
+  if (options_.advisory_pin_fraction > 0) {
+    const auto pin_pages = static_cast<uint32_t>(
+        static_cast<double>(pages) * options_.advisory_pin_fraction);
+    machine.pager().Advise(*heap.segment(), 0, pin_pages, /*pin=*/true);
+  }
+
+  // Measured passes: one word per page per pass.
+  const SimTime start = machine.clock().Now();
+  for (int pass = 0; pass < options_.passes; ++pass) {
+    for (uint64_t p = 0; p < pages; ++p) {
+      const uint64_t addr = p * kPageSize;  // first word of the page
+      if (options_.write) {
+        uint32_t word = heap.Load<uint32_t>(addr);
+        heap.Store<uint32_t>(addr, word + 1);
+      } else {
+        (void)heap.Load<uint32_t>(addr);
+      }
+      ++result_.page_touches;
+    }
+  }
+  result_.elapsed = machine.clock().Now() - start;
+}
+
+}  // namespace compcache

@@ -1,0 +1,53 @@
+// Thrasher (paper section 5.1): "cycles linearly through a working set, reading
+// (and optionally writing) one word of memory on each page each time through the
+// working set." With LRU replacement, a working set larger than memory faults on
+// every access, which makes thrasher the upper bound on compression-cache benefit.
+#ifndef COMPCACHE_APPS_THRASHER_H_
+#define COMPCACHE_APPS_THRASHER_H_
+
+#include "apps/app.h"
+#include "compress/pagegen.h"
+#include "util/time_types.h"
+
+namespace compcache {
+
+struct ThrasherOptions {
+  uint64_t address_space_bytes = 8 * kMiB;
+  bool write = false;  // rw variant stores one word per page; ro only loads
+  int passes = 3;      // measured cycles through the working set
+  // Page contents; the paper's thrasher data compressed "roughly 4:1".
+  ContentClass content = ContentClass::kSparseNumeric;
+  // Loop + load/store instructions per page touch on the 25-MHz CPU.
+  SimDuration cpu_per_touch = SimDuration::Micros(2);
+  // Fraction of the working set pinned via the paper's section-3 LRU advisory
+  // before the measured passes (0 = no advisory).
+  double advisory_pin_fraction = 0.0;
+  uint64_t seed = 42;
+};
+
+struct ThrasherResult {
+  uint64_t page_touches = 0;       // touches during the measured passes
+  SimDuration elapsed;             // virtual time of the measured passes
+  SimDuration setup_time;          // initialization (pages written once)
+  double AvgAccessMillis() const {
+    return page_touches == 0 ? 0.0 : elapsed.millis() / static_cast<double>(page_touches);
+  }
+};
+
+class Thrasher : public App {
+ public:
+  explicit Thrasher(ThrasherOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "thrasher"; }
+  void Run(Machine& machine) override;
+
+  const ThrasherResult& result() const { return result_; }
+
+ private:
+  ThrasherOptions options_;
+  ThrasherResult result_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_APPS_THRASHER_H_

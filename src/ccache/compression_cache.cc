@@ -1,0 +1,603 @@
+#include "ccache/compression_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assert.h"
+#include "util/units.h"
+
+namespace compcache {
+
+CompressionCache::CompressionCache(Clock* clock, const CostModel* costs, FrameSource* frames,
+                                   Codec* codec, CompressedSwapBackend* swap, CcacheEvents* events,
+                                   CcacheOptions options)
+    : clock_(clock),
+      costs_(costs),
+      frames_(frames),
+      codec_(codec),
+      swap_(swap),
+      events_(events),
+      options_(options) {
+  CC_EXPECTS(clock_ != nullptr && costs_ != nullptr && frames_ != nullptr);
+  CC_EXPECTS(codec_ != nullptr && swap_ != nullptr && events_ != nullptr);
+  // The ring reserves one page of slack so that the head and tail regions can
+  // never alias the same physical slot (see AppendEntry).
+  CC_EXPECTS(options_.max_slots >= 4);
+  slots_.assign(options_.max_slots, FrameId{});
+  live_bytes_.assign(options_.max_slots, 0);
+}
+
+CompressionCache::~CompressionCache() {
+  for (FrameId& frame : slots_) {
+    if (frame.valid()) {
+      frames_->FreeFrame(frame);
+      frame = FrameId{};
+    }
+  }
+}
+
+void CompressionCache::CopyIn(uint64_t linear_off, std::span<const uint8_t> data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    const size_t slot = SlotOf(linear_off + done);
+    const uint64_t within = (linear_off + done) % kPageSize;
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(kPageSize - within, data.size() - done));
+    CC_ASSERT(slots_[slot].valid());
+    std::memcpy(frames_->FrameData(slots_[slot]).data() + within, data.data() + done, n);
+    done += n;
+  }
+}
+
+void CompressionCache::CopyOut(uint64_t linear_off, std::span<uint8_t> out) const {
+  size_t done = 0;
+  while (done < out.size()) {
+    const size_t slot = SlotOf(linear_off + done);
+    const uint64_t within = (linear_off + done) % kPageSize;
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(kPageSize - within, out.size() - done));
+    CC_ASSERT(slots_[slot].valid());
+    // frames_ is logically const here; FrameData lacks a const overload on the
+    // interface, so go through the non-const pointer.
+    auto* self = const_cast<CompressionCache*>(this);
+    std::memcpy(out.data() + done, self->frames_->FrameData(slots_[slot]).data() + within, n);
+    done += n;
+  }
+}
+
+void CompressionCache::AddLiveBytes(uint64_t header_off, uint64_t end_off, int64_t sign) {
+  CC_EXPECTS(end_off > header_off);
+  for (uint64_t ls = header_off / kPageSize; ls <= (end_off - 1) / kPageSize; ++ls) {
+    const uint64_t lo = std::max(header_off, ls * kPageSize);
+    const uint64_t hi = std::min(end_off, (ls + 1) * kPageSize);
+    const size_t slot = static_cast<size_t>(ls % options_.max_slots);
+    if (sign > 0) {
+      if (live_bytes_[slot] == 0) {
+        dead_slots_.erase(slot);
+      }
+      live_bytes_[slot] += hi - lo;
+    } else {
+      CC_ASSERT(live_bytes_[slot] >= hi - lo);
+      live_bytes_[slot] -= hi - lo;
+      if (live_bytes_[slot] == 0 && slots_[slot].valid()) {
+        dead_slots_.insert(slot);
+      }
+    }
+  }
+}
+
+bool CompressionCache::FreeOneDeadSlot() {
+  // Never free the slots the next append will write into (the tail area); a
+  // recursive reclaim freeing them would just force an immediate remap.
+  size_t excluded[3];
+  for (int k = 0; k < 3; ++k) {
+    excluded[k] = SlotOf(tail_off_ + static_cast<uint64_t>(k) * kPageSize);
+  }
+  for (const size_t slot : dead_slots_) {
+    if (slot == excluded[0] || slot == excluded[1] || slot == excluded[2]) {
+      continue;
+    }
+    CC_ASSERT(slots_[slot].valid());
+    CC_ASSERT(live_bytes_[slot] == 0);
+    frames_->FreeFrame(slots_[slot]);
+    slots_[slot] = FrameId{};
+    --mapped_count_;
+    dead_slots_.erase(slot);
+    return true;
+  }
+  return false;
+}
+
+void CompressionCache::EnsureMappedForAppend(uint64_t need) {
+  // Map every slot covering [tail_off_, tail_off_ + need). Allocating a frame can
+  // recurse into this cache (frame allocation -> arbiter -> VM eviction -> nested
+  // insert), which can move the tail and even map or free the very slots we are
+  // working on. Three defenses:
+  //   * the slot range is recomputed from the live tail on every pass, so a stale
+  //     range never fights the dead-slot reclaimer over obsolete slots;
+  //   * after AllocateFrame returns, the slot is re-checked: if a nested call
+  //     mapped it meanwhile, the spare frame goes back instead of clobbering the
+  //     live mapping;
+  //   * the function only returns after a full pass that performed no allocation
+  //     with the tail unmoved — i.e., a provably stable mapping.
+  while (true) {
+    const uint64_t tail_snapshot = tail_off_;
+    const uint64_t first = tail_snapshot / kPageSize;
+    const uint64_t last = (tail_snapshot + need - 1) / kPageSize;
+    bool stable = true;
+    for (uint64_t ls = first; ls <= last && tail_off_ == tail_snapshot; ++ls) {
+      const size_t slot = static_cast<size_t>(ls % options_.max_slots);
+      if (!slots_[slot].valid()) {
+        stable = false;
+        const FrameId frame = frames_->AllocateFrame();
+        if (slots_[slot].valid()) {
+          frames_->FreeFrame(frame);  // a recursive append mapped it; keep theirs
+        } else {
+          slots_[slot] = frame;
+          ++mapped_count_;
+          stats_.frames_mapped_peak =
+              std::max<uint64_t>(stats_.frames_mapped_peak, mapped_count_);
+          if (live_bytes_[slot] == 0) {
+            dead_slots_.insert(slot);  // no entry bytes yet; the tail guard
+                                       // protects the current append range
+          }
+        }
+      }
+    }
+    if (stable && tail_off_ == tail_snapshot) {
+      return;
+    }
+    if (tail_off_ != tail_snapshot) {
+      // Nested appends moved the tail; AppendEntry's retry loop re-validates
+      // space, then we re-map against the fresh range.
+      return;
+    }
+  }
+}
+
+void CompressionCache::AppendEntry(PageKey key, std::span<const uint8_t> payload,
+                                   uint32_t original_size, bool dirty) {
+  CC_EXPECTS(!Contains(key));
+  const uint64_t need = kEntryHeaderBytes + payload.size();
+  const uint64_t capacity = static_cast<uint64_t>(options_.max_slots) * kPageSize;
+  const uint64_t effective_capacity = capacity - kPageSize;  // head/tail anti-alias slack
+  CC_EXPECTS(need <= effective_capacity);
+
+  // Reserving space and mapping frames can both recurse into this cache (see
+  // EnsureMappedForAppend), moving head_off_ and tail_off_ underneath us. Loop
+  // until a pass completes with the tail unmoved and the space still reserved.
+  int append_spins = 0;
+  while (true) {
+    CC_ASSERT(++append_spins < 1'000'000 && "AppendEntry livelock");
+    while (tail_off_ + need - head_off_ > effective_capacity) {
+      ReclaimHeadFrame();
+    }
+    const uint64_t tail_snapshot = tail_off_;
+    EnsureMappedForAppend(need);
+    if (tail_off_ == tail_snapshot &&
+        tail_off_ + need - head_off_ <= effective_capacity) {
+      break;
+    }
+  }
+
+  Entry e;
+  e.key = key;
+  e.header_off = tail_off_;
+  e.payload_size = static_cast<uint32_t>(payload.size());
+  e.original_size = original_size;
+  e.dirty = dirty;
+  e.valid = true;
+  e.age_ns = static_cast<uint64_t>(clock_->Now().nanos());
+
+  CopyIn(e.payload_off(), payload);
+  entries_.push_back(e);
+  index_[key] = base_seq_ + entries_.size() - 1;
+  AddLiveBytes(e.header_off, e.end_off(), +1);
+  tail_off_ = e.end_off();
+}
+
+CompressionCache::Entry* CompressionCache::Find(PageKey key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    return nullptr;
+  }
+  CC_ASSERT(it->second >= base_seq_);
+  Entry& e = entries_[static_cast<size_t>(it->second - base_seq_)];
+  CC_ASSERT(e.key == key);
+  CC_ASSERT(e.valid);
+  return &e;
+}
+
+const CompressionCache::Entry* CompressionCache::Find(PageKey key) const {
+  return const_cast<CompressionCache*>(this)->Find(key);
+}
+
+CompressionCache::CompressOutcome CompressionCache::CompressPage(
+    std::span<const uint8_t> page) {
+  CC_EXPECTS(page.size() == kPageSize);
+  CompressOutcome outcome;
+
+  // Adaptive disable (paper section 6): when recent pages have been almost all
+  // uncompressible, skip the attempt entirely — no effort wasted — probing one in
+  // every probe_interval evictions to notice a change of workload.
+  const AdaptiveCompressionOptions& adaptive = options_.adaptive;
+  if (adaptive.enabled && compression_disabled_) {
+    if (++skips_since_probe_ < adaptive.probe_interval) {
+      ++stats_.adaptive_skips;
+      return outcome;
+    }
+    skips_since_probe_ = 0;
+    ++stats_.adaptive_probes;
+  }
+
+  // Compression time is charged unconditionally: for pages that fail the
+  // threshold it is the paper's "wasted effort". The buffer is per-call because
+  // insertion can recurse into another compression via frame reclamation.
+  std::vector<uint8_t> buf(codec_->MaxCompressedSize(page.size()));
+  clock_->Advance(costs_->CompressCost(page.size()), TimeCategory::kCompression);
+  const size_t compressed_size = codec_->Compress(page, buf);
+  ++stats_.pages_compressed;
+
+  const bool keep = options_.threshold.KeepCompressed(page.size(), compressed_size);
+  if (adaptive.enabled) {
+    if (compression_disabled_ && keep) {
+      // The probe compressed well: the workload changed, so resume.
+      compression_disabled_ = false;
+      window_attempts_ = 0;
+      window_rejects_ = 0;
+      ++stats_.adaptive_reenables;
+    } else if (!compression_disabled_) {
+      ++window_attempts_;
+      if (!keep) {
+        ++window_rejects_;
+      }
+      if (window_attempts_ >= adaptive.window) {
+        const double rate = static_cast<double>(window_rejects_) /
+                            static_cast<double>(window_attempts_);
+        if (rate >= adaptive.disable_at_reject_rate) {
+          compression_disabled_ = true;
+          skips_since_probe_ = 0;
+          ++stats_.adaptive_disables;
+        }
+        window_attempts_ = 0;
+        window_rejects_ = 0;
+      }
+    }
+  }
+
+  if (!keep) {
+    ++stats_.pages_rejected;
+    return outcome;
+  }
+  outcome.keep = true;
+  buf.resize(compressed_size);
+  outcome.bytes = std::move(buf);
+  return outcome;
+}
+
+void CompressionCache::InsertCompressed(PageKey key, std::span<const uint8_t> compressed,
+                                        uint32_t original_size, bool dirty) {
+  AppendEntry(key, compressed, original_size, dirty);
+  ++stats_.pages_kept;
+  stats_.original_bytes_kept += original_size;
+  stats_.compressed_bytes_kept += compressed.size();
+  stats_.kept_ratio_pct.Add(100.0 * static_cast<double>(compressed.size()) /
+                            static_cast<double>(original_size));
+}
+
+bool CompressionCache::CompressAndInsert(PageKey key, std::span<const uint8_t> page,
+                                         bool dirty) {
+  CC_EXPECTS(!Contains(key));
+  CompressOutcome outcome = CompressPage(page);
+  if (!outcome.keep) {
+    return false;
+  }
+  InsertCompressed(key, outcome.bytes, static_cast<uint32_t>(page.size()), dirty);
+  return true;
+}
+
+void CompressionCache::InsertCompressedClean(PageKey key, std::span<const uint8_t> compressed,
+                                             uint32_t original_size) {
+  CC_EXPECTS(!Contains(key));
+  // Staging the bits into the cache region is a copy, not a compression.
+  clock_->Advance(costs_->CopyCost(compressed.size()), TimeCategory::kCopy);
+  AppendEntry(key, compressed, original_size, /*dirty=*/false);
+  ++stats_.inserted_from_swap;
+}
+
+bool CompressionCache::FaultIn(PageKey key, std::span<uint8_t> out) {
+  Entry* e = Find(key);
+  if (e == nullptr) {
+    return false;
+  }
+  CC_EXPECTS(out.size() == e->original_size);
+  std::vector<uint8_t> buf(e->payload_size);
+  CopyOut(e->payload_off(), buf);
+  codec_->Decompress(buf, out);
+  clock_->Advance(costs_->DecompressCost(out.size()), TimeCategory::kDecompression);
+  // A hit refreshes the entry's age: the arbiter compares last-access times, and
+  // a compressed page that keeps servicing faults is earning its memory.
+  // (Position in the ring stays FIFO; only the age the arbiter sees changes.)
+  e->age_ns = static_cast<uint64_t>(clock_->Now().nanos());
+  ++stats_.fault_hits;
+  return true;
+}
+
+void CompressionCache::DecompressImage(std::span<const uint8_t> compressed,
+                                       std::span<uint8_t> out) {
+  codec_->Decompress(compressed, out);
+  clock_->Advance(costs_->DecompressCost(out.size()), TimeCategory::kDecompression);
+}
+
+void CompressionCache::Invalidate(PageKey key) {
+  Entry* e = Find(key);
+  if (e == nullptr) {
+    return;
+  }
+  e->valid = false;
+  index_.erase(key);
+  AddLiveBytes(e->header_off, e->end_off(), -1);
+  ++stats_.invalidations;
+}
+
+uint64_t CompressionCache::OldestAge() const {
+  return entries_.empty() ? UINT64_MAX : entries_.front().age_ns;
+}
+
+void CompressionCache::UnmapSlotsBelow(uint64_t old_head, uint64_t new_head) {
+  // Frees every slot wholly below the new head. Safe because the ring keeps one
+  // page of slack (effective capacity = capacity - page), so a slot with only
+  // dead bytes can never simultaneously host live tail bytes. Slots already
+  // released as middle "free" slots are skipped.
+  for (uint64_t ls = old_head / kPageSize; ls < new_head / kPageSize; ++ls) {
+    const size_t slot = static_cast<size_t>(ls % options_.max_slots);
+    if (!slots_[slot].valid()) {
+      continue;
+    }
+    CC_ASSERT(live_bytes_[slot] == 0);
+    frames_->FreeFrame(slots_[slot]);
+    slots_[slot] = FrameId{};
+    --mapped_count_;
+    dead_slots_.erase(slot);
+  }
+}
+
+void CompressionCache::ReclaimHeadFrame() {
+  if (entries_.empty()) {
+    // Only pre-mapped, unused slots remain; release one.
+    for (size_t slot = 0; slot < slots_.size(); ++slot) {
+      if (slots_[slot].valid()) {
+        frames_->FreeFrame(slots_[slot]);
+        slots_[slot] = FrameId{};
+        --mapped_count_;
+        dead_slots_.erase(slot);
+        return;
+      }
+    }
+    CC_ASSERT(false && "ReclaimHeadFrame called with nothing mapped");
+  }
+
+  const uint64_t old_head = head_off_;
+  const uint64_t slot_end = (head_off_ / kPageSize + 1) * kPageSize;
+
+  // First pass: write out, in one clustered batch, every dirty entry that overlaps
+  // the head slot (they must reach the backing store before their frame dies).
+  std::vector<SwapPageImage> batch;
+  for (const Entry& e : entries_) {
+    if (e.header_off >= slot_end) {
+      break;
+    }
+    if (e.valid && e.dirty) {
+      SwapPageImage img;
+      img.key = e.key;
+      img.is_compressed = true;
+      img.original_size = e.original_size;
+      img.bytes.resize(e.payload_size);
+      CopyOut(e.payload_off(), img.bytes);
+      batch.push_back(std::move(img));
+    }
+  }
+  if (!batch.empty()) {
+    uint64_t staged = 0;
+    for (const SwapPageImage& img : batch) {
+      staged += img.bytes.size();
+    }
+    clock_->Advance(costs_->CopyCost(staged), TimeCategory::kCopy);
+    swap_->WriteBatch(batch);
+    for (const SwapPageImage& img : batch) {
+      Entry* e = Find(img.key);
+      CC_ASSERT(e != nullptr);
+      e->dirty = false;
+      ++stats_.entries_cleaned;
+      events_->OnEntryCleaned(img.key);
+    }
+  }
+
+  // Second pass: drop every entry overlapping the head slot. Entries are laid out
+  // contiguously, so the head lands exactly on the next entry's header (or the
+  // tail when the ring empties).
+  while (!entries_.empty() && entries_.front().header_off < slot_end) {
+    const Entry e = entries_.front();
+    entries_.pop_front();
+    ++base_seq_;
+    head_off_ = e.end_off();
+    if (e.valid) {
+      index_.erase(e.key);
+      AddLiveBytes(e.header_off, e.end_off(), -1);
+      ++stats_.entries_dropped;
+      events_->OnEntryDropped(e.key);
+    }
+  }
+
+  if (entries_.empty()) {
+    CC_ASSERT(head_off_ == tail_off_);
+    for (size_t slot = 0; slot < slots_.size(); ++slot) {
+      if (slots_[slot].valid()) {
+        frames_->FreeFrame(slots_[slot]);
+        slots_[slot] = FrameId{};
+        --mapped_count_;
+      }
+    }
+    dead_slots_.clear();
+    return;
+  }
+  CC_ASSERT(head_off_ >= slot_end);
+  UnmapSlotsBelow(old_head, head_off_);
+}
+
+bool CompressionCache::ReleaseOldest() {
+  if (mapped_count_ == 0) {
+    return false;
+  }
+  // Cheapest first: a middle slot whose entries were all invalidated costs
+  // nothing to release (the paper's "free" slots in Figure 2).
+  if (FreeOneDeadSlot()) {
+    return true;
+  }
+  // Head reclamation may find that the slots below the advancing head were
+  // already released as middle free slots; keep going until a frame actually
+  // comes back (each pass advances the head at least one slot, or drains the
+  // ring entirely, so this terminates).
+  const size_t before = mapped_count_;
+  while (mapped_count_ >= before && mapped_count_ > 0) {
+    ReclaimHeadFrame();
+  }
+  CC_ENSURES(mapped_count_ < before);
+  return true;
+}
+
+bool CompressionCache::WriteOldestDirtyBatch() {
+  std::vector<SwapPageImage> batch;
+  uint64_t payload = 0;
+  for (const Entry& e : entries_) {
+    if (!e.valid || !e.dirty) {
+      continue;
+    }
+    SwapPageImage img;
+    img.key = e.key;
+    img.is_compressed = true;
+    img.original_size = e.original_size;
+    img.bytes.resize(e.payload_size);
+    CopyOut(e.payload_off(), img.bytes);
+    payload += e.payload_size;
+    batch.push_back(std::move(img));
+    if (payload >= options_.write_batch_bytes) {
+      break;
+    }
+  }
+  if (batch.empty()) {
+    return false;
+  }
+  clock_->Advance(costs_->CopyCost(payload), TimeCategory::kCopy);
+  swap_->WriteBatch(batch);
+  for (const SwapPageImage& img : batch) {
+    Entry* e = Find(img.key);
+    CC_ASSERT(e != nullptr);
+    e->dirty = false;
+    ++stats_.entries_cleaned;
+    events_->OnEntryCleaned(img.key);
+  }
+  return true;
+}
+
+size_t CompressionCache::CleanPrefixFrames() const {
+  uint64_t prefix_end = tail_off_;
+  for (const Entry& e : entries_) {
+    if (e.valid && e.dirty) {
+      prefix_end = e.header_off;
+      break;
+    }
+  }
+  return static_cast<size_t>(prefix_end / kPageSize - head_off_ / kPageSize);
+}
+
+void CompressionCache::RunCleaner(size_t pool_free_frames) {
+  // Paper: the cleaning rate is a function of the number of completely free pages,
+  // the number of clean reclaimable pages, and the size of the cache. Rendered as:
+  // while memory is tight and the head of the ring lacks clean frames, push one
+  // write batch per invocation.
+  if (pool_free_frames >= options_.pool_free_target) {
+    return;
+  }
+  const size_t clean_target =
+      std::max(options_.clean_frames_target, mapped_count_ / 8);
+  if (CleanPrefixFrames() >= clean_target) {
+    return;
+  }
+  WriteOldestDirtyBatch();
+}
+
+void CompressionCache::FlushDirty() {
+  while (WriteOldestDirtyBatch()) {
+  }
+}
+
+std::optional<CompressionCache::EntryInfo> CompressionCache::EntryInfoFor(PageKey key) const {
+  const Entry* e = Find(key);
+  if (e == nullptr) {
+    return std::nullopt;
+  }
+  return EntryInfo{e->header_off, e->payload_size, e->dirty};
+}
+
+std::optional<std::vector<uint8_t>> CompressionCache::RawPayloadFor(PageKey key) const {
+  const Entry* e = Find(key);
+  if (e == nullptr) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> bytes(e->payload_size);
+  CopyOut(e->payload_off(), bytes);
+  return bytes;
+}
+
+void CompressionCache::CheckInvariants() const {
+  const uint64_t capacity = static_cast<uint64_t>(options_.max_slots) * kPageSize;
+  CC_ASSERT(tail_off_ >= head_off_);
+  CC_ASSERT(tail_off_ - head_off_ <= capacity - kPageSize);
+
+  // Entries are contiguous from head to tail.
+  uint64_t expected = head_off_;
+  size_t valid_count = 0;
+  for (const Entry& e : entries_) {
+    CC_ASSERT(e.header_off == expected);
+    expected = e.end_off();
+    if (e.valid) {
+      ++valid_count;
+      const auto it = index_.find(e.key);
+      CC_ASSERT(it != index_.end());
+      CC_ASSERT(entries_[static_cast<size_t>(it->second - base_seq_)].key == e.key);
+    }
+  }
+  CC_ASSERT(expected == tail_off_);
+  CC_ASSERT(valid_count == index_.size());
+
+  // Recompute per-slot live bytes from valid entries and check the accounting,
+  // that every slot holding valid bytes is mapped, and the dead-slot set.
+  std::vector<uint64_t> expected_live(options_.max_slots, 0);
+  for (const Entry& e : entries_) {
+    if (!e.valid) {
+      continue;
+    }
+    for (uint64_t ls = e.header_off / kPageSize; ls <= (e.end_off() - 1) / kPageSize; ++ls) {
+      const uint64_t lo = std::max(e.header_off, ls * kPageSize);
+      const uint64_t hi = std::min(e.end_off(), (ls + 1) * kPageSize);
+      expected_live[static_cast<size_t>(ls % options_.max_slots)] += hi - lo;
+    }
+  }
+  size_t mapped = 0;
+  for (size_t slot = 0; slot < slots_.size(); ++slot) {
+    CC_ASSERT(live_bytes_[slot] == expected_live[slot]);
+    if (live_bytes_[slot] > 0) {
+      CC_ASSERT(slots_[slot].valid());
+    }
+    if (slots_[slot].valid()) {
+      ++mapped;
+      CC_ASSERT((live_bytes_[slot] == 0) == dead_slots_.contains(slot));
+    } else {
+      CC_ASSERT(!dead_slots_.contains(slot));
+    }
+  }
+  CC_ASSERT(mapped == mapped_count_);
+}
+
+}  // namespace compcache

@@ -1,0 +1,281 @@
+// The compression cache (paper section 4): a dynamically sized circular buffer of
+// physical pages holding compressed VM pages — the new level of the memory
+// hierarchy between uncompressed pages and the backing store.
+//
+// Faithful structural points (paper section 4.2, Figure 2):
+//   * memory is "a variable-sized circular buffer": physical frames are mapped in
+//     at the tail and normally reclaimed from the head (the oldest end);
+//   * pages are "compressed directly into the first unused region within the
+//     compression cache, following the last page that had been added";
+//   * "before each page there is a small header" — we reserve the paper's 36 bytes
+//     per compressed page in the ring layout;
+//   * frames are clean / dirty / free / new; a cleaner "writes out the oldest
+//     dirty data ... to keep a pool of physical pages clean and ready for
+//     reclamation", at a rate that is "a function of the number of completely free
+//     pages in the system, the number of clean pages that are already reclaimable,
+//     and the size of the compression cache";
+//   * a compressed page brought in from backing store is kept in the cache clean,
+//     since "the compressed copy in memory can be freed at any time, since there
+//     is already a copy on backing store".
+#ifndef COMPCACHE_CCACHE_COMPRESSION_CACHE_H_
+#define COMPCACHE_CCACHE_COMPRESSION_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/codec.h"
+#include "compress/threshold.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "swap/compressed_swap_backend.h"
+#include "util/stats.h"
+#include "vm/frame_source.h"
+#include "vm/page_key.h"
+
+namespace compcache {
+
+// State transitions the cache reports to the VM system so that page-table state
+// stays coherent with the cache's own bookkeeping.
+class CcacheEvents {
+ public:
+  virtual ~CcacheEvents() = default;
+
+  // A dirty compressed copy of `key` was written to the backing store.
+  virtual void OnEntryCleaned(PageKey key) = 0;
+
+  // The compressed copy of `key` left the cache. Guaranteed: either the page is
+  // resident or a valid copy exists on the backing store.
+  virtual void OnEntryDropped(PageKey key) = 0;
+};
+
+// Paper section 5.2/6: "It should be possible to disable compression completely
+// when poor compression is obtained." When enabled, the cache tracks the recent
+// threshold rejection rate; once it exceeds `disable_at_reject_rate` over a
+// window, compression attempts are skipped (no wasted effort), with periodic
+// probes so a change in workload re-enables it.
+struct AdaptiveCompressionOptions {
+  bool enabled = false;  // the paper's measured system did not have this
+  uint32_t window = 64;
+  double disable_at_reject_rate = 0.9;
+  uint32_t probe_interval = 32;
+};
+
+struct CcacheOptions {
+  // Boot-time maximum size in frames ("determined at boot time based on the
+  // maximum possible size of the cache").
+  size_t max_slots = 4096;
+
+  AdaptiveCompressionOptions adaptive;
+
+  // Keep-compressed threshold, paper default 4:3.
+  CompressionThreshold threshold{4, 3};
+
+  // Clustered write-out batch size (payload bytes), paper default 32 KB.
+  uint32_t write_batch_bytes = kSwapWriteBatch;
+
+  // Cleaner rate policy: write a batch when the machine's free-frame pool is below
+  // `pool_free_target` frames and fewer than `clean_frames_target` frames at the
+  // head of the ring are clean/reclaimable.
+  size_t pool_free_target = 16;
+  size_t clean_frames_target = 8;
+};
+
+struct CcacheStats {
+  uint64_t pages_compressed = 0;    // CompressAndInsert calls
+  uint64_t pages_kept = 0;          // met the threshold
+  uint64_t pages_rejected = 0;      // failed the threshold (wasted compression)
+  uint64_t fault_hits = 0;          // faults satisfied by in-memory decompression
+  uint64_t inserted_from_swap = 0;  // clean insertions of swapped compressed pages
+  uint64_t entries_cleaned = 0;
+  uint64_t entries_dropped = 0;
+  uint64_t invalidations = 0;
+  uint64_t frames_mapped_peak = 0;
+  uint64_t adaptive_skips = 0;     // evictions that skipped compression entirely
+  uint64_t adaptive_probes = 0;    // compressions attempted while disabled
+  uint64_t adaptive_disables = 0;  // off transitions
+  uint64_t adaptive_reenables = 0; // on transitions
+  uint64_t original_bytes_kept = 0;
+  uint64_t compressed_bytes_kept = 0;
+  RunningStats kept_ratio_pct;  // compressed/original * 100 for kept pages
+};
+
+class CompressionCache {
+ public:
+  CompressionCache(Clock* clock, const CostModel* costs, FrameSource* frames, Codec* codec,
+                   CompressedSwapBackend* swap, CcacheEvents* events, CcacheOptions options);
+
+  CompressionCache(const CompressionCache&) = delete;
+  CompressionCache& operator=(const CompressionCache&) = delete;
+
+  ~CompressionCache();
+
+  // Compresses an evicted page and inserts it when it meets the threshold.
+  // Charges compression time either way (rejected pages are the paper's "wasted
+  // effort"). Returns true when the page was kept compressed in memory; on false
+  // the caller must dispose of the page itself (write raw to backing store).
+  bool CompressAndInsert(PageKey key, std::span<const uint8_t> page, bool dirty);
+
+  // Two-phase form of CompressAndInsert, used by the evictor to break the
+  // frame-allocation cycle: compress out of the victim's frame into a kernel
+  // buffer, free the frame, then insert — so the ring can always find a frame.
+  struct CompressOutcome {
+    bool keep = false;
+    std::vector<uint8_t> bytes;  // compressed image when keep is true
+  };
+  CompressOutcome CompressPage(std::span<const uint8_t> page);
+  void InsertCompressed(PageKey key, std::span<const uint8_t> compressed,
+                        uint32_t original_size, bool dirty);
+
+  // Inserts an already-compressed image read from the backing store, as a clean
+  // entry. No compression charge (the bits are already compressed).
+  void InsertCompressedClean(PageKey key, std::span<const uint8_t> compressed,
+                             uint32_t original_size);
+
+  bool Contains(PageKey key) const { return index_.contains(key); }
+
+  // Decompresses the cached copy of `key` into `out` (a whole page). Returns
+  // false when the page is not in the cache.
+  bool FaultIn(PageKey key, std::span<uint8_t> out);
+
+  // Decompresses an arbitrary compressed image with the cache's codec, charging
+  // the modelled decompression time (used by the fault path for images that were
+  // just read from the backing store).
+  void DecompressImage(std::span<const uint8_t> compressed, std::span<uint8_t> out);
+
+  // Discards the cached copy (page was modified while resident, or dropped).
+  void Invalidate(PageKey key);
+
+  // --- memory arbitration interface ---
+  // Age (virtual-time ns) of the oldest entry; UINT64_MAX when empty.
+  uint64_t OldestAge() const;
+  // Reclaims the oldest physical frame, writing out any dirty data in it first.
+  // Returns false when the cache holds no frames.
+  bool ReleaseOldest();
+
+  // Frees one mapped slot that holds no live entry bytes (a "free" slot in the
+  // paper's Figure 2 sense) — memory that costs nothing to reclaim. The machine
+  // harvests these before bothering the arbiter. Returns false when none exists.
+  bool FreeOneDeadSlot();
+
+  // Cleaner daemon step; the machine invokes it after each fault service with the
+  // current free-frame count.
+  void RunCleaner(size_t pool_free_frames);
+
+  // Writes out all dirty entries (shutdown / ablation hooks).
+  void FlushDirty();
+
+  size_t mapped_frames() const { return mapped_count_; }
+  size_t live_entries() const { return index_.size(); }
+  uint64_t used_bytes() const { return tail_off_ - head_off_; }
+  const CcacheStats& stats() const { return stats_; }
+  const CcacheOptions& options() const { return options_; }
+
+  // The paper's per-compressed-page header size (section 4.4).
+  static constexpr uint32_t kEntryHeaderBytes = 36;
+
+  // Validates internal invariants (entries contiguous, index consistent, slot
+  // mapping covers live bytes). Test hook; aborts on violation.
+  void CheckInvariants() const;
+
+  // Introspection for tests and debugging.
+  struct EntryInfo {
+    uint64_t header_off = 0;
+    uint32_t payload_size = 0;
+    bool dirty = false;
+  };
+  std::optional<EntryInfo> EntryInfoFor(PageKey key) const;
+  // Raw compressed payload bytes of a live entry (no time charge; test hook).
+  std::optional<std::vector<uint8_t>> RawPayloadFor(PageKey key) const;
+  uint64_t head_off() const { return head_off_; }
+  uint64_t tail_off() const { return tail_off_; }
+
+ private:
+  struct Entry {
+    PageKey key;
+    uint64_t header_off = 0;  // linear (monotonic) byte offset of the entry header
+    uint32_t payload_size = 0;
+    uint32_t original_size = 0;
+    bool dirty = false;
+    bool valid = true;
+    uint64_t age_ns = 0;
+
+    uint64_t payload_off() const { return header_off + kEntryHeaderBytes; }
+    uint64_t end_off() const { return payload_off() + payload_size; }
+  };
+
+  size_t SlotOf(uint64_t linear_off) const {
+    return static_cast<size_t>((linear_off / kPageSize) % options_.max_slots);
+  }
+
+  // Ring byte copy helpers (linear offsets; data may span slot frames).
+  void CopyIn(uint64_t linear_off, std::span<const uint8_t> data);
+  void CopyOut(uint64_t linear_off, std::span<uint8_t> out) const;
+
+  // Maps frames for every slot covering [tail_off_, tail_off_ + need).
+  void EnsureMappedForAppend(uint64_t need);
+
+  void AppendEntry(PageKey key, std::span<const uint8_t> payload, uint32_t original_size,
+                   bool dirty);
+
+  Entry* Find(PageKey key);
+  const Entry* Find(PageKey key) const;
+
+  // Pops head entries (writing dirty ones) until the head frame can be freed;
+  // unmaps and frees it. Core of ReleaseOldest.
+  void ReclaimHeadFrame();
+
+  // Writes the oldest `write_batch_bytes` of dirty entries to the backing store.
+  // Returns false when there was nothing dirty.
+  bool WriteOldestDirtyBatch();
+
+  // Frames worth of clean/invalid prefix at the head (reclaimable without I/O).
+  size_t CleanPrefixFrames() const;
+
+  void UnmapSlotsBelow(uint64_t old_head, uint64_t new_head);
+
+  Clock* clock_;
+  const CostModel* costs_;
+  FrameSource* frames_;
+  Codec* codec_;
+  CompressedSwapBackend* swap_;
+  CcacheEvents* events_;
+  CcacheOptions options_;
+
+  // Adjusts per-slot live-byte accounting for an entry footprint and maintains
+  // the dead-slot candidate set.
+  void AddLiveBytes(uint64_t header_off, uint64_t end_off, int64_t sign);
+
+  std::vector<FrameId> slots_;  // slot index -> frame (invalid when unmapped)
+  size_t mapped_count_ = 0;
+
+  // Live entry-footprint bytes per physical slot. A mapped slot whose count hits
+  // zero (every entry overlapping it was invalidated or dropped) is reclaimable
+  // from the middle of the ring without any I/O — paper: "They may be removed
+  // from the middle if no clean pages are available at the oldest end."
+  std::vector<uint64_t> live_bytes_;
+  std::set<size_t> dead_slots_;  // mapped slots with zero live bytes
+
+  uint64_t head_off_ = 0;  // linear offsets, monotonically increasing
+  uint64_t tail_off_ = 0;
+
+  std::deque<Entry> entries_;  // append order; contiguous: entry[i+1].header_off == entry[i].end_off()
+  uint64_t base_seq_ = 0;      // sequence number of entries_.front()
+  std::unordered_map<PageKey, uint64_t, PageKeyHash> index_;  // key -> sequence number
+
+  // Adaptive-disable state (see AdaptiveCompressionOptions).
+  bool compression_disabled_ = false;
+  uint32_t window_attempts_ = 0;
+  uint32_t window_rejects_ = 0;
+  uint32_t skips_since_probe_ = 0;
+
+  CcacheStats stats_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_CCACHE_COMPRESSION_CACHE_H_

@@ -1,0 +1,42 @@
+// Pluggable page-compression interface.
+//
+// The paper (section 3, "Compression implementations") calls for allowing different
+// compression algorithms for different data. Every codec in this library is
+// self-contained (no external compression libraries) and uses a one-byte container
+// header so that incompressible input can always be stored raw: Compress() never
+// produces more than MaxCompressedSize(n) bytes and always round-trips.
+#ifndef COMPCACHE_COMPRESS_CODEC_H_
+#define COMPCACHE_COMPRESS_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace compcache {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Upper bound on Compress() output for an n-byte input.
+  virtual size_t MaxCompressedSize(size_t n) const = 0;
+
+  // Compresses src into dst. dst.size() must be >= MaxCompressedSize(src.size()).
+  // Returns the number of bytes written (always >= 1 for non-empty input).
+  virtual size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) = 0;
+
+  // Decompresses src into dst. dst.size() must equal the original input size
+  // exactly (the VM system always knows it: one page). Returns bytes written,
+  // which equals dst.size() on success; aborts on corrupt input.
+  virtual size_t Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) = 0;
+};
+
+// Container flags shared by the codecs in this library.
+inline constexpr uint8_t kContainerRaw = 0x00;        // payload is stored verbatim
+inline constexpr uint8_t kContainerCompressed = 0x01;  // payload is codec bitstream
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_COMPRESS_CODEC_H_

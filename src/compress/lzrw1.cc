@@ -1,0 +1,160 @@
+#include "compress/lzrw1.h"
+
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace compcache {
+
+namespace {
+
+// 16 items per control group; worst case every item is a literal, costing one byte
+// each plus two control bytes per group.
+constexpr size_t kItemsPerGroup = 16;
+
+size_t WorstCase(size_t n) {
+  const size_t groups = (n + kItemsPerGroup - 1) / kItemsPerGroup;
+  return 1 /* container flag */ + n + 2 * groups;
+}
+
+}  // namespace
+
+Lzrw1::Lzrw1(unsigned hash_bits) : hash_bits_(hash_bits) {
+  CC_EXPECTS(hash_bits >= 8 && hash_bits <= 22);
+  table_.assign(size_t{1} << hash_bits_, 0);
+}
+
+size_t Lzrw1::MaxCompressedSize(size_t n) const { return WorstCase(n); }
+
+uint32_t Lzrw1::Hash(const uint8_t* p) const {
+  // Multiplicative hash of the next three bytes (40543 is the multiplier Williams
+  // used; any odd multiplier with good avalanche works).
+  const uint32_t key =
+      (static_cast<uint32_t>(p[0]) << 16) | (static_cast<uint32_t>(p[1]) << 8) | p[2];
+  return (key * 40543u) >> (24 - (hash_bits_ > 24 ? 24 : hash_bits_)) &
+         ((1u << hash_bits_) - 1);
+}
+
+size_t Lzrw1::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  const size_t n = src.size();
+  CC_EXPECTS(dst.size() >= MaxCompressedSize(n));
+  if (n == 0) {
+    dst[0] = kContainerRaw;
+    return 1;
+  }
+
+  // Positions are stored +1 so that 0 means "empty slot"; the table persists
+  // across calls, so stale entries from a previous buffer must never be trusted —
+  // we reset it per call, which for a 16 KB table is cheap relative to scanning a
+  // 4 KB page. (The in-kernel original used a static table the same way, treating
+  // mismatching prefixes as ordinary hash misses; resetting keeps us deterministic
+  // without per-call heap allocation.)
+  std::memset(table_.data(), 0, table_.size() * sizeof(uint32_t));
+
+  uint8_t* const out_begin = dst.data();
+  uint8_t* out = out_begin + 1;  // container flag goes in byte 0
+  const uint8_t* const in = src.data();
+
+  size_t pos = 0;
+  while (pos < n) {
+    // Start a group: reserve two bytes for the control word.
+    uint8_t* const control_at = out;
+    out += 2;
+    uint16_t control = 0;
+
+    for (size_t item = 0; item < kItemsPerGroup && pos < n; ++item) {
+      bool emitted_copy = false;
+      if (pos + kLzrwMinMatch <= n) {
+        const uint32_t h = Hash(in + pos);
+        const uint32_t prev_plus1 = table_[h];
+        table_[h] = static_cast<uint32_t>(pos) + 1;
+        if (prev_plus1 != 0) {
+          const size_t prev = prev_plus1 - 1;
+          const size_t offset = pos - prev;
+          if (offset >= 1 && offset <= kLzrwMaxOffset &&
+              in[prev] == in[pos] && in[prev + 1] == in[pos + 1] && in[prev + 2] == in[pos + 2]) {
+            // Extend the match greedily up to 18 bytes or end of input. Matches may
+            // overlap the current position (offset < length), which the
+            // decompressor handles byte-by-byte.
+            size_t len = kLzrwMinMatch;
+            const size_t max_len = std::min<size_t>(kLzrwMaxMatch, n - pos);
+            while (len < max_len && in[prev + len] == in[pos + len]) {
+              ++len;
+            }
+            control |= static_cast<uint16_t>(1u << item);
+            *out++ = static_cast<uint8_t>(((offset >> 4) & 0xF0u) | (len - kLzrwMinMatch));
+            *out++ = static_cast<uint8_t>(offset & 0xFFu);
+            pos += len;
+            emitted_copy = true;
+          }
+        }
+      }
+      if (!emitted_copy) {
+        *out++ = in[pos];
+        ++pos;
+      }
+    }
+
+    control_at[0] = static_cast<uint8_t>(control & 0xFFu);
+    control_at[1] = static_cast<uint8_t>(control >> 8);
+  }
+
+  const size_t compressed_size = static_cast<size_t>(out - out_begin);
+  if (compressed_size >= n + 1) {
+    // Expansion: store raw. This is the standard LZRW1 "copy flag" escape.
+    dst[0] = kContainerRaw;
+    std::memcpy(dst.data() + 1, in, n);
+    return n + 1;
+  }
+  dst[0] = kContainerCompressed;
+  return compressed_size;
+}
+
+size_t Lzrw1::Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  return LzrwDecode(src, dst);
+}
+
+size_t LzrwDecode(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  CC_EXPECTS(!src.empty());
+  const size_t n = dst.size();
+  const uint8_t* in = src.data() + 1;
+  const uint8_t* const in_end = src.data() + src.size();
+
+  if (src[0] == kContainerRaw) {
+    CC_EXPECTS(src.size() == n + 1);
+    std::memcpy(dst.data(), in, n);
+    return n;
+  }
+  CC_EXPECTS(src[0] == kContainerCompressed);
+
+  uint8_t* out = dst.data();
+  uint8_t* const out_end = out + n;
+  while (out < out_end) {
+    CC_ASSERT(in + 2 <= in_end);
+    const uint16_t control = static_cast<uint16_t>(in[0] | (in[1] << 8));
+    in += 2;
+    for (size_t item = 0; item < kItemsPerGroup && out < out_end; ++item) {
+      if (control & (1u << item)) {
+        CC_ASSERT(in + 2 <= in_end);
+        const uint32_t b0 = *in++;
+        const uint32_t b1 = *in++;
+        const size_t offset = ((b0 & 0xF0u) << 4) | b1;
+        const size_t len = (b0 & 0x0Fu) + kLzrwMinMatch;
+        CC_ASSERT(offset >= 1);
+        CC_ASSERT(out - dst.data() >= static_cast<ptrdiff_t>(offset));
+        CC_ASSERT(out + len <= out_end);
+        const uint8_t* from = out - offset;
+        for (size_t i = 0; i < len; ++i) {  // byte-wise: offset may be < len
+          *out++ = *from++;
+        }
+      } else {
+        CC_ASSERT(in < in_end);
+        *out++ = *in++;
+      }
+    }
+  }
+  CC_ENSURES(out == out_end);
+  return n;
+}
+
+}  // namespace compcache

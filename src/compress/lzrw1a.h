@@ -1,0 +1,40 @@
+// LZRW1-A — the refined variant Williams published after LZRW1: same item format,
+// slightly better matching. Our rendition keeps the bitstream format of Lzrw1 (so
+// the decompressors are interchangeable) but probes a two-entry hash bucket and
+// keeps both recent positions, trading a little speed for a better ratio. The
+// paper motivates having such variants: "it should allow different compression
+// algorithms to be used for different types of data, in order to get the best
+// compression rates and/or throughput" (section 3).
+#ifndef COMPCACHE_COMPRESS_LZRW1A_H_
+#define COMPCACHE_COMPRESS_LZRW1A_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace compcache {
+
+class Lzrw1a : public Codec {
+ public:
+  explicit Lzrw1a(unsigned hash_bits = 12);
+
+  std::string_view name() const override { return "lzrw1a"; }
+  size_t MaxCompressedSize(size_t n) const override;
+  size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+  size_t Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+
+ private:
+  struct Bucket {
+    uint32_t pos_plus1[2] = {0, 0};
+  };
+
+  uint32_t Hash(const uint8_t* p) const;
+
+  unsigned hash_bits_;
+  std::vector<Bucket> table_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_COMPRESS_LZRW1A_H_

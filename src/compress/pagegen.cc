@@ -1,0 +1,165 @@
+#include "compress/pagegen.h"
+
+#include <cstring>
+
+#include "compress/lzrw1.h"
+#include "util/assert.h"
+
+namespace compcache {
+
+namespace {
+
+// A compact English-like word pool. Word frequency follows a Zipf-ish pattern via
+// the skewed index draw in PickWord().
+constexpr std::string_view kWords[] = {
+    "the",      "of",       "and",      "to",        "in",       "that",    "is",
+    "was",      "for",      "with",     "memory",    "page",     "cache",   "disk",
+    "system",   "process",  "kernel",   "compress",  "store",    "block",   "file",
+    "segment",  "virtual",  "physical", "bandwidth", "latency",  "buffer",  "fault",
+    "thrash",   "cluster",  "fragment", "swap",      "backing",  "network", "mobile",
+    "computer", "sprite",   "unix",     "workload",  "locality", "random",  "access",
+    "pattern",  "ratio",    "speed",    "overhead",  "penalty",  "daemon",  "clean",
+    "dirty",    "quarterly","rendezvous","ubiquitous","peripheral","asymmetric",
+    "heuristic","threshold","algorithm","dictionary","sequential","magnitude",
+    "executable","decompress","hierarchy","granularity",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string_view PickWord(Rng& rng, bool zipf) {
+  if (zipf) {
+    // Squaring a uniform draw skews toward low indices (frequent words).
+    const double u = rng.NextDouble();
+    const auto idx = static_cast<size_t>(u * u * static_cast<double>(kNumWords));
+    return kWords[idx < kNumWords ? idx : kNumWords - 1];
+  }
+  return kWords[rng.Below(kNumWords)];
+}
+
+void AppendWordStream(std::span<uint8_t> page, Rng& rng, bool zipf, size_t repeat_window) {
+  size_t pos = 0;
+  std::vector<std::string_view> recent;
+  while (pos < page.size()) {
+    std::string_view w;
+    if (repeat_window > 0 && !recent.empty() && rng.Chance(0.6)) {
+      w = recent[rng.Below(recent.size())];  // repeat a recently used word
+    } else {
+      w = PickWord(rng, zipf);
+      if (repeat_window > 0) {
+        recent.push_back(w);
+        if (recent.size() > repeat_window) {
+          recent.erase(recent.begin());
+        }
+      }
+    }
+    for (char ch : w) {
+      if (pos >= page.size()) {
+        return;
+      }
+      page[pos++] = static_cast<uint8_t>(ch);
+    }
+    if (pos < page.size()) {
+      page[pos++] = ' ';
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ContentClass> AllContentClasses() {
+  return {ContentClass::kZero,          ContentClass::kSparseNumeric,
+          ContentClass::kRepetitiveText, ContentClass::kText,
+          ContentClass::kShuffledWords,  ContentClass::kPointerArray,
+          ContentClass::kRandom};
+}
+
+std::string_view ContentClassName(ContentClass c) {
+  switch (c) {
+    case ContentClass::kZero:
+      return "zero";
+    case ContentClass::kSparseNumeric:
+      return "sparse_numeric";
+    case ContentClass::kRepetitiveText:
+      return "repetitive_text";
+    case ContentClass::kText:
+      return "text";
+    case ContentClass::kShuffledWords:
+      return "shuffled_words";
+    case ContentClass::kPointerArray:
+      return "pointer_array";
+    case ContentClass::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+void FillPage(std::span<uint8_t> page, ContentClass cls, Rng& rng) {
+  switch (cls) {
+    case ContentClass::kZero:
+      std::memset(page.data(), 0, page.size());
+      return;
+    case ContentClass::kSparseNumeric: {
+      std::memset(page.data(), 0, page.size());
+      // Scatter small int32 values over ~1/4 of the slots.
+      const size_t slots = page.size() / 4;
+      for (size_t i = 0; i < slots; ++i) {
+        if (rng.Chance(0.25)) {
+          const auto v = static_cast<uint32_t>(rng.Below(4096));
+          std::memcpy(page.data() + i * 4, &v, sizeof(v));
+        }
+      }
+      return;
+    }
+    case ContentClass::kRepetitiveText:
+      AppendWordStream(page, rng, /*zipf=*/true, /*repeat_window=*/4);
+      return;
+    case ContentClass::kText:
+      AppendWordStream(page, rng, /*zipf=*/true, /*repeat_window=*/0);
+      return;
+    case ContentClass::kShuffledWords: {
+      // Distinct word-like strings of near-random letters emulate the unsorted
+      // many-distinct-strings regime of the paper's `sort random` input, where 98%
+      // of pages fell below the 4:3 threshold: text-shaped (lowercase words with
+      // separators) but with almost no within-page string repetition for LZRW1's
+      // single-probe matcher to find.
+      size_t pos = 0;
+      while (pos < page.size()) {
+        const size_t len = 4 + rng.Below(8);
+        for (size_t i = 0; i < len && pos < page.size(); ++i) {
+          page[pos++] = static_cast<uint8_t>('a' + rng.Below(26));
+        }
+        if (pos < page.size()) {
+          page[pos++] = ' ';
+        }
+      }
+      return;
+    }
+    case ContentClass::kPointerArray: {
+      // Word-aligned addresses into a 16 KB hot structure (a linked data
+      // structure's page as the VM sees it): upper bits cluster, low bits vary.
+      const uint32_t base = 0x10000000u + static_cast<uint32_t>(rng.Below(1 << 20)) * 4096;
+      for (size_t w = 0; w + 4 <= page.size(); w += 4) {
+        const uint32_t pointer = base + static_cast<uint32_t>(rng.Below(1 << 14));
+        std::memcpy(page.data() + w, &pointer, 4);
+      }
+      for (size_t i = page.size() & ~size_t{3}; i < page.size(); ++i) {
+        page[i] = 0;
+      }
+      return;
+    }
+    case ContentClass::kRandom:
+      for (auto& b : page) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      return;
+  }
+}
+
+double MeasureLzrw1Ratio(std::span<const uint8_t> data) {
+  CC_EXPECTS(!data.empty());
+  Lzrw1 codec;
+  std::vector<uint8_t> out(codec.MaxCompressedSize(data.size()));
+  const size_t c = codec.Compress(data, out);
+  return static_cast<double>(data.size()) / static_cast<double>(c);
+}
+
+}  // namespace compcache

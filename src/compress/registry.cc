@@ -1,0 +1,34 @@
+#include "compress/registry.h"
+
+#include "compress/lzrw1.h"
+#include "compress/lzrw1a.h"
+#include "compress/rle.h"
+#include "compress/store.h"
+#include "compress/wk.h"
+#include "util/assert.h"
+
+namespace compcache {
+
+std::unique_ptr<Codec> MakeCodec(std::string_view name, unsigned hash_bits) {
+  if (name == "lzrw1") {
+    return std::make_unique<Lzrw1>(hash_bits);
+  }
+  if (name == "lzrw1a") {
+    return std::make_unique<Lzrw1a>(hash_bits);
+  }
+  if (name == "rle") {
+    return std::make_unique<RleCodec>();
+  }
+  if (name == "store") {
+    return std::make_unique<StoreCodec>();
+  }
+  if (name == "wk") {
+    return std::make_unique<WkCodec>();
+  }
+  std::fprintf(stderr, "unknown codec: %.*s\n", static_cast<int>(name.size()), name.data());
+  std::abort();
+}
+
+std::vector<std::string> KnownCodecNames() { return {"lzrw1", "lzrw1a", "rle", "store", "wk"}; }
+
+}  // namespace compcache

@@ -1,0 +1,21 @@
+// Byte-level run-length codec (PackBits-style). Much faster than LZRW1 but only
+// effective on run-dominated data (zero-filled or sparse numeric pages); included
+// as the cheap end of the speed/ratio spectrum the paper discusses in section 3.
+#ifndef COMPCACHE_COMPRESS_RLE_H_
+#define COMPCACHE_COMPRESS_RLE_H_
+
+#include "compress/codec.h"
+
+namespace compcache {
+
+class RleCodec : public Codec {
+ public:
+  std::string_view name() const override { return "rle"; }
+  size_t MaxCompressedSize(size_t n) const override;
+  size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+  size_t Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_COMPRESS_RLE_H_

@@ -1,0 +1,34 @@
+// WK-style word codec (after Wilson & Kaplan's WKdm family): a compressor
+// specialized for in-memory data — 32-bit words that are zero, repeat recently
+// seen words exactly, or match them in their upper bits (pointers into the same
+// region, small integers sharing high zero bytes).
+//
+// The paper asks for exactly this kind of pluggability: "it should allow
+// different compression algorithms to be used for different types of data, in
+// order to get the best compression rates and/or throughput" (section 3). LZRW1
+// sees a page of word-aligned pointers as near-random bytes; a word-level model
+// compresses it well, and the codec ablation benchmark measures the difference.
+//
+// Per 32-bit word, a 2-bit tag: 00 zero | 01 exact dictionary hit (4-bit index)
+// | 10 partial hit, upper 22 bits match (4-bit index + 10 low bits) | 11 miss
+// (full word). The dictionary is 16 entries, direct-mapped by a hash of the
+// upper bits. Streams are segmented (tags, indexes, low bits, full words) so
+// each packs densely.
+#ifndef COMPCACHE_COMPRESS_WK_H_
+#define COMPCACHE_COMPRESS_WK_H_
+
+#include "compress/codec.h"
+
+namespace compcache {
+
+class WkCodec : public Codec {
+ public:
+  std::string_view name() const override { return "wk"; }
+  size_t MaxCompressedSize(size_t n) const override;
+  size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+  size_t Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_COMPRESS_WK_H_

@@ -1,0 +1,263 @@
+#include "core/machine.h"
+
+#include <cstdio>
+
+#include "compress/lzrw1.h"
+#include "util/assert.h"
+
+namespace compcache {
+
+namespace {
+
+std::unique_ptr<BackingTimingModel> MakeTiming(const MachineConfig& config) {
+  if (config.backing == BackingKind::kNetworkLink) {
+    return std::make_unique<NetworkLinkModel>(config.network_params);
+  }
+  return std::make_unique<SeekDiskModel>(config.disk_params);
+}
+
+}  // namespace
+
+Machine::Machine(MachineConfig config)
+    : config_(std::move(config)),
+      codec_(MakeCodec(config_.codec, config_.codec_hash_bits)),
+      pool_(config_.user_memory_bytes / kPageSize) {
+  CC_EXPECTS(config_.user_memory_bytes >= 32 * kPageSize);
+
+  disk_ = std::make_unique<DiskDevice>(&clock_, MakeTiming(config_), config_.costs.io_setup_overhead);
+  fs_ = std::make_unique<FileSystem>(disk_.get(), config_.fs_options);
+  buffer_cache_ = std::make_unique<BufferCache>(&clock_, &config_.costs, this, fs_.get());
+
+  VmOptions vm_options;
+  vm_options.insert_coresidents = config_.insert_coresidents;
+  pager_ = std::make_unique<Pager>(&clock_, &config_.costs, this, vm_options);
+
+  if (config_.use_compression_cache) {
+    switch (config_.compressed_swap) {
+      case CompressedSwapKind::kClustered:
+        cswap_ = std::make_unique<ClusteredSwapLayout>(
+            fs_.get(), ClusteredSwapLayout::Options{config_.allow_block_spanning});
+        break;
+      case CompressedSwapKind::kFixedOffset:
+        cswap_ = std::make_unique<FixedCompressedSwapLayout>(fs_.get());
+        break;
+      case CompressedSwapKind::kLfs:
+        // The LFS segment buffer takes its frames from the pool up front — the
+        // "significant memory for buffers" the paper holds against this design.
+        cswap_ = std::make_unique<LfsSwapLayout>(fs_.get(), this);
+        break;
+    }
+
+    CcacheOptions cc_options;
+    cc_options.max_slots = pool_.total_frames();
+    cc_options.adaptive = config_.adaptive_compression;
+    cc_options.threshold = config_.threshold;
+    cc_options.write_batch_bytes = config_.write_batch_bytes;
+    cc_options.pool_free_target = std::max<size_t>(16, pool_.total_frames() / 64);
+    cc_options.clean_frames_target = 8;
+    ccache_ = std::make_unique<CompressionCache>(&clock_, &config_.costs, this, codec_.get(),
+                                                 cswap_.get(), &event_router_, cc_options);
+    pager_->AttachCompressionCache(ccache_.get(), cswap_.get());
+    if (config_.compress_file_cache) {
+      buffer_cache_->SetCompressionCache(ccache_.get());
+    }
+
+    if (config_.charge_metadata_overhead) {
+      // Section 4.4: the codec's hash table (16 KB as measured), the 22 KB of
+      // extra kernel code, and 8 bytes per possible cache slot, all resident.
+      uint64_t boot_bytes = 22 * kKiB + 8ull * cc_options.max_slots;
+      if (const auto* lzrw = dynamic_cast<const Lzrw1*>(codec_.get()); lzrw != nullptr) {
+        boot_bytes += lzrw->hash_table_bytes();
+      } else {
+        boot_bytes += 16 * kKiB;
+      }
+      ChargeMetadataBytes(boot_bytes);
+    }
+  } else {
+    fixed_swap_ = std::make_unique<FixedSwapLayout>(fs_.get());
+    pager_->AttachFixedSwap(fixed_swap_.get());
+  }
+
+  arbiter_.AddConsumer(
+      "file_cache", [this] { return buffer_cache_->OldestAge(); },
+      [this] { return buffer_cache_->ReleaseOldest(); }, config_.biases.file_cache);
+  arbiter_.AddConsumer(
+      "vm", [this] { return pager_->OldestAge(); },
+      [this] { return pager_->ReleaseOldest(); }, config_.biases.vm);
+  if (ccache_ != nullptr) {
+    arbiter_.AddConsumer(
+        "ccache", [this] { return ccache_->OldestAge(); },
+        [this] { return ccache_->ReleaseOldest(); }, config_.biases.ccache);
+  }
+
+  pager_->SetPostFaultHook([this] {
+    if (ccache_ != nullptr) {
+      ccache_->RunCleaner(pool_.free_frames());
+    }
+  });
+}
+
+Machine::~Machine() {
+  // The compression cache and buffer cache return their frames to the pool in
+  // their destructors; destroy them before the pool (member order handles this —
+  // pool_ is declared before them, so it is destroyed after).
+}
+
+void Machine::ChargeMetadataBytes(uint64_t bytes) {
+  metadata_bytes_charged_ += bytes;
+  const size_t needed =
+      static_cast<size_t>((metadata_bytes_charged_ + kPageSize - 1) / kPageSize);
+  while (metadata_frames_ < needed) {
+    (void)AllocateFrame();  // permanently consumed; intentionally never freed
+    ++metadata_frames_;
+  }
+}
+
+Heap Machine::NewHeap(uint64_t bytes, SimDuration cpu_per_access) {
+  const size_t pages = static_cast<size_t>((bytes + kPageSize - 1) / kPageSize);
+  Segment* segment = pager_->CreateSegment(pages);
+  if (config_.charge_metadata_overhead) {
+    // Section 4.4: 12 bytes per virtual page with the compression cache (8 of
+    // them the cache's extension), 4 bytes in the unmodified system — resident
+    // even for non-resident pages.
+    ChargeMetadataBytes(pages * (config_.use_compression_cache ? 12 : 4));
+  }
+  return Heap(pager_.get(), segment, &clock_, cpu_per_access);
+}
+
+FrameId Machine::AllocateFrame() {
+  int spins = 0;
+  while (true) {
+    CC_ASSERT(++spins < 1'000'000 && "AllocateFrame livelock");
+    if (const auto frame = pool_.TryAllocate(); frame.has_value()) {
+      return *frame;
+    }
+    // Harvest ring slots whose compressed entries were all invalidated — they
+    // are free memory — before reclaiming anything that holds live data.
+    if (ccache_ != nullptr && ccache_->FreeOneDeadSlot()) {
+      continue;
+    }
+    if (!arbiter_.ReclaimOne()) {
+      std::fprintf(stderr, "machine wedged: no frames and nothing reclaimable\n");
+      std::abort();
+    }
+  }
+}
+
+void Machine::FreeFrame(FrameId id) { pool_.Free(id); }
+
+std::span<uint8_t> Machine::FrameData(FrameId id) { return pool_.Data(id); }
+
+std::string Machine::Report() const {
+  char buf[4096];
+  std::string out;
+
+  const auto& vm = pager_->stats();
+  std::snprintf(buf, sizeof(buf),
+                "time: %.3f s (cpu %.3f, compress %.3f, decompress %.3f, copy %.3f, io %.3f)\n"
+                "memory: %zu frames total, %zu free, %zu metadata\n"
+                "vm: %llu accesses, %llu faults (%llu zero-fill, %llu ccache, %llu swap)\n"
+                "    %llu evictions (%llu clean-drop, %llu compressed, %llu raw-swap, %llu std-write)\n",
+                clock_.Now().seconds(), clock_.TimeIn(TimeCategory::kCpu).seconds(),
+                clock_.TimeIn(TimeCategory::kCompression).seconds(),
+                clock_.TimeIn(TimeCategory::kDecompression).seconds(),
+                clock_.TimeIn(TimeCategory::kCopy).seconds(),
+                clock_.TimeIn(TimeCategory::kIo).seconds(),
+                pool_.total_frames(), pool_.free_frames(),
+                metadata_frames_, static_cast<unsigned long long>(vm.accesses),
+                static_cast<unsigned long long>(vm.faults),
+                static_cast<unsigned long long>(vm.faults_zero_fill),
+                static_cast<unsigned long long>(vm.faults_from_ccache),
+                static_cast<unsigned long long>(vm.faults_from_swap),
+                static_cast<unsigned long long>(vm.evictions),
+                static_cast<unsigned long long>(vm.evictions_clean_drop),
+                static_cast<unsigned long long>(vm.evictions_compressed),
+                static_cast<unsigned long long>(vm.evictions_raw_swap),
+                static_cast<unsigned long long>(vm.evictions_std_write));
+  out += buf;
+
+  if (ccache_ != nullptr) {
+    const auto& cs = ccache_->stats();
+    std::snprintf(
+        buf, sizeof(buf),
+        "ccache: %zu frames mapped (peak %llu), %zu entries\n"
+        "        %llu compressed (%llu kept, %llu rejected), mean kept size %.1f%% of page\n"
+        "        %llu fault hits, %llu cleaned, %llu dropped, %llu invalidated\n",
+        ccache_->mapped_frames(), static_cast<unsigned long long>(cs.frames_mapped_peak),
+        ccache_->live_entries(), static_cast<unsigned long long>(cs.pages_compressed),
+        static_cast<unsigned long long>(cs.pages_kept),
+        static_cast<unsigned long long>(cs.pages_rejected), cs.kept_ratio_pct.mean(),
+        static_cast<unsigned long long>(cs.fault_hits),
+        static_cast<unsigned long long>(cs.entries_cleaned),
+        static_cast<unsigned long long>(cs.entries_dropped),
+        static_cast<unsigned long long>(cs.invalidations));
+    out += buf;
+    if (const auto* clustered = dynamic_cast<const ClusteredSwapLayout*>(cswap_.get());
+        clustered != nullptr) {
+      const auto& sw = clustered->stats();
+      std::snprintf(buf, sizeof(buf),
+                    "cswap: %llu batches, %llu pages written, %llu read, "
+                    "%llu payload bytes, %llu fragment bytes, %llu blocks reused\n",
+                    static_cast<unsigned long long>(sw.batches_written),
+                    static_cast<unsigned long long>(sw.pages_written),
+                    static_cast<unsigned long long>(sw.pages_read),
+                    static_cast<unsigned long long>(sw.payload_bytes_written),
+                    static_cast<unsigned long long>(sw.fragment_bytes_written),
+                    static_cast<unsigned long long>(sw.blocks_reused));
+      out += buf;
+    } else if (const auto* fixed =
+                   dynamic_cast<const FixedCompressedSwapLayout*>(cswap_.get());
+               fixed != nullptr) {
+      const auto& sw = fixed->stats();
+      std::snprintf(buf, sizeof(buf),
+                    "fcswap: %llu pages written, %llu read, %llu payload bytes\n",
+                    static_cast<unsigned long long>(sw.pages_written),
+                    static_cast<unsigned long long>(sw.pages_read),
+                    static_cast<unsigned long long>(sw.payload_bytes_written));
+      out += buf;
+    } else if (const auto* lfs = dynamic_cast<const LfsSwapLayout*>(cswap_.get());
+               lfs != nullptr) {
+      const auto& sw = lfs->stats();
+      std::snprintf(buf, sizeof(buf),
+                    "lfs: %llu pages written, %llu read (%llu from buffer), "
+                    "%llu segments written, %llu cleaned, %llu live pages copied\n",
+                    static_cast<unsigned long long>(sw.pages_written),
+                    static_cast<unsigned long long>(sw.pages_read),
+                    static_cast<unsigned long long>(sw.reads_from_buffer),
+                    static_cast<unsigned long long>(sw.segments_written),
+                    static_cast<unsigned long long>(sw.segments_cleaned),
+                    static_cast<unsigned long long>(sw.live_pages_copied));
+      out += buf;
+    }
+  } else {
+    std::snprintf(buf, sizeof(buf), "fixed swap: %llu pages written, %llu pages read\n",
+                  static_cast<unsigned long long>(fixed_swap_->pages_written()),
+                  static_cast<unsigned long long>(fixed_swap_->pages_read()));
+    out += buf;
+  }
+
+  const auto& ds = disk_->stats();
+  std::snprintf(buf, sizeof(buf),
+                "disk: %llu reads / %llu writes, %.1f MB read, %.1f MB written, busy %.3f s\n",
+                static_cast<unsigned long long>(ds.read_ops),
+                static_cast<unsigned long long>(ds.write_ops),
+                static_cast<double>(ds.bytes_read) / 1e6,
+                static_cast<double>(ds.bytes_written) / 1e6, ds.busy_time.seconds());
+  out += buf;
+
+  const auto& bc = buffer_cache_->stats();
+  std::snprintf(buf, sizeof(buf), "buffer cache: %zu blocks, %llu hits, %llu misses\n",
+                buffer_cache_->num_blocks(), static_cast<unsigned long long>(bc.hits),
+                static_cast<unsigned long long>(bc.misses));
+  out += buf;
+
+  for (const auto& c : arbiter_.consumers()) {
+    std::snprintf(buf, sizeof(buf), "arbiter: %-10s %llu reclaims, %llu refusals\n",
+                  c.name.c_str(), static_cast<unsigned long long>(c.reclaims),
+                  static_cast<unsigned long long>(c.refusals));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace compcache

@@ -1,0 +1,180 @@
+// The Machine: wires together clock, disk, file system, buffer cache, frame pool,
+// swap layouts, compression cache, pager, and arbiter into one simulated computer.
+//
+// Two canonical configurations reproduce the paper's two systems:
+//   MachineConfig::Unmodified(mem)       — "std": Sprite with fixed-layout paging
+//   MachineConfig::WithCompressionCache(mem) — "cc": Sprite plus the compression cache
+#ifndef COMPCACHE_CORE_MACHINE_H_
+#define COMPCACHE_CORE_MACHINE_H_
+
+#include <memory>
+#include <string>
+
+#include "ccache/compression_cache.h"
+#include "compress/registry.h"
+#include "disk/disk_device.h"
+#include "fs/buffer_cache.h"
+#include "fs/file_system.h"
+#include "policy/memory_arbiter.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "swap/clustered_swap.h"
+#include "swap/fixed_compressed_swap.h"
+#include "swap/fixed_swap.h"
+#include "swap/lfs_swap.h"
+#include "vm/frame_pool.h"
+#include "vm/frame_source.h"
+#include "vm/heap.h"
+#include "vm/pager.h"
+
+namespace compcache {
+
+enum class BackingKind {
+  kLocalDisk,    // RZ57-style seek disk (the paper's measured configuration)
+  kNetworkLink,  // wireless page server (the paper's motivating configuration)
+};
+
+// Backing-store layout for compressed pages (paper section 4.3's alternatives).
+enum class CompressedSwapKind {
+  kClustered,    // 1 KB fragments, 32 KB batches, GC — the paper's design
+  kFixedOffset,  // fixed page offsets, partial-block writes — the rejected ideal
+  kLfs,          // Sprite-LFS-style log with segment cleaning (paper 4.3/5.1)
+};
+
+struct MachineConfig {
+  // Physical memory available to user processes (the paper's machines exposed
+  // ~6 MB or ~14 MB after the kernel's share).
+  uint64_t user_memory_bytes = 14 * kMiB;
+
+  bool use_compression_cache = true;
+
+  std::string codec = "lzrw1";
+  unsigned codec_hash_bits = 12;  // 16 KB hash table, as measured in the paper
+
+  CompressionThreshold threshold{4, 3};
+  ArbiterBiases biases;
+  uint32_t write_batch_bytes = kSwapWriteBatch;
+  bool allow_block_spanning = true;
+  bool insert_coresidents = true;
+  CompressedSwapKind compressed_swap = CompressedSwapKind::kClustered;
+
+  // Paper section 6 extension: keep evicted file-cache blocks compressed in the
+  // compression cache too ("keep part or all of the file buffer cache in
+  // compressed format in order to improve the cache hit rate").
+  bool compress_file_cache = false;
+
+  // Paper section 6 extension: adaptively disable compression when recent pages
+  // have been overwhelmingly uncompressible.
+  AdaptiveCompressionOptions adaptive_compression;
+
+  BackingKind backing = BackingKind::kLocalDisk;
+  SeekDiskParams disk_params;
+  NetworkLinkParams network_params;
+  FileSystem::Options fs_options;
+  CostModel costs;
+
+  // Charge the paper's section-4.4 metadata against user memory (page-table
+  // extension, codec hash table, extra kernel code, slot descriptors).
+  bool charge_metadata_overhead = true;
+
+  static MachineConfig Unmodified(uint64_t memory_bytes) {
+    MachineConfig config;
+    config.user_memory_bytes = memory_bytes;
+    config.use_compression_cache = false;
+    return config;
+  }
+
+  static MachineConfig WithCompressionCache(uint64_t memory_bytes) {
+    MachineConfig config;
+    config.user_memory_bytes = memory_bytes;
+    config.use_compression_cache = true;
+    return config;
+  }
+};
+
+class Machine : public FrameSource {
+ public:
+  explicit Machine(MachineConfig config);
+  ~Machine() override;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Creates a heap segment of the given size (rounded up to whole pages).
+  Heap NewHeap(uint64_t bytes,
+               SimDuration cpu_per_access = SimDuration::Nanos(400));
+
+  // --- component access ---
+  Clock& clock() { return clock_; }
+  const CostModel& costs() const { return config_.costs; }
+  Pager& pager() { return *pager_; }
+  FileSystem& fs() { return *fs_; }
+  BufferCache& buffer_cache() { return *buffer_cache_; }
+  DiskDevice& disk() { return *disk_; }
+  MemoryArbiter& arbiter() { return arbiter_; }
+  CompressionCache* ccache() { return ccache_.get(); }  // null in std mode
+  CompressedSwapBackend* compressed_swap() { return cswap_.get(); }  // null in std mode
+  // The clustered layout when configured (null otherwise) — for stats access.
+  ClusteredSwapLayout* clustered_swap() {
+    return dynamic_cast<ClusteredSwapLayout*>(cswap_.get());
+  }
+  FixedSwapLayout* fixed_swap() { return fixed_swap_.get(); }  // null in cc mode
+  FramePool& frame_pool() { return pool_; }
+  const MachineConfig& config() const { return config_; }
+
+  // --- FrameSource ---
+  FrameId AllocateFrame() override;
+  void FreeFrame(FrameId id) override;
+  std::span<uint8_t> FrameData(FrameId id) override;
+
+  // Frames permanently consumed by metadata (section 4.4 accounting).
+  size_t metadata_frames() const { return metadata_frames_; }
+
+  // Multi-line human-readable stats report.
+  std::string Report() const;
+
+ private:
+  void ChargeMetadataBytes(uint64_t bytes);
+
+  // Routes compression-cache events: VM page keys to the pager, file-block keys
+  // nowhere (the buffer cache re-checks Contains() at miss time; clean file
+  // entries never need cleaning).
+  class EventRouter : public CcacheEvents {
+   public:
+    explicit EventRouter(Machine* machine) : machine_(machine) {}
+    void OnEntryCleaned(PageKey key) override {
+      if (!IsFileKey(key)) {
+        machine_->pager_->OnEntryCleaned(key);
+      }
+    }
+    void OnEntryDropped(PageKey key) override {
+      if (!IsFileKey(key)) {
+        machine_->pager_->OnEntryDropped(key);
+      }
+    }
+
+   private:
+    Machine* machine_;
+  };
+
+  MachineConfig config_;
+  Clock clock_;
+  EventRouter event_router_{this};
+  std::unique_ptr<Codec> codec_;
+  std::unique_ptr<DiskDevice> disk_;
+  std::unique_ptr<FileSystem> fs_;
+  FramePool pool_;
+  MemoryArbiter arbiter_;
+  std::unique_ptr<BufferCache> buffer_cache_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<CompressedSwapBackend> cswap_;
+  std::unique_ptr<FixedSwapLayout> fixed_swap_;
+  std::unique_ptr<CompressionCache> ccache_;
+
+  uint64_t metadata_bytes_charged_ = 0;
+  size_t metadata_frames_ = 0;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_CORE_MACHINE_H_

@@ -1,0 +1,76 @@
+#include "disk/disk_device.h"
+
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace compcache {
+
+DiskDevice::DiskDevice(Clock* clock, std::unique_ptr<BackingTimingModel> timing,
+                       SimDuration setup_overhead)
+    : clock_(clock), timing_(std::move(timing)), setup_overhead_(setup_overhead) {
+  CC_EXPECTS(clock_ != nullptr);
+  CC_EXPECTS(timing_ != nullptr);
+}
+
+void DiskDevice::Charge(uint64_t offset, uint64_t length) {
+  // The setup overhead elapses before the device starts working on the request.
+  clock_->Advance(setup_overhead_, TimeCategory::kIo);
+  const SimDuration device_cost = timing_->Access(clock_->Now(), offset, length);
+  clock_->Advance(device_cost, TimeCategory::kIo);
+  stats_.busy_time += setup_overhead_ + device_cost;
+}
+
+DiskDevice::Chunk& DiskDevice::ChunkFor(uint64_t index) {
+  auto& slot = chunks_[index];
+  if (slot == nullptr) {
+    slot = std::make_unique<Chunk>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+void DiskDevice::Read(uint64_t offset, std::span<uint8_t> out) {
+  CC_EXPECTS(offset + out.size() <= capacity());
+  Charge(offset, out.size());
+  ++stats_.read_ops;
+  stats_.bytes_read += out.size();
+
+  uint64_t pos = offset;
+  size_t done = 0;
+  while (done < out.size()) {
+    const uint64_t chunk_index = pos / kChunkSize;
+    const uint64_t within = pos % kChunkSize;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(kChunkSize - within, out.size() - done));
+    const auto it = chunks_.find(chunk_index);
+    if (it == chunks_.end()) {
+      std::memset(out.data() + done, 0, n);
+    } else {
+      std::memcpy(out.data() + done, it->second->data() + within, n);
+    }
+    pos += n;
+    done += n;
+  }
+}
+
+void DiskDevice::Write(uint64_t offset, std::span<const uint8_t> data) {
+  CC_EXPECTS(offset + data.size() <= capacity());
+  Charge(offset, data.size());
+  ++stats_.write_ops;
+  stats_.bytes_written += data.size();
+
+  uint64_t pos = offset;
+  size_t done = 0;
+  while (done < data.size()) {
+    const uint64_t chunk_index = pos / kChunkSize;
+    const uint64_t within = pos % kChunkSize;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(kChunkSize - within, data.size() - done));
+    std::memcpy(ChunkFor(chunk_index).data() + within, data.data() + done, n);
+    pos += n;
+    done += n;
+  }
+}
+
+}  // namespace compcache

@@ -1,0 +1,62 @@
+// A backing-store device: real byte storage plus modelled timing.
+//
+// The device stores data for real (sparsely, in 4 KB chunks) so that everything the
+// simulator pages out and back in is verified end-to-end — a bug that corrupted a
+// compressed page in the swap path would surface as wrong application results, not
+// just wrong timings.
+#ifndef COMPCACHE_DISK_DISK_DEVICE_H_
+#define COMPCACHE_DISK_DISK_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "disk/disk_model.h"
+#include "sim/clock.h"
+#include "util/time_types.h"
+
+namespace compcache {
+
+struct DiskStats {
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  SimDuration busy_time;
+};
+
+class DiskDevice {
+ public:
+  // setup_overhead is charged once per request (driver + command issue).
+  DiskDevice(Clock* clock, std::unique_ptr<BackingTimingModel> timing,
+             SimDuration setup_overhead);
+
+  // Reads `out.size()` bytes at `offset`; unwritten areas read as zero.
+  void Read(uint64_t offset, std::span<uint8_t> out);
+
+  // Writes `data` at `offset`.
+  void Write(uint64_t offset, std::span<const uint8_t> data);
+
+  uint64_t capacity() const { return timing_->capacity(); }
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+
+ private:
+  static constexpr uint64_t kChunkSize = 4096;
+  using Chunk = std::array<uint8_t, kChunkSize>;
+
+  void Charge(uint64_t offset, uint64_t length);
+  Chunk& ChunkFor(uint64_t index);
+
+  Clock* clock_;
+  std::unique_ptr<BackingTimingModel> timing_;
+  SimDuration setup_overhead_;
+  std::unordered_map<uint64_t, std::unique_ptr<Chunk>> chunks_;
+  DiskStats stats_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_DISK_DISK_DEVICE_H_

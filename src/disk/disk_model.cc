@@ -1,0 +1,66 @@
+#include "disk/disk_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace compcache {
+
+SeekDiskModel::SeekDiskModel(SeekDiskParams params) : params_(params) {
+  CC_EXPECTS(params_.capacity_bytes > 0);
+  CC_EXPECTS(params_.track_bytes > 0);
+  CC_EXPECTS(params_.rpm > 0);
+  CC_EXPECTS(params_.min_seek <= params_.avg_seek && params_.avg_seek <= params_.max_seek);
+}
+
+SimDuration SeekDiskModel::SeekTime(uint64_t byte_distance) const {
+  // Square-root seek curve, the standard first-order model: short seeks are
+  // dominated by head settle time, long seeks by constant-velocity travel. The
+  // curve is anchored so that a seek across one third of the surface (the average
+  // distance for uniformly random accesses) costs avg_seek.
+  const double frac =
+      static_cast<double>(byte_distance) / static_cast<double>(params_.capacity_bytes);
+  const double anchor = std::sqrt(1.0 / 3.0);
+  const double scale = (params_.avg_seek - params_.min_seek).seconds() / anchor;
+  const double t = params_.min_seek.seconds() + scale * std::sqrt(frac);
+  return std::min(SimDuration::Seconds(t), params_.max_seek);
+}
+
+SimDuration SeekDiskModel::Access(SimTime now, uint64_t offset, uint64_t length) {
+  CC_EXPECTS(offset + length <= params_.capacity_bytes);
+  SimDuration cost;
+
+  const uint64_t cur_track = head_pos_ / params_.track_bytes;
+  const uint64_t target_track = offset / params_.track_bytes;
+  if (cur_track != target_track) {
+    const uint64_t distance =
+        offset >= head_pos_ ? offset - head_pos_ : head_pos_ - offset;
+    cost += SeekTime(distance);
+  }
+
+  // Rotational wait: the platter keeps spinning while the host computes, so the
+  // angular position at arrival is derived from the virtual clock.
+  const double rev = params_.RevolutionTime().seconds();
+  const double arrival = (now + cost).seconds();
+  const double current_angle = arrival / rev - std::floor(arrival / rev);
+  const double target_angle = static_cast<double>(offset % params_.track_bytes) /
+                              static_cast<double>(params_.track_bytes);
+  double wait_frac = target_angle - current_angle;
+  if (wait_frac < 0) {
+    wait_frac += 1.0;
+  }
+  cost += SimDuration::Seconds(wait_frac * rev);
+
+  cost += SimDuration::ForBytes(length, params_.MediaBytesPerSec());
+  head_pos_ = offset + length;
+  return cost;
+}
+
+SimDuration NetworkLinkModel::Access(SimTime /*now*/, uint64_t offset, uint64_t length) {
+  CC_EXPECTS(offset + length <= params_.capacity_bytes);
+  return params_.round_trip_latency +
+         SimDuration::ForBytes(length, params_.bandwidth_bytes_per_sec);
+}
+
+}  // namespace compcache

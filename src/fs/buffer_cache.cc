@@ -1,0 +1,145 @@
+#include "fs/buffer_cache.h"
+
+#include <cstring>
+
+#include "ccache/compression_cache.h"
+#include "util/assert.h"
+#include "util/units.h"
+
+namespace compcache {
+
+BufferCache::BufferCache(Clock* clock, const CostModel* costs, FrameSource* frames,
+                         FileSystem* fs)
+    : clock_(clock), costs_(costs), frames_(frames), fs_(fs) {
+  CC_EXPECTS(clock_ != nullptr && costs_ != nullptr && frames_ != nullptr && fs_ != nullptr);
+}
+
+BufferCache::~BufferCache() {
+  // Blocks are dropped without writeback on destruction; callers that care about
+  // persistence call FlushAll() first. Frames must be returned either way.
+  for (auto& [key, block] : blocks_) {
+    frames_->FreeFrame(block->frame);
+  }
+}
+
+BufferCache::Block& BufferCache::GetBlock(FileId file, uint64_t index,
+                                          bool will_overwrite_fully) {
+  const Key key{file.value, index};
+  if (const auto it = blocks_.find(key); it != blocks_.end()) {
+    ++stats_.hits;
+    Block& b = *it->second;
+    b.age = clock_->NextTick();
+    lru_.Touch(b);
+    return b;
+  }
+
+  ++stats_.misses;
+  auto block = std::make_unique<Block>();
+  block->key = key;
+  // Allocating may reclaim — possibly from this very cache. The new block is not
+  // yet in the map or LRU, so reclamation cannot choose it.
+  block->frame = frames_->AllocateFrame();
+  if (!will_overwrite_fully) {
+    // With the compressed-file-cache extension, a previously evicted block may
+    // still be in memory in compressed form — a decompression instead of a read.
+    const PageKey ckey = FileBlockKey(file.value, index);
+    if (ccache_ != nullptr && ccache_->FaultIn(ckey, frames_->FrameData(block->frame))) {
+      ++stats_.compressed_hits;
+    } else {
+      fs_->Read(file, index * kFsBlockSize, frames_->FrameData(block->frame));
+    }
+  }
+  block->age = clock_->NextTick();
+  Block& ref = *block;
+  blocks_.emplace(key, std::move(block));
+  lru_.PushMru(ref);
+  return ref;
+}
+
+void BufferCache::Evict(Block& block) {
+  if (block.dirty) {
+    ++stats_.writebacks;
+    fs_->Write(FileId{block.key.file}, block.key.index * kFsBlockSize,
+               frames_->FrameData(block.frame));
+  }
+  if (ccache_ != nullptr) {
+    // Keep the (now clean) block compressed in memory. Re-inserting replaces any
+    // stale copy; the frame must be freed first so the ring can use it (the same
+    // donor discipline as VM eviction). The copy is clean: the disk always has
+    // the data, so the cache may drop it at any time without I/O.
+    const PageKey ckey = FileBlockKey(block.key.file, block.key.index);
+    ccache_->Invalidate(ckey);
+    auto outcome = ccache_->CompressPage(frames_->FrameData(block.frame));
+    lru_.Remove(block);
+    frames_->FreeFrame(block.frame);
+    if (outcome.keep) {
+      ccache_->InsertCompressedClean(ckey, outcome.bytes, kFsBlockSize);
+      ++stats_.compressed_inserts;
+    }
+    blocks_.erase(block.key);  // destroys `block`
+    return;
+  }
+  lru_.Remove(block);
+  frames_->FreeFrame(block.frame);
+  blocks_.erase(block.key);  // destroys `block`
+}
+
+uint64_t BufferCache::OldestAge() const {
+  const Block* lru = lru_.Lru();
+  return lru == nullptr ? UINT64_MAX : lru->age;
+}
+
+bool BufferCache::ReleaseOldest() {
+  Block* lru = lru_.Lru();
+  if (lru == nullptr) {
+    return false;
+  }
+  Evict(*lru);
+  return true;
+}
+
+void BufferCache::FlushAll() {
+  lru_.ForEach([&](const Block& b) {
+    if (b.dirty) {
+      ++stats_.writebacks;
+      fs_->Write(FileId{b.key.file}, b.key.index * kFsBlockSize,
+                 frames_->FrameData(b.frame));
+      const_cast<Block&>(b).dirty = false;
+    }
+  });
+}
+
+void BufferCache::Read(FileId file, uint64_t offset, std::span<uint8_t> out) {
+  uint64_t pos = 0;
+  while (pos < out.size()) {
+    const uint64_t abs = offset + pos;
+    const uint64_t index = abs / kFsBlockSize;
+    const uint64_t within = abs % kFsBlockSize;
+    const uint64_t n = std::min<uint64_t>(kFsBlockSize - within, out.size() - pos);
+    Block& b = GetBlock(file, index, /*will_overwrite_fully=*/false);
+    std::memcpy(out.data() + pos, frames_->FrameData(b.frame).data() + within, n);
+    clock_->Advance(costs_->CopyCost(n), TimeCategory::kCopy);
+    pos += n;
+  }
+}
+
+void BufferCache::Write(FileId file, uint64_t offset, std::span<const uint8_t> data) {
+  uint64_t pos = 0;
+  while (pos < data.size()) {
+    const uint64_t abs = offset + pos;
+    const uint64_t index = abs / kFsBlockSize;
+    const uint64_t within = abs % kFsBlockSize;
+    const uint64_t n = std::min<uint64_t>(kFsBlockSize - within, data.size() - pos);
+    const bool full_block = within == 0 && n == kFsBlockSize;
+    Block& b = GetBlock(file, index, full_block);
+    std::memcpy(frames_->FrameData(b.frame).data() + within, data.data() + pos, n);
+    clock_->Advance(costs_->CopyCost(n), TimeCategory::kCopy);
+    b.dirty = true;
+    if (ccache_ != nullptr) {
+      ccache_->Invalidate(FileBlockKey(file.value, index));  // compressed copy is stale
+    }
+    pos += n;
+  }
+}
+
+}  // namespace compcache

@@ -1,0 +1,47 @@
+#include "model/analytic.h"
+
+#include "util/assert.h"
+
+namespace compcache {
+
+// Time units: one page transfer at backing-store bandwidth = 1.0. Compressing one
+// page costs 1/speed; decompressing costs 1/(speed * decompress_factor).
+
+double BandwidthSpeedup(double ratio, double speed, const AnalyticParams& params) {
+  CC_EXPECTS(ratio > 0 && ratio <= 1.0);
+  CC_EXPECTS(speed > 0);
+  // Pure bandwidth view (panel a): a paging cycle moves one page out and one page
+  // back. Compression shrinks both transfers to `ratio` pages but adds the
+  // compression and decompression work.
+  const double std_cost = 2.0;
+  const double cc_cost = 1.0 / speed + 2.0 * ratio + 1.0 / (speed * params.decompress_factor);
+  return std_cost / cc_cost;
+}
+
+double MemoryReferenceSpeedup(double ratio, double speed, const AnalyticParams& params) {
+  CC_EXPECTS(ratio > 0 && ratio <= 1.0);
+  CC_EXPECTS(speed > 0);
+  const double io = params.io_overhead_factor;
+
+  // Unmodified system: the cyclic 2x-memory working set defeats LRU completely, so
+  // every reference writes one dirty page out and reads one page in, each a
+  // positioned I/O.
+  const double std_cost = 2.0 * (io + 1.0);
+
+  // With the compression cache, every reference still faults, costing one
+  // compression (of the evicted page) and one decompression (of the referenced
+  // page) ...
+  double cc_cost = 1.0 / speed + 1.0 / (speed * params.decompress_factor);
+
+  // ... and, when the working set does not fit in memory even compressed, the
+  // cyclic pattern again defeats the cache: every fault also moves a compressed
+  // page to the store and fetches one back. This all-or-nothing step is the
+  // paper's "sharp leap in speedup when all pages fit in memory".
+  const bool fits = 2.0 * ratio <= params.fit_fraction;
+  if (!fits) {
+    cc_cost += 2.0 * (io + ratio);
+  }
+  return std_cost / cc_cost;
+}
+
+}  // namespace compcache

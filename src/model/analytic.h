@@ -1,0 +1,49 @@
+// Analytic performance model behind the paper's Figure 1.
+//
+// Both panels plot speedup as a function of two variables:
+//   ratio — "fraction of bytes left after compression" (smaller = better), and
+//   speed — compression bandwidth relative to the backing store's bandwidth;
+// with "decompression ... twice as fast as compression, as is roughly the case for
+// algorithms such as LZRW1".
+//
+// Figure 1(a): pages are compressed on their way to/from the backing store. A
+// paging cycle (write one page out, read one page back) costs two I/Os either
+// way; compression shrinks the transfers but adds (de)compression time.
+//
+// Figure 1(b): compressed pages are kept in memory. The modelled application
+// "sequentially accesses twice as many pages as fit in memory, reading and writing
+// one word per page" — with LRU this faults on every access. When the data
+// compresses to fit entirely in memory (ratio <= the fit threshold), every fault
+// is served by decompression alone and "the speedup due to compression is linear
+// in the speed of compression"; beyond it, the overflow goes to the backing store
+// and the speedup collapses toward (and below) 1 — the "sharp leap" the paper
+// calls out.
+#ifndef COMPCACHE_MODEL_ANALYTIC_H_
+#define COMPCACHE_MODEL_ANALYTIC_H_
+
+namespace compcache {
+
+struct AnalyticParams {
+  // Decompression speed as a multiple of compression speed (LZRW1: ~2).
+  double decompress_factor = 2.0;
+  // Fixed per-I/O positioning overhead, expressed as a multiple of one page's
+  // transfer time (seek + rotation vs 4 KB at media rate; ~4-8 for an RZ57-class
+  // disk). This is what makes avoiding I/O so much better than shrinking it.
+  double io_overhead_factor = 4.0;
+  // Fraction of memory the cache can devote to compressed pages in panel (b).
+  // The modelled application's data is 2x memory, so it fits compressed when
+  // ratio <= fit_fraction / 2.
+  double fit_fraction = 1.0;
+};
+
+// Panel (a): speedup of paging to/from backing store with on-line compression,
+// relative to paging uncompressed. `ratio` in (0, 1], `speed` > 0.
+double BandwidthSpeedup(double ratio, double speed, const AnalyticParams& params = {});
+
+// Panel (b): speedup of mean memory-reference time keeping compressed pages in
+// memory, for the sequential 2x-memory read/write workload.
+double MemoryReferenceSpeedup(double ratio, double speed, const AnalyticParams& params = {});
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_MODEL_ANALYTIC_H_

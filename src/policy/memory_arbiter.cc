@@ -1,0 +1,58 @@
+#include "policy/memory_arbiter.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace compcache {
+
+void MemoryArbiter::AddConsumer(std::string name, std::function<uint64_t()> oldest_age_ns,
+                                std::function<bool()> release_oldest, SimDuration bias) {
+  CC_EXPECTS(oldest_age_ns != nullptr && release_oldest != nullptr);
+  CC_EXPECTS(bias.nanos() >= 0);
+  Consumer c;
+  c.name = std::move(name);
+  c.oldest_age_ns = std::move(oldest_age_ns);
+  c.release_oldest = std::move(release_oldest);
+  c.bias_ns = static_cast<uint64_t>(bias.nanos());
+  consumers_.push_back(std::move(c));
+}
+
+bool MemoryArbiter::ReclaimOne() {
+  CC_EXPECTS(!consumers_.empty());
+
+  // Rank consumers by biased age of their oldest page; saturating add keeps empty
+  // consumers (UINT64_MAX) last.
+  std::vector<std::pair<uint64_t, size_t>> order;
+  order.reserve(consumers_.size());
+  for (size_t i = 0; i < consumers_.size(); ++i) {
+    const uint64_t age = consumers_[i].oldest_age_ns();
+    const uint64_t bias = consumers_[i].bias_ns;
+    const uint64_t effective = age > UINT64_MAX - bias ? UINT64_MAX : age + bias;
+    order.emplace_back(effective, i);
+  }
+  std::sort(order.begin(), order.end());
+
+  for (const auto& [effective, idx] : order) {
+    if (effective == UINT64_MAX) {
+      break;  // empty consumer; everything after is empty too
+    }
+    Consumer& c = consumers_[idx];
+    if (c.release_oldest()) {
+      ++c.reclaims;
+      return true;
+    }
+    ++c.refusals;
+  }
+  // Last resort: ask everyone once more in order, ignoring emptiness markers
+  // (a consumer may hold frames yet report UINT64_MAX transiently).
+  for (Consumer& c : consumers_) {
+    if (c.release_oldest()) {
+      ++c.reclaims;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace compcache

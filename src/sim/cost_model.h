@@ -1,0 +1,47 @@
+// Cost model: how long modelled operations take in virtual time.
+//
+// Defaults are calibrated to the paper's platform — a DECstation 5000/200 (25 MHz
+// R3000) running software LZRW1, paging to a local RZ57 SCSI disk. Absolute values
+// need not match 1993 hardware exactly; what the experiments depend on is the
+// *ratios* (paper section 3): compression bandwidth a small multiple of disk
+// bandwidth, decompression about twice as fast as compression (LZRW1's documented
+// property, used in Figure 1's caption).
+#ifndef COMPCACHE_SIM_COST_MODEL_H_
+#define COMPCACHE_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "util/time_types.h"
+
+namespace compcache {
+
+struct CostModel {
+  // Software LZRW1 on a 25-MHz MIPS-class CPU: roughly 2 MB/s in, decompression
+  // about twice that.
+  double compress_bytes_per_sec = 2.0e6;
+  double decompress_bytes_per_sec = 4.0e6;
+
+  // Page-sized memory copies (scatter/gather, buffer staging).
+  double memcpy_bytes_per_sec = 40.0e6;
+
+  // Fixed kernel overhead to take and service a page fault (trap, page-table walk,
+  // mapping update), excluding any I/O or compression work.
+  SimDuration fault_overhead = SimDuration::Micros(300);
+
+  // Overhead to initiate one disk request (driver + SCSI command setup).
+  SimDuration io_setup_overhead = SimDuration::Micros(500);
+
+  SimDuration CompressCost(uint64_t input_bytes) const {
+    return SimDuration::ForBytes(input_bytes, compress_bytes_per_sec);
+  }
+  SimDuration DecompressCost(uint64_t output_bytes) const {
+    return SimDuration::ForBytes(output_bytes, decompress_bytes_per_sec);
+  }
+  SimDuration CopyCost(uint64_t bytes) const {
+    return SimDuration::ForBytes(bytes, memcpy_bytes_per_sec);
+  }
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_SIM_COST_MODEL_H_

@@ -1,0 +1,199 @@
+#include "swap/clustered_swap.h"
+
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace compcache {
+
+namespace {
+
+uint32_t FragsFor(size_t bytes) {
+  return static_cast<uint32_t>((bytes + kSwapFragmentSize - 1) / kSwapFragmentSize);
+}
+
+}  // namespace
+
+ClusteredSwapLayout::ClusteredSwapLayout(FileSystem* fs, Options options)
+    : fs_(fs), options_(options) {
+  CC_EXPECTS(fs_ != nullptr);
+  file_ = fs_->Create("cswap");
+}
+
+uint64_t ClusteredSwapLayout::AllocateBlocks(uint64_t blocks) {
+  CC_EXPECTS(blocks > 0);
+  // Look for a contiguous run of garbage-collected blocks (first fit).
+  uint64_t run_start = 0;
+  uint64_t run_len = 0;
+  for (const uint64_t b : free_blocks_) {
+    if (run_len > 0 && b == run_start + run_len) {
+      ++run_len;
+    } else {
+      run_start = b;
+      run_len = 1;
+    }
+    if (run_len == blocks) {
+      for (uint64_t i = run_start; i < run_start + blocks; ++i) {
+        free_blocks_.erase(i);
+      }
+      stats_.blocks_reused += blocks;
+      return run_start;
+    }
+  }
+  // Otherwise extend the swap file.
+  const uint64_t start = end_block_;
+  end_block_ += blocks;
+  stats_.blocks_appended += blocks;
+  CC_ASSERT(end_block_ * kFsBlockSize <= fs_->disk()->capacity());
+  return start;
+}
+
+void ClusteredSwapLayout::AddLiveFrags(const Location& loc) {
+  for (uint32_t i = 0; i < loc.frag_count; ++i) {
+    const uint64_t block = (loc.frag_start + i) / kFragsPerBlock;
+    ++live_frags_per_block_[block];
+  }
+}
+
+void ClusteredSwapLayout::ReleaseLocation(const Location& loc) {
+  for (uint32_t i = 0; i < loc.frag_count; ++i) {
+    const uint64_t block = (loc.frag_start + i) / kFragsPerBlock;
+    auto it = live_frags_per_block_.find(block);
+    CC_ASSERT(it != live_frags_per_block_.end() && it->second > 0);
+    if (--it->second == 0) {
+      live_frags_per_block_.erase(it);
+      free_blocks_.insert(block);
+    }
+  }
+}
+
+void ClusteredSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
+  if (pages.empty()) {
+    return;
+  }
+  // Lay out fragments within the batch. With spanning disallowed, a page whose
+  // fragments would straddle a block boundary is pushed to the next block and the
+  // gap becomes padding (the fragmentation cost the paper describes).
+  struct Placement {
+    const SwapPageImage* image;
+    uint64_t rel_frag;
+    uint32_t frag_count;
+  };
+  std::vector<Placement> placements;
+  placements.reserve(pages.size());
+  uint64_t rel = 0;  // fragment index relative to batch start
+  for (const SwapPageImage& img : pages) {
+    CC_EXPECTS(!img.bytes.empty());
+    CC_EXPECTS(img.key.valid());
+    const uint32_t frags = FragsFor(img.bytes.size());
+    CC_EXPECTS(frags <= kFragsPerBlock || img.bytes.size() <= kPageSize);
+    if (!options_.allow_block_spanning) {
+      const uint64_t within = rel % kFragsPerBlock;
+      if (within + frags > kFragsPerBlock) {
+        rel += kFragsPerBlock - within;  // pad to next block
+      }
+    }
+    placements.push_back(Placement{&img, rel, frags});
+    rel += frags;
+  }
+
+  const uint64_t total_frags = rel;
+  const uint64_t total_blocks = (total_frags + kFragsPerBlock - 1) / kFragsPerBlock;
+  const uint64_t start_block = AllocateBlocks(total_blocks);
+  const uint64_t start_frag = start_block * kFragsPerBlock;
+
+  // Stage and write whole blocks in one operation; padding bytes are zero.
+  std::vector<uint8_t> staging(total_blocks * kFsBlockSize, 0);
+  for (const Placement& p : placements) {
+    std::memcpy(staging.data() + p.rel_frag * kSwapFragmentSize, p.image->bytes.data(),
+                p.image->bytes.size());
+  }
+  fs_->Write(file_, start_block * kFsBlockSize, staging);
+  ++stats_.batches_written;
+  stats_.fragment_bytes_written += staging.size();
+
+  // Update the location map; prior copies become garbage.
+  for (const Placement& p : placements) {
+    const SwapPageImage& img = *p.image;
+    if (const auto it = locations_.find(img.key); it != locations_.end()) {
+      by_frag_start_.erase(it->second.frag_start);
+      ReleaseLocation(it->second);
+      locations_.erase(it);
+    }
+    Location loc;
+    loc.frag_start = start_frag + p.rel_frag;
+    loc.frag_count = p.frag_count;
+    loc.byte_size = static_cast<uint32_t>(img.bytes.size());
+    loc.is_compressed = img.is_compressed;
+    loc.original_size = img.original_size;
+    AddLiveFrags(loc);
+    const bool loc_ok = locations_.emplace(img.key, loc).second;
+    const bool frag_ok = by_frag_start_.emplace(loc.frag_start, img.key).second;
+    CC_ASSERT(loc_ok && frag_ok);
+    ++stats_.pages_written;
+    stats_.payload_bytes_written += img.bytes.size();
+  }
+}
+
+ClusteredSwapLayout::ReadResult ClusteredSwapLayout::ReadPage(PageKey key,
+                                                              bool collect_coresidents) {
+  const auto it = locations_.find(key);
+  CC_EXPECTS(it != locations_.end());
+  const Location& loc = it->second;
+
+  const uint64_t first_block = loc.frag_start / kFragsPerBlock;
+  const uint64_t last_block = (loc.frag_start + loc.frag_count - 1) / kFragsPerBlock;
+  const uint64_t blocks = last_block - first_block + 1;
+
+  // Whole-block read (the restriction the paper laments: "there is no way to avoid
+  // reading a minimum of 4 Kbytes to satisfy a page fault").
+  std::vector<uint8_t> staging(blocks * kFsBlockSize);
+  fs_->Read(file_, first_block * kFsBlockSize, staging);
+
+  ReadResult result;
+  result.blocks_read = blocks;
+  result.is_compressed = loc.is_compressed;
+  result.original_size = loc.original_size;
+  const uint64_t skip = (loc.frag_start - first_block * kFragsPerBlock) * kSwapFragmentSize;
+  result.bytes.assign(staging.begin() + static_cast<ptrdiff_t>(skip),
+                      staging.begin() + static_cast<ptrdiff_t>(skip + loc.byte_size));
+  ++stats_.pages_read;
+
+  if (collect_coresidents) {
+    const uint64_t range_start = first_block * kFragsPerBlock;
+    const uint64_t range_end = (last_block + 1) * kFragsPerBlock;
+    for (auto pos = by_frag_start_.lower_bound(range_start);
+         pos != by_frag_start_.end() && pos->first < range_end; ++pos) {
+      if (pos->second == key) {
+        continue;
+      }
+      const Location& other = locations_.at(pos->second);
+      CC_ASSERT(other.frag_start == pos->first);
+      if (other.frag_start + other.frag_count > range_end) {
+        continue;  // only whole pages come along for free
+      }
+      const uint64_t off = (other.frag_start - range_start) * kSwapFragmentSize;
+      SwapPageImage img;
+      img.key = pos->second;
+      img.is_compressed = other.is_compressed;
+      img.original_size = other.original_size;
+      img.bytes.assign(staging.begin() + static_cast<ptrdiff_t>(off),
+                       staging.begin() + static_cast<ptrdiff_t>(off + other.byte_size));
+      result.coresidents.push_back(std::move(img));
+      ++stats_.coresident_pages_returned;
+    }
+  }
+  return result;
+}
+
+void ClusteredSwapLayout::Invalidate(PageKey key) {
+  const auto it = locations_.find(key);
+  if (it == locations_.end()) {
+    return;
+  }
+  by_frag_start_.erase(it->second.frag_start);
+  ReleaseLocation(it->second);
+  locations_.erase(it);
+}
+
+}  // namespace compcache

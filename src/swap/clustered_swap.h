@@ -1,0 +1,105 @@
+// Compressed backing store: "pads each compressed page to a uniform fragment size
+// (currently 1 Kbyte), and writes a set of fragments, spanning several file blocks,
+// in a single operation. Currently 32 Kbytes of compressed pages are written at
+// once." (paper section 4.3)
+//
+// Consequences the paper calls out, all reproduced here:
+//   * the one-to-one page/offset mapping is lost, so each page's location is
+//     tracked explicitly;
+//   * a rewritten page lands at a new location, so obsolete fragments accumulate
+//     and must be garbage-collected — we reuse a file block once every fragment in
+//     it is dead;
+//   * whether a page's fragments may span a file-block boundary is parameterized
+//     ("if they cannot, then fragmentation increases"); a spanning page costs a
+//     two-block read at fault time;
+//   * reading the block(s) for one page may bring in other whole compressed pages
+//     for free, which the fault path can insert into the compression cache.
+#ifndef COMPCACHE_SWAP_CLUSTERED_SWAP_H_
+#define COMPCACHE_SWAP_CLUSTERED_SWAP_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/file_system.h"
+#include "swap/compressed_swap_backend.h"
+#include "util/units.h"
+#include "vm/page_key.h"
+
+namespace compcache {
+
+struct ClusteredSwapStats {
+  uint64_t batches_written = 0;
+  uint64_t pages_written = 0;
+  uint64_t pages_read = 0;
+  uint64_t fragment_bytes_written = 0;  // incl. padding
+  uint64_t payload_bytes_written = 0;
+  uint64_t blocks_reused = 0;   // garbage-collected blocks recycled
+  uint64_t blocks_appended = 0;
+  uint64_t coresident_pages_returned = 0;
+};
+
+class ClusteredSwapLayout : public CompressedSwapBackend {
+ public:
+  using ReadResult = CompressedSwapBackend::ReadResult;
+
+  struct Options {
+    // May a page's fragments cross a file-block boundary? (paper: parameterized)
+    bool allow_block_spanning = true;
+  };
+
+  ClusteredSwapLayout(FileSystem* fs, Options options);
+  explicit ClusteredSwapLayout(FileSystem* fs) : ClusteredSwapLayout(fs, Options{}) {}
+
+  // Writes a batch of page images in one clustered operation. Any previous
+  // location of the same pages becomes garbage.
+  void WriteBatch(std::span<const SwapPageImage> pages) override;
+
+  bool Contains(PageKey key) const override { return locations_.contains(key); }
+
+  // Reads one page (whole-block transfers underneath). The page must be present.
+  ReadResult ReadPage(PageKey key, bool collect_coresidents) override;
+
+  // Marks a page's copy obsolete (it was rewritten in memory or dropped).
+  void Invalidate(PageKey key) override;
+
+  const ClusteredSwapStats& stats() const { return stats_; }
+
+  // Introspection for tests.
+  size_t live_pages() const { return locations_.size(); }
+  size_t free_blocks() const { return free_blocks_.size(); }
+  uint64_t end_block() const { return end_block_; }
+
+ private:
+  static constexpr uint32_t kFragsPerBlock = kFsBlockSize / kSwapFragmentSize;
+
+  struct Location {
+    uint64_t frag_start = 0;
+    uint32_t frag_count = 0;
+    uint32_t byte_size = 0;
+    bool is_compressed = true;
+    uint32_t original_size = kPageSize;
+  };
+
+  // Allocates `blocks` contiguous file blocks, preferring garbage-collected ones.
+  uint64_t AllocateBlocks(uint64_t blocks);
+  void ReleaseLocation(const Location& loc);
+  void AddLiveFrags(const Location& loc);
+
+  FileSystem* fs_;
+  Options options_;
+  FileId file_;
+  std::unordered_map<PageKey, Location, PageKeyHash> locations_;
+  std::map<uint64_t, PageKey> by_frag_start_;  // live locations ordered by position
+  std::unordered_map<uint64_t, uint32_t> live_frags_per_block_;
+  std::set<uint64_t> free_blocks_;
+  uint64_t end_block_ = 0;
+  ClusteredSwapStats stats_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_SWAP_CLUSTERED_SWAP_H_

@@ -1,0 +1,58 @@
+// Interface over backing-store layouts for compressed pages, so the paper's
+// section-4.3 design alternatives can be swapped against each other:
+//   * ClusteredSwapLayout — the paper's implemented design (1 KB fragments,
+//     32 KB batched writes, explicit location map, block-reuse GC);
+//   * FixedCompressedSwapLayout — the paper's rejected "ideal": keep each page at
+//     its fixed swap-file offset and transfer only the compressed bytes, which
+//     runs into the file system's whole-block semantics (a 2 KB write becomes a
+//     4 KB read plus a 4 KB write).
+#ifndef COMPCACHE_SWAP_COMPRESSED_SWAP_BACKEND_H_
+#define COMPCACHE_SWAP_COMPRESSED_SWAP_BACKEND_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/units.h"
+#include "vm/page_key.h"
+
+namespace compcache {
+
+// One page image queued for a write (shared by all backends).
+struct SwapPageImage {
+  PageKey key;
+  std::vector<uint8_t> bytes;  // compressed bitstream, or raw page if !is_compressed
+  bool is_compressed = true;
+  uint32_t original_size = kPageSize;
+};
+
+class CompressedSwapBackend {
+ public:
+  virtual ~CompressedSwapBackend() = default;
+
+  // Writes a batch of page images. Any previous copy of the same pages becomes
+  // obsolete.
+  virtual void WriteBatch(std::span<const SwapPageImage> pages) = 0;
+
+  virtual bool Contains(PageKey key) const = 0;
+
+  struct ReadResult {
+    std::vector<uint8_t> bytes;
+    bool is_compressed = true;
+    uint32_t original_size = kPageSize;
+    // Other whole pages that happened to live in the blocks read (only the
+    // clustered layout produces these).
+    std::vector<SwapPageImage> coresidents;
+    uint64_t blocks_read = 0;
+  };
+
+  // Reads one page (the page must be present).
+  virtual ReadResult ReadPage(PageKey key, bool collect_coresidents) = 0;
+
+  // Marks a page's copy obsolete (rewritten in memory or dropped).
+  virtual void Invalidate(PageKey key) = 0;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_SWAP_COMPRESSED_SWAP_BACKEND_H_

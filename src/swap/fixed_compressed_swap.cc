@@ -1,0 +1,55 @@
+#include "swap/fixed_compressed_swap.h"
+
+#include <string>
+
+#include "util/assert.h"
+
+namespace compcache {
+
+FixedCompressedSwapLayout::FixedCompressedSwapLayout(FileSystem* fs) : fs_(fs) {
+  CC_EXPECTS(fs_ != nullptr);
+}
+
+FileId FixedCompressedSwapLayout::SwapFileFor(uint32_t segment) {
+  const auto it = swap_files_.find(segment);
+  if (it != swap_files_.end()) {
+    return it->second;
+  }
+  const FileId id = fs_->Create("fcswap.seg" + std::to_string(segment));
+  swap_files_.emplace(segment, id);
+  return id;
+}
+
+void FixedCompressedSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
+  // No clustering is possible: each page lives at its own fixed offset, so every
+  // page is its own (usually partial-block) write — the design's whole problem.
+  for (const SwapPageImage& img : pages) {
+    CC_EXPECTS(!img.bytes.empty());
+    CC_EXPECTS(img.bytes.size() <= kPageSize);  // one fixed page-sized slot each
+    fs_->Write(SwapFileFor(img.key.segment), OffsetOf(img.key), img.bytes);
+    sizes_[img.key] = StoredSize{static_cast<uint32_t>(img.bytes.size()), img.is_compressed,
+                                 img.original_size};
+    ++stats_.pages_written;
+    stats_.payload_bytes_written += img.bytes.size();
+  }
+}
+
+CompressedSwapBackend::ReadResult FixedCompressedSwapLayout::ReadPage(
+    PageKey key, bool /*collect_coresidents*/) {
+  const auto it = sizes_.find(key);
+  CC_EXPECTS(it != sizes_.end());
+  ReadResult result;
+  result.is_compressed = it->second.is_compressed;
+  result.original_size = it->second.original_size;
+  result.bytes.resize(it->second.byte_size);
+  // The request is for just the compressed bytes; the file system still moves
+  // whole blocks underneath. No coresidents ever: each block holds one page.
+  fs_->Read(SwapFileFor(key.segment), OffsetOf(key), result.bytes);
+  result.blocks_read = 1;
+  ++stats_.pages_read;
+  return result;
+}
+
+void FixedCompressedSwapLayout::Invalidate(PageKey key) { sizes_.erase(key); }
+
+}  // namespace compcache

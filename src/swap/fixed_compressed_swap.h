@@ -1,0 +1,63 @@
+// The paper's rejected backing-store alternative, built for the ablation:
+// "Ideally, the system would keep each compressed page in the same location in
+// its swap file as without the compression cache, but transfer just the amount of
+// data occupied by the compressed page. Unfortunately ... the file system enforces
+// transfers in multiples of a whole file system block. ... if a page were
+// compressed from 4 Kbytes to 2 Kbytes, a 2-Kbyte write would result in a 4-Kbyte
+// read and a 4-Kbyte write rather than only the expected 2 Kbyte write!"
+// (paper section 4.3)
+//
+// Pages keep the trivial page->block mapping; only the compressed bytes are
+// written at the page's fixed offset, so the file system's whole-block semantics
+// bite exactly as described. Combine with FileSystem::Options::
+// allow_partial_block_write to evaluate the paper's "modify the file system"
+// alternative.
+#ifndef COMPCACHE_SWAP_FIXED_COMPRESSED_SWAP_H_
+#define COMPCACHE_SWAP_FIXED_COMPRESSED_SWAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "fs/file_system.h"
+#include "swap/compressed_swap_backend.h"
+
+namespace compcache {
+
+struct FixedCompressedSwapStats {
+  uint64_t pages_written = 0;
+  uint64_t pages_read = 0;
+  uint64_t payload_bytes_written = 0;
+};
+
+class FixedCompressedSwapLayout : public CompressedSwapBackend {
+ public:
+  explicit FixedCompressedSwapLayout(FileSystem* fs);
+
+  void WriteBatch(std::span<const SwapPageImage> pages) override;
+  bool Contains(PageKey key) const override { return sizes_.contains(key); }
+  ReadResult ReadPage(PageKey key, bool collect_coresidents) override;
+  void Invalidate(PageKey key) override;
+
+  const FixedCompressedSwapStats& stats() const { return stats_; }
+
+ private:
+  struct StoredSize {
+    uint32_t byte_size = 0;
+    bool is_compressed = true;
+    uint32_t original_size = kPageSize;
+  };
+
+  FileId SwapFileFor(uint32_t segment);
+  static uint64_t OffsetOf(PageKey key) {
+    return static_cast<uint64_t>(key.page) * kPageSize;
+  }
+
+  FileSystem* fs_;
+  std::unordered_map<uint32_t, FileId> swap_files_;
+  std::unordered_map<PageKey, StoredSize, PageKeyHash> sizes_;
+  FixedCompressedSwapStats stats_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_SWAP_FIXED_COMPRESSED_SWAP_H_

@@ -1,0 +1,36 @@
+#include "swap/fixed_swap.h"
+
+#include <string>
+
+#include "util/assert.h"
+#include "util/units.h"
+
+namespace compcache {
+
+FixedSwapLayout::FixedSwapLayout(FileSystem* fs) : fs_(fs) { CC_EXPECTS(fs_ != nullptr); }
+
+FileId FixedSwapLayout::SwapFileFor(uint32_t segment) {
+  const auto it = swap_files_.find(segment);
+  if (it != swap_files_.end()) {
+    return it->second;
+  }
+  const FileId id = fs_->Create("swap.seg" + std::to_string(segment));
+  swap_files_.emplace(segment, id);
+  return id;
+}
+
+void FixedSwapLayout::WritePage(PageKey key, std::span<const uint8_t> page) {
+  CC_EXPECTS(page.size() == kPageSize);
+  fs_->Write(SwapFileFor(key.segment), static_cast<uint64_t>(key.page) * kPageSize, page);
+  written_.insert(key);
+  ++pages_written_;
+}
+
+void FixedSwapLayout::ReadPage(PageKey key, std::span<uint8_t> out) {
+  CC_EXPECTS(out.size() == kPageSize);
+  CC_EXPECTS(written_.contains(key));
+  fs_->Read(SwapFileFor(key.segment), static_cast<uint64_t>(key.page) * kPageSize, out);
+  ++pages_read_;
+}
+
+}  // namespace compcache

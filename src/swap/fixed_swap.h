@@ -1,0 +1,45 @@
+// The unmodified Sprite backing store: "When a page is written to backing store, it
+// is written to a 'swap file' corresponding to the segment containing the page, at
+// an offset corresponding to the location of the page within the segment. This
+// fixed mapping of pages to file blocks makes it trivial to locate a page on the
+// backing store." (paper section 4.3)
+#ifndef COMPCACHE_SWAP_FIXED_SWAP_H_
+#define COMPCACHE_SWAP_FIXED_SWAP_H_
+
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fs/file_system.h"
+#include "vm/page_key.h"
+
+namespace compcache {
+
+class FixedSwapLayout {
+ public:
+  explicit FixedSwapLayout(FileSystem* fs);
+
+  // Writes one whole page at its fixed offset in the segment's swap file.
+  void WritePage(PageKey key, std::span<const uint8_t> page);
+
+  // Reads one whole page. The page must have been written before.
+  void ReadPage(PageKey key, std::span<uint8_t> out);
+
+  bool Contains(PageKey key) const { return written_.contains(key); }
+
+  uint64_t pages_written() const { return pages_written_; }
+  uint64_t pages_read() const { return pages_read_; }
+
+ private:
+  FileId SwapFileFor(uint32_t segment);
+
+  FileSystem* fs_;
+  std::unordered_map<uint32_t, FileId> swap_files_;
+  std::unordered_set<PageKey, PageKeyHash> written_;
+  uint64_t pages_written_ = 0;
+  uint64_t pages_read_ = 0;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_SWAP_FIXED_SWAP_H_

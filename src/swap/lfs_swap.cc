@@ -1,0 +1,218 @@
+#include "swap/lfs_swap.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace compcache {
+
+LfsSwapLayout::LfsSwapLayout(FileSystem* fs, FrameSource* frames, Options options)
+    : fs_(fs), frames_(frames), options_(options) {
+  CC_EXPECTS(fs_ != nullptr);
+  CC_EXPECTS(options_.segment_blocks > 0);
+  CC_EXPECTS(options_.log_segments > options_.clean_threshold + 1);
+  file_ = fs_->Create("lfs_swap");
+  open_buffer_.assign(SegmentBytes(), 0);
+  live_bytes_.assign(options_.log_segments, 0);
+  members_.resize(options_.log_segments);
+  free_segments_.reserve(options_.log_segments);
+  for (uint32_t s = options_.log_segments; s > 0; --s) {
+    free_segments_.push_back(s - 1);
+  }
+  open_segment_ = free_segments_.back();
+  free_segments_.pop_back();
+
+  // "LFS requires significant memory for buffers": the open segment's frames are
+  // taken from the machine's pool for the lifetime of the backend.
+  if (frames_ != nullptr) {
+    for (uint32_t b = 0; b < options_.segment_blocks; ++b) {
+      buffer_frames_.push_back(frames_->AllocateFrame());
+    }
+  }
+}
+
+LfsSwapLayout::~LfsSwapLayout() {
+  if (frames_ != nullptr) {
+    for (const FrameId frame : buffer_frames_) {
+      frames_->FreeFrame(frame);
+    }
+  }
+}
+
+void LfsSwapLayout::ReleaseLocation(PageKey key) {
+  const auto it = locations_.find(key);
+  if (it == locations_.end()) {
+    return;
+  }
+  const Location& loc = it->second;
+  CC_ASSERT(live_bytes_[loc.segment] >= loc.byte_size);
+  live_bytes_[loc.segment] -= loc.byte_size;
+  members_[loc.segment].erase(loc.offset);
+  locations_.erase(it);
+}
+
+void LfsSwapLayout::FlushOpenSegment() {
+  if (open_fill_ == 0) {
+    return;
+  }
+  // One large sequential write — the LFS bandwidth win the paper cites.
+  const uint64_t disk_offset = static_cast<uint64_t>(open_segment_) * SegmentBytes();
+  const uint64_t blocks = (open_fill_ + kFsBlockSize - 1) / kFsBlockSize;
+  fs_->Write(file_, disk_offset,
+             std::span<const uint8_t>(open_buffer_.data(), blocks * kFsBlockSize));
+  ++stats_.segments_written;
+
+  // Start a new segment.
+  CC_ASSERT(!free_segments_.empty());
+  open_segment_ = free_segments_.back();
+  free_segments_.pop_back();
+  open_fill_ = 0;
+  std::fill(open_buffer_.begin(), open_buffer_.end(), uint8_t{0});
+}
+
+void LfsSwapLayout::AppendImage(const SwapPageImage& img, bool count_as_write) {
+  CC_EXPECTS(!img.bytes.empty());
+  CC_EXPECTS(img.bytes.size() <= SegmentBytes());
+  if (open_fill_ + img.bytes.size() > SegmentBytes()) {
+    FlushOpenSegment();
+  }
+  ReleaseLocation(img.key);  // the old copy (if any) becomes segment garbage
+
+  Location loc;
+  loc.segment = open_segment_;
+  loc.offset = open_fill_;
+  loc.byte_size = static_cast<uint32_t>(img.bytes.size());
+  loc.is_compressed = img.is_compressed;
+  loc.original_size = img.original_size;
+  std::memcpy(open_buffer_.data() + open_fill_, img.bytes.data(), img.bytes.size());
+  open_fill_ += static_cast<uint32_t>(img.bytes.size());
+  live_bytes_[loc.segment] += loc.byte_size;
+  members_[loc.segment].emplace(loc.offset, img.key);
+  locations_[img.key] = loc;
+  if (count_as_write) {
+    ++stats_.pages_written;
+  }
+  if (open_fill_ == SegmentBytes()) {
+    FlushOpenSegment();  // exactly full: write it out now
+  }
+}
+
+void LfsSwapLayout::CleanOneSegment() {
+  // Pick the closed segment with the least live data (greedy, as LFS does).
+  uint32_t victim = UINT32_MAX;
+  uint64_t victim_live = UINT64_MAX;
+  for (uint32_t s = 0; s < options_.log_segments; ++s) {
+    if (s == open_segment_) {
+      continue;
+    }
+    const bool is_free =
+        std::find(free_segments_.begin(), free_segments_.end(), s) != free_segments_.end();
+    if (is_free) {
+      continue;
+    }
+    if (live_bytes_[s] < victim_live) {
+      victim_live = live_bytes_[s];
+      victim = s;
+    }
+  }
+  CC_ASSERT(victim != UINT32_MAX && "LFS log full of live data");
+
+  if (victim_live > 0) {
+    // Read the whole victim segment and re-append its live pages — the copying
+    // cost the paper warns swap data inflicts on LFS cleaning.
+    std::vector<uint8_t> segment(SegmentBytes());
+    fs_->Read(file_, static_cast<uint64_t>(victim) * SegmentBytes(), segment);
+    // Members mutate as we re-append; snapshot first.
+    std::vector<std::pair<uint32_t, PageKey>> live(members_[victim].begin(),
+                                                   members_[victim].end());
+    for (const auto& [offset, key] : live) {
+      const Location loc = locations_.at(key);
+      SwapPageImage img;
+      img.key = key;
+      img.is_compressed = loc.is_compressed;
+      img.original_size = loc.original_size;
+      img.bytes.assign(segment.begin() + offset, segment.begin() + offset + loc.byte_size);
+      AppendImage(img, /*count_as_write=*/false);
+      ++stats_.live_pages_copied;
+    }
+  }
+  CC_ASSERT(live_bytes_[victim] == 0);
+  CC_ASSERT(members_[victim].empty());
+  free_segments_.push_back(victim);
+  ++stats_.segments_cleaned;
+}
+
+void LfsSwapLayout::MaybeClean() {
+  if (cleaning_) {
+    return;  // re-appends during cleaning must not recurse
+  }
+  cleaning_ = true;
+  while (free_segments_.size() < options_.clean_threshold) {
+    CleanOneSegment();
+  }
+  cleaning_ = false;
+}
+
+void LfsSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
+  for (const SwapPageImage& img : pages) {
+    AppendImage(img, /*count_as_write=*/true);
+  }
+  MaybeClean();
+}
+
+CompressedSwapBackend::ReadResult LfsSwapLayout::ReadPage(PageKey key,
+                                                          bool collect_coresidents) {
+  const auto it = locations_.find(key);
+  CC_EXPECTS(it != locations_.end());
+  const Location loc = it->second;
+  ReadResult result;
+  result.is_compressed = loc.is_compressed;
+  result.original_size = loc.original_size;
+  result.bytes.resize(loc.byte_size);
+  ++stats_.pages_read;
+
+  if (loc.segment == open_segment_) {
+    // Still in the write buffer: no I/O at all.
+    std::memcpy(result.bytes.data(), open_buffer_.data() + loc.offset, loc.byte_size);
+    ++stats_.reads_from_buffer;
+    return result;
+  }
+
+  // Block-aligned read of the covering blocks, like the other layouts.
+  const uint64_t seg_base = static_cast<uint64_t>(loc.segment) * SegmentBytes();
+  const uint64_t first_block = loc.offset / kFsBlockSize;
+  const uint64_t last_block = (loc.offset + loc.byte_size - 1) / kFsBlockSize;
+  std::vector<uint8_t> staging((last_block - first_block + 1) * kFsBlockSize);
+  fs_->Read(file_, seg_base + first_block * kFsBlockSize, staging);
+  result.blocks_read = last_block - first_block + 1;
+  std::memcpy(result.bytes.data(), staging.data() + (loc.offset - first_block * kFsBlockSize),
+              loc.byte_size);
+
+  if (collect_coresidents) {
+    const uint64_t range_start = first_block * kFsBlockSize;
+    const uint64_t range_end = (last_block + 1) * kFsBlockSize;
+    for (auto pos = members_[loc.segment].lower_bound(static_cast<uint32_t>(range_start));
+         pos != members_[loc.segment].end() && pos->first < range_end; ++pos) {
+      if (pos->second == key) {
+        continue;
+      }
+      const Location& other = locations_.at(pos->second);
+      if (other.offset + other.byte_size > range_end) {
+        continue;
+      }
+      SwapPageImage img;
+      img.key = pos->second;
+      img.is_compressed = other.is_compressed;
+      img.original_size = other.original_size;
+      img.bytes.assign(staging.begin() + (other.offset - range_start),
+                       staging.begin() + (other.offset - range_start) + other.byte_size);
+      result.coresidents.push_back(std::move(img));
+    }
+  }
+  return result;
+}
+
+void LfsSwapLayout::Invalidate(PageKey key) { ReleaseLocation(key); }
+
+}  // namespace compcache

@@ -1,0 +1,111 @@
+// A Sprite-LFS-style log-structured backing store for compressed pages.
+//
+// The paper keeps circling this design: "it might be possible to page into
+// Sprite LFS, which provides much higher bandwidth by coalescing many small
+// writes into a single larger transfer" — "However, it is not clear that paging
+// into LFS would be desirable under heavy paging load. LFS requires significant
+// memory for buffers, and for LFS to clean segments containing swap files, it
+// must copy more 'live' blocks than for other types of data." (sections 4.3, 5.1)
+//
+// This backend makes that trade-off measurable:
+//   * writes accumulate in an in-memory segment buffer (whose frames are charged
+//     against user memory via the FrameSource — LFS's "significant memory") and
+//     reach the disk as one large sequential segment write;
+//   * a segment usage table tracks live bytes; when free segments run short, the
+//     cleaner reads the least-utilized segment and re-appends its live pages —
+//     the copying cost the paper warns about;
+//   * reads serve from the open segment buffer when possible, else one
+//     block-aligned disk read.
+#ifndef COMPCACHE_SWAP_LFS_SWAP_H_
+#define COMPCACHE_SWAP_LFS_SWAP_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/file_system.h"
+#include "swap/compressed_swap_backend.h"
+#include "vm/frame_source.h"
+
+namespace compcache {
+
+struct LfsSwapStats {
+  uint64_t pages_written = 0;
+  uint64_t pages_read = 0;
+  uint64_t segments_written = 0;
+  uint64_t segments_cleaned = 0;
+  uint64_t live_pages_copied = 0;  // cleaner rewrites (the paper's warning)
+  uint64_t reads_from_buffer = 0;  // served from the open segment, no I/O
+};
+
+class LfsSwapLayout : public CompressedSwapBackend {
+ public:
+  struct Options {
+    // Segment size in file blocks (Sprite LFS used large segments; 128 blocks =
+    // 512 KB keeps the buffer charge visible on small machines).
+    uint32_t segment_blocks = 128;
+    // Total log capacity in segments before the cleaner must run.
+    uint32_t log_segments = 256;
+    // Clean when free segments drop below this.
+    uint32_t clean_threshold = 8;
+  };
+
+  // `frames` pays for the segment write buffer (LFS's memory cost); pass nullptr
+  // to skip the charge (unit tests).
+  LfsSwapLayout(FileSystem* fs, FrameSource* frames, Options options);
+  LfsSwapLayout(FileSystem* fs, FrameSource* frames)
+      : LfsSwapLayout(fs, frames, Options{}) {}
+  ~LfsSwapLayout() override;
+
+  void WriteBatch(std::span<const SwapPageImage> pages) override;
+  bool Contains(PageKey key) const override { return locations_.contains(key); }
+  ReadResult ReadPage(PageKey key, bool collect_coresidents) override;
+  void Invalidate(PageKey key) override;
+
+  const LfsSwapStats& stats() const { return stats_; }
+  size_t free_segments() const { return free_segments_.size(); }
+
+ private:
+  struct Location {
+    uint32_t segment = 0;
+    uint32_t offset = 0;  // byte offset within the segment
+    uint32_t byte_size = 0;
+    bool is_compressed = true;
+    uint32_t original_size = kPageSize;
+  };
+
+  uint64_t SegmentBytes() const {
+    return static_cast<uint64_t>(options_.segment_blocks) * kFsBlockSize;
+  }
+
+  void AppendImage(const SwapPageImage& img, bool count_as_write);
+  void FlushOpenSegment();
+  void CleanOneSegment();
+  void MaybeClean();
+  void ReleaseLocation(PageKey key);
+
+  FileSystem* fs_;
+  FrameSource* frames_;
+  Options options_;
+  FileId file_;
+
+  // Open segment being filled (in-memory buffer).
+  std::vector<uint8_t> open_buffer_;
+  uint32_t open_segment_ = 0;
+  uint32_t open_fill_ = 0;
+  std::vector<FrameId> buffer_frames_;  // the memory charge for the buffer
+
+  std::unordered_map<PageKey, Location, PageKeyHash> locations_;
+  // Per-segment live byte counts and the members of each segment (for cleaning).
+  std::vector<uint64_t> live_bytes_;
+  std::vector<std::map<uint32_t, PageKey>> members_;  // offset -> key, live only
+  std::vector<uint32_t> free_segments_;
+  bool cleaning_ = false;
+
+  LfsSwapStats stats_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_SWAP_LFS_SWAP_H_

@@ -1,0 +1,46 @@
+// Assertion macros in the spirit of the C++ Core Guidelines' Expects()/Ensures().
+//
+// All three macros are always on (including in release builds): this library is a
+// simulator whose value is the trustworthiness of its numbers, so invariant
+// violations must never be silently ignored.
+#ifndef COMPCACHE_UTIL_ASSERT_H_
+#define COMPCACHE_UTIL_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace compcache {
+
+[[noreturn]] inline void AssertFail(const char* kind, const char* expr, const char* file,
+                                    int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace compcache
+
+// Precondition check: the caller violated the function's contract.
+#define CC_EXPECTS(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::compcache::AssertFail("precondition", #cond, __FILE__, __LINE__); \
+    }                                                                 \
+  } while (0)
+
+// Postcondition check: the implementation failed to establish its promise.
+#define CC_ENSURES(cond)                                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::compcache::AssertFail("postcondition", #cond, __FILE__, __LINE__); \
+    }                                                                  \
+  } while (0)
+
+// Internal invariant check.
+#define CC_ASSERT(cond)                                             \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::compcache::AssertFail("invariant", #cond, __FILE__, __LINE__); \
+    }                                                               \
+  } while (0)
+
+#endif  // COMPCACHE_UTIL_ASSERT_H_

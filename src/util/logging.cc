@@ -1,0 +1,12 @@
+#include "util/logging.h"
+
+namespace compcache {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+}  // namespace compcache

@@ -1,0 +1,32 @@
+// Minimal leveled logging. Off by default; the simulator's normal output channel is
+// the stats report, not a log stream, so logging exists for debugging runs only.
+#ifndef COMPCACHE_UTIL_LOGGING_H_
+#define COMPCACHE_UTIL_LOGGING_H_
+
+#include <cstdio>
+
+namespace compcache {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+}  // namespace compcache
+
+#define CC_LOG(level, ...)                                              \
+  do {                                                                  \
+    if (static_cast<int>(::compcache::GetLogLevel()) >=                 \
+        static_cast<int>(::compcache::LogLevel::level)) {               \
+      std::fprintf(stderr, "[%s] ", #level);                            \
+      std::fprintf(stderr, __VA_ARGS__);                                \
+      std::fputc('\n', stderr);                                         \
+    }                                                                   \
+  } while (0)
+
+#endif  // COMPCACHE_UTIL_LOGGING_H_

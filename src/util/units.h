@@ -1,0 +1,30 @@
+// Size and unit constants shared across the simulator.
+#ifndef COMPCACHE_UTIL_UNITS_H_
+#define COMPCACHE_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace compcache {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// The VM page size used throughout (DECstation 5000/200 under Sprite used 4 KB).
+inline constexpr uint32_t kPageSize = 4096;
+
+// The file system block size; on the measured system a VM page mapped to exactly
+// one file block (paper section 4.3).
+inline constexpr uint32_t kFsBlockSize = 4096;
+
+// Swap fragment size for clustered compressed pages (paper section 4.3: "pads each
+// compressed page to a uniform fragment size (currently 1 Kbyte)").
+inline constexpr uint32_t kSwapFragmentSize = 1024;
+
+// Batched write-out size for compressed fragments (paper: "Currently 32 Kbytes of
+// compressed pages are written at once").
+inline constexpr uint32_t kSwapWriteBatch = 32 * 1024;
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_UTIL_UNITS_H_

@@ -1,0 +1,31 @@
+// Frame allocation seen by memory consumers (VM, compression cache, buffer cache).
+//
+// A consumer never sees allocation failure: when the pool is empty, the
+// implementation (core::Machine) invokes the memory arbiter, which reclaims the
+// globally oldest page among the three consumers (with the paper's biases) and
+// retries. That is exactly Sprite's allocate-by-comparing-ages discipline.
+#ifndef COMPCACHE_VM_FRAME_SOURCE_H_
+#define COMPCACHE_VM_FRAME_SOURCE_H_
+
+#include <span>
+
+#include "vm/frame_pool.h"
+
+namespace compcache {
+
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  // Returns a zeroed frame, reclaiming from other consumers if necessary. Aborts
+  // only if the machine is genuinely wedged (nothing reclaimable anywhere).
+  virtual FrameId AllocateFrame() = 0;
+
+  virtual void FreeFrame(FrameId id) = 0;
+
+  virtual std::span<uint8_t> FrameData(FrameId id) = 0;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_VM_FRAME_SOURCE_H_

@@ -1,0 +1,117 @@
+// Application-facing accessors to simulated virtual memory.
+//
+// Workload programs keep their data in simulated pages and reach it through these
+// wrappers, so every load/store goes through the pager (and can fault) and every
+// byte the applications produce really lives in pages — which is what makes the
+// measured compression ratios genuine rather than assumed.
+#ifndef COMPCACHE_VM_HEAP_H_
+#define COMPCACHE_VM_HEAP_H_
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "sim/clock.h"
+#include "util/assert.h"
+#include "util/units.h"
+#include "vm/pager.h"
+
+namespace compcache {
+
+class Heap {
+ public:
+  // cpu_per_access models the instructions surrounding each memory access on the
+  // paper's 25-MHz CPU. Applications add their own algorithmic CPU time on top.
+  Heap(Pager* pager, Segment* segment, Clock* clock,
+       SimDuration cpu_per_access = SimDuration::Nanos(400))
+      : pager_(pager), segment_(segment), clock_(clock), cpu_per_access_(cpu_per_access) {
+    CC_EXPECTS(pager_ != nullptr && segment_ != nullptr && clock_ != nullptr);
+  }
+
+  uint64_t size_bytes() const { return segment_->size_bytes(); }
+  Segment* segment() { return segment_; }
+
+  void ReadBytes(uint64_t addr, std::span<uint8_t> out) {
+    clock_->Advance(cpu_per_access_);
+    uint64_t pos = 0;
+    while (pos < out.size()) {
+      const uint64_t abs = addr + pos;
+      const uint32_t page = static_cast<uint32_t>(abs / kPageSize);
+      const uint64_t within = abs % kPageSize;
+      const uint64_t n = std::min<uint64_t>(kPageSize - within, out.size() - pos);
+      const auto frame = pager_->Access(*segment_, page, /*write=*/false);
+      std::memcpy(out.data() + pos, frame.data() + within, n);
+      pos += n;
+    }
+  }
+
+  void WriteBytes(uint64_t addr, std::span<const uint8_t> data) {
+    clock_->Advance(cpu_per_access_);
+    uint64_t pos = 0;
+    while (pos < data.size()) {
+      const uint64_t abs = addr + pos;
+      const uint32_t page = static_cast<uint32_t>(abs / kPageSize);
+      const uint64_t within = abs % kPageSize;
+      const uint64_t n = std::min<uint64_t>(kPageSize - within, data.size() - pos);
+      const auto frame = pager_->Access(*segment_, page, /*write=*/true);
+      std::memcpy(frame.data() + within, data.data() + pos, n);
+      pos += n;
+    }
+  }
+
+  template <typename T>
+  T Load(uint64_t addr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CC_EXPECTS(addr + sizeof(T) <= size_bytes());
+    T value;
+    ReadBytes(addr, std::span<uint8_t>(reinterpret_cast<uint8_t*>(&value), sizeof(T)));
+    return value;
+  }
+
+  template <typename T>
+  void Store(uint64_t addr, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CC_EXPECTS(addr + sizeof(T) <= size_bytes());
+    WriteBytes(addr,
+               std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&value), sizeof(T)));
+  }
+
+ private:
+  Pager* pager_;
+  Segment* segment_;
+  Clock* clock_;
+  SimDuration cpu_per_access_;
+};
+
+// A typed array laid out at a base address in a Heap.
+template <typename T>
+class TypedArray {
+ public:
+  TypedArray(Heap* heap, uint64_t base_addr, size_t count)
+      : heap_(heap), base_(base_addr), count_(count) {
+    CC_EXPECTS(heap != nullptr);
+    CC_EXPECTS(base_addr + count * sizeof(T) <= heap->size_bytes());
+  }
+
+  size_t size() const { return count_; }
+  uint64_t byte_at(size_t i) const { return base_ + i * sizeof(T); }
+
+  T Get(size_t i) const {
+    CC_EXPECTS(i < count_);
+    return heap_->Load<T>(byte_at(i));
+  }
+
+  void Set(size_t i, T value) {
+    CC_EXPECTS(i < count_);
+    heap_->Store<T>(byte_at(i), value);
+  }
+
+ private:
+  Heap* heap_;
+  uint64_t base_;
+  size_t count_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_VM_HEAP_H_

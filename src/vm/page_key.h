@@ -1,0 +1,40 @@
+// Identity of a virtual page: (segment, page index). Used as the key for the
+// compression cache and the swap maps.
+#ifndef COMPCACHE_VM_PAGE_KEY_H_
+#define COMPCACHE_VM_PAGE_KEY_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace compcache {
+
+struct PageKey {
+  uint32_t segment = UINT32_MAX;
+  uint32_t page = UINT32_MAX;
+
+  bool valid() const { return segment != UINT32_MAX; }
+  friend bool operator==(PageKey, PageKey) = default;
+  friend auto operator<=>(PageKey, PageKey) = default;
+};
+
+struct PageKeyHash {
+  size_t operator()(PageKey k) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(k.segment) << 32) | k.page);
+  }
+};
+
+// The compression cache's key space is shared between VM pages and (optionally)
+// file-cache blocks — the paper's section-6 extension of keeping "part or all of
+// the file buffer cache in compressed format". File keys set the top segment bit,
+// which no VM segment ever uses.
+inline constexpr uint32_t kFileKeySegmentFlag = 0x8000'0000u;
+
+inline PageKey FileBlockKey(uint32_t file, uint64_t block_index) {
+  return PageKey{kFileKeySegmentFlag | file, static_cast<uint32_t>(block_index)};
+}
+
+inline bool IsFileKey(PageKey key) { return (key.segment & kFileKeySegmentFlag) != 0; }
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_VM_PAGE_KEY_H_

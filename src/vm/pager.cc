@@ -1,0 +1,338 @@
+#include "vm/pager.h"
+
+#include <cstring>
+
+#include "util/assert.h"
+#include "util/units.h"
+
+namespace compcache {
+
+Pager::Pager(Clock* clock, const CostModel* costs, FrameSource* frames, VmOptions options)
+    : clock_(clock), costs_(costs), frames_(frames), options_(options) {
+  CC_EXPECTS(clock_ != nullptr && costs_ != nullptr && frames_ != nullptr);
+}
+
+void Pager::AttachCompressionCache(CompressionCache* ccache, CompressedSwapBackend* cswap) {
+  CC_EXPECTS(ccache != nullptr && cswap != nullptr);
+  CC_EXPECTS(fixed_swap_ == nullptr);
+  ccache_ = ccache;
+  cswap_ = cswap;
+}
+
+void Pager::AttachFixedSwap(FixedSwapLayout* swap) {
+  CC_EXPECTS(swap != nullptr);
+  CC_EXPECTS(ccache_ == nullptr);
+  fixed_swap_ = swap;
+}
+
+Segment* Pager::CreateSegment(size_t num_pages) {
+  CC_EXPECTS(num_pages > 0);
+  CC_EXPECTS(ccache_ != nullptr || fixed_swap_ != nullptr);
+  segments_.push_back(
+      std::make_unique<Segment>(static_cast<uint32_t>(segments_.size()), num_pages));
+  return segments_.back().get();
+}
+
+Segment* Pager::GetSegment(uint32_t id) {
+  CC_EXPECTS(id < segments_.size());
+  return segments_[id].get();
+}
+
+PageEntry& Pager::EntryFor(PageKey key) {
+  CC_EXPECTS(key.segment < segments_.size());
+  return segments_[key.segment]->page(key.page);
+}
+
+void Pager::DropStaleCopies(PageEntry& entry) {
+  if (entry.has_ccache_copy) {
+    CC_ASSERT(ccache_ != nullptr);
+    ccache_->Invalidate(entry.key);
+    entry.has_ccache_copy = false;
+  }
+  if (entry.has_backing_copy) {
+    if (cswap_ != nullptr) {
+      cswap_->Invalidate(entry.key);
+    }
+    // Fixed layout: the stale copy is simply overwritten in place on the next
+    // pageout; only the validity flag changes.
+    entry.has_backing_copy = false;
+  }
+}
+
+std::span<uint8_t> Pager::Access(Segment& segment, uint32_t page, bool write) {
+  ++stats_.accesses;
+  PageEntry& entry = segment.page(page);
+
+  if (entry.state != PageState::kResident) {
+    ServiceFault(segment, entry, write);
+  }
+
+  CC_ASSERT(entry.state == PageState::kResident);
+  entry.age_ns = static_cast<uint64_t>(clock_->Now().nanos());
+  lru_.Touch(entry);
+  if (write && !entry.dirty) {
+    entry.dirty = true;
+    DropStaleCopies(entry);
+  }
+  return frames_->FrameData(entry.frame);
+}
+
+void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
+  ++stats_.faults;
+  clock_->Advance(costs_->fault_overhead);
+
+  // Pin across the fault: frame allocation below may trigger eviction, which must
+  // never pick the page being faulted.
+  entry.pinned = true;
+  const FrameId frame = frames_->AllocateFrame();
+  auto frame_data = frames_->FrameData(frame);
+
+  // Allocation can have reclaimed this page's own compressed copy (clean entries
+  // at the ring head are fair game), so re-read the state now.
+  switch (entry.state) {
+    case PageState::kResident:
+      CC_ASSERT(false && "fault on resident page");
+      break;
+
+    case PageState::kUntouched:
+      // Zero-fill. No copy exists anywhere, so the page is born dirty: eviction
+      // must preserve it.
+      ++stats_.faults_zero_fill;
+      entry.dirty = true;
+      break;
+
+    case PageState::kCompressed: {
+      CC_ASSERT(ccache_ != nullptr);
+      const bool hit = ccache_->FaultIn(entry.key, frame_data);
+      CC_ASSERT(hit);  // state said compressed; events keep it coherent
+      ++stats_.faults_from_ccache;
+      // The compressed copy stays in the cache ("retained ... in the expectation
+      // that they will be accessed again soon"); it dies on the first write.
+      entry.dirty = false;
+      break;
+    }
+
+    case PageState::kSwapped: {
+      if (cswap_ != nullptr) {
+        auto result = cswap_->ReadPage(entry.key, options_.insert_coresidents);
+        if (result.is_compressed) {
+          // Store the compressed image in the cache first (paper 4.1), then
+          // decompress for the faulting process.
+          if (!ccache_->Contains(entry.key)) {
+            ccache_->InsertCompressedClean(entry.key, result.bytes, result.original_size);
+            entry.has_ccache_copy = ccache_->Contains(entry.key);
+          }
+          ccache_->DecompressImage(result.bytes, frame_data);
+        } else {
+          CC_ASSERT(result.bytes.size() == frame_data.size());
+          std::memcpy(frame_data.data(), result.bytes.data(), result.bytes.size());
+          clock_->Advance(costs_->CopyCost(result.bytes.size()), TimeCategory::kCopy);
+        }
+        // Pages that came along for free in the same blocks join the cache too.
+        for (const SwapPageImage& co : result.coresidents) {
+          PageEntry& other = EntryFor(co.key);
+          if (other.state == PageState::kSwapped && co.is_compressed &&
+              !ccache_->Contains(co.key)) {
+            ccache_->InsertCompressedClean(co.key, co.bytes, co.original_size);
+            other.has_ccache_copy = true;
+            other.state = PageState::kCompressed;
+            ++stats_.coresidents_inserted;
+          }
+        }
+      } else {
+        CC_ASSERT(fixed_swap_ != nullptr);
+        fixed_swap_->ReadPage(entry.key, frame_data);
+      }
+      ++stats_.faults_from_swap;
+      entry.has_backing_copy = true;
+      entry.dirty = false;
+      break;
+    }
+  }
+
+  entry.state = PageState::kResident;
+  entry.frame = frame;
+  entry.age_ns = static_cast<uint64_t>(clock_->Now().nanos());
+  lru_.PushMru(entry);
+  entry.pinned = false;
+
+  (void)segment;
+  (void)write;  // dirtying is handled by the caller after the fault completes
+
+  if (post_fault_hook_) {
+    post_fault_hook_();
+  }
+}
+
+void Pager::EvictResident(PageEntry& entry) {
+  CC_ASSERT(entry.state == PageState::kResident);
+  CC_ASSERT(!entry.pinned);
+  ++stats_.evictions;
+
+  // Take the page out of circulation before any nested reclamation can run.
+  lru_.Remove(entry);
+  entry.pinned = true;
+
+  const auto frame_data = frames_->FrameData(entry.frame);
+
+  if (ccache_ != nullptr) {
+    if (!entry.dirty && (entry.has_ccache_copy || entry.has_backing_copy)) {
+      // A consistent copy already exists; the frame can simply be dropped.
+      entry.state =
+          entry.has_ccache_copy ? PageState::kCompressed : PageState::kSwapped;
+      ++stats_.evictions_clean_drop;
+    } else {
+      // Dirty (or never-stored) page: stale copies were invalidated when it was
+      // dirtied, so compress it now.
+      CC_ASSERT(!entry.has_ccache_copy && !entry.has_backing_copy);
+      auto outcome = ccache_->CompressPage(frame_data);
+      if (outcome.keep) {
+        // Free the victim's frame *before* inserting: the ring may need a frame
+        // to grow, and this page's own frame is the natural donor. (Inserting
+        // first would create a frame-allocation cycle under memory exhaustion.)
+        frames_->FreeFrame(entry.frame);
+        entry.frame = FrameId{};
+        ccache_->InsertCompressed(entry.key, outcome.bytes,
+                                  static_cast<uint32_t>(frame_data.size()),
+                                  /*dirty=*/true);
+        entry.has_ccache_copy = true;
+        entry.state = PageState::kCompressed;
+        ++stats_.evictions_compressed;
+        entry.dirty = false;
+        entry.pinned = false;
+        return;  // frame already freed
+      }
+      // Below the 4:3 threshold: store uncompressed on the backing store.
+      SwapPageImage img;
+      img.key = entry.key;
+      img.is_compressed = false;
+      img.original_size = static_cast<uint32_t>(frame_data.size());
+      img.bytes.assign(frame_data.begin(), frame_data.end());
+      clock_->Advance(costs_->CopyCost(img.bytes.size()), TimeCategory::kCopy);
+      cswap_->WriteBatch(std::span<const SwapPageImage>(&img, 1));
+      entry.has_backing_copy = true;
+      entry.state = PageState::kSwapped;
+      ++stats_.evictions_raw_swap;
+    }
+  } else {
+    // Unmodified system: synchronous pageout of dirty pages to the fixed layout.
+    if (entry.dirty || !entry.has_backing_copy) {
+      fixed_swap_->WritePage(entry.key, frame_data);
+      entry.has_backing_copy = true;
+      ++stats_.evictions_std_write;
+    } else {
+      ++stats_.evictions_clean_drop;
+    }
+    entry.state = PageState::kSwapped;
+  }
+
+  entry.dirty = false;
+  frames_->FreeFrame(entry.frame);
+  entry.frame = FrameId{};
+  entry.pinned = false;
+}
+
+void Pager::Advise(Segment& segment, uint32_t first_page, uint32_t page_count, bool pin) {
+  CC_EXPECTS(static_cast<uint64_t>(first_page) + page_count <= segment.num_pages());
+  for (uint32_t p = first_page; p < first_page + page_count; ++p) {
+    segment.page(p).advise_pinned = pin;
+  }
+}
+
+uint64_t Pager::OldestAge() const {
+  const PageEntry* lru = lru_.Lru();
+  return lru == nullptr ? UINT64_MAX : lru->age_ns;
+}
+
+bool Pager::ReleaseOldest() {
+  if (eviction_depth_ >= options_.max_eviction_depth) {
+    return false;
+  }
+  // Find the oldest un-pinned resident page (LRU-to-MRU scan; pinned pages are
+  // rare and transient, so the first hit is almost always the true LRU). Pages
+  // pinned by application advisory are passed over while any other victim
+  // exists; they remain fair game as a last resort — the advisory is a hint.
+  PageEntry* victim = nullptr;
+  PageEntry* advised_fallback = nullptr;
+  lru_.ForEach([&](const PageEntry& e) {
+    if (e.pinned) {
+      return;
+    }
+    if (e.advise_pinned) {
+      if (advised_fallback == nullptr) {
+        advised_fallback = const_cast<PageEntry*>(&e);
+      }
+      return;
+    }
+    if (victim == nullptr) {
+      victim = const_cast<PageEntry*>(&e);
+    }
+  });
+  if (victim == nullptr) {
+    victim = advised_fallback;
+  }
+  if (victim == nullptr) {
+    return false;
+  }
+  ++eviction_depth_;
+  EvictResident(*victim);
+  --eviction_depth_;
+  return true;
+}
+
+void Pager::OnEntryCleaned(PageKey key) {
+  CC_EXPECTS(!IsFileKey(key));  // the machine's router keeps file keys away
+  PageEntry& entry = EntryFor(key);
+  CC_ASSERT(entry.has_ccache_copy);
+  entry.has_backing_copy = true;
+}
+
+void Pager::OnEntryDropped(PageKey key) {
+  PageEntry& entry = EntryFor(key);
+  CC_ASSERT(entry.has_ccache_copy);
+  entry.has_ccache_copy = false;
+  if (entry.state == PageState::kCompressed) {
+    CC_ASSERT(entry.has_backing_copy);
+    entry.state = PageState::kSwapped;
+  }
+}
+
+void Pager::CheckInvariants() const {
+  size_t resident = 0;
+  for (const auto& segment : segments_) {
+    for (uint32_t p = 0; p < segment->num_pages(); ++p) {
+      const PageEntry& e = segment->page(p);
+      switch (e.state) {
+        case PageState::kUntouched:
+          CC_ASSERT(!e.frame.valid() && !e.dirty);
+          CC_ASSERT(!e.has_ccache_copy && !e.has_backing_copy);
+          break;
+        case PageState::kResident:
+          CC_ASSERT(e.frame.valid());
+          ++resident;
+          if (e.dirty) {
+            CC_ASSERT(!e.has_ccache_copy && !e.has_backing_copy);
+          }
+          break;
+        case PageState::kCompressed:
+          CC_ASSERT(!e.frame.valid());
+          CC_ASSERT(e.has_ccache_copy);
+          CC_ASSERT(ccache_ != nullptr && ccache_->Contains(e.key));
+          break;
+        case PageState::kSwapped:
+          CC_ASSERT(!e.frame.valid());
+          CC_ASSERT(!e.has_ccache_copy);
+          CC_ASSERT(e.has_backing_copy);
+          break;
+      }
+      if (e.has_ccache_copy) {
+        CC_ASSERT(ccache_ != nullptr && ccache_->Contains(e.key));
+      } else if (ccache_ != nullptr && e.state != PageState::kResident) {
+        CC_ASSERT(!ccache_->Contains(e.key));
+      }
+    }
+  }
+  CC_ASSERT(resident == lru_.size());
+}
+
+}  // namespace compcache

@@ -1,0 +1,173 @@
+// The VM system: segments, page tables, global LRU, fault service, eviction.
+//
+// Fault policy (paper section 4.1):
+//   "To service a page fault for a page that is not already uncompressed and
+//    resident in memory, the VM system checks to see whether the page is
+//    compressed in memory or on the backing store. If it is on backing store, it
+//    is first brought into memory and stored in the compression cache, then it is
+//    decompressed and made accessible to the faulting process."
+//
+// Eviction policy: "LRU pages are compressed to make room for new pages"; pages
+// that fail the 4:3 threshold are written to the backing store uncompressed. In
+// the unmodified configuration (no compression cache attached) eviction writes
+// dirty pages synchronously to the fixed-layout swap file — the paper's "two disk
+// seeks for each fault, one to write a page out and another to retrieve the page
+// faulted upon".
+#ifndef COMPCACHE_VM_PAGER_H_
+#define COMPCACHE_VM_PAGER_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ccache/compression_cache.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "swap/compressed_swap_backend.h"
+#include "swap/fixed_swap.h"
+#include "util/intrusive_lru.h"
+#include "vm/frame_source.h"
+#include "vm/page_key.h"
+
+namespace compcache {
+
+enum class PageState : uint8_t {
+  kUntouched,   // never materialized; faults zero-fill
+  kResident,    // uncompressed in a frame
+  kCompressed,  // current copy lives in the compression cache
+  kSwapped,     // current copy lives on the backing store
+};
+
+struct PageEntry {
+  PageState state = PageState::kUntouched;
+  FrameId frame;
+  bool dirty = false;   // resident copy modified since the last consistent copy
+  bool pinned = false;  // mid-fault; the evictor must skip it
+  bool advise_pinned = false;  // application advisory: avoid evicting if possible
+  bool has_ccache_copy = false;
+  bool has_backing_copy = false;
+  uint64_t age_ns = 0;
+  PageKey key;  // back-reference for eviction
+  LruLink lru_link;
+};
+
+class Segment {
+ public:
+  Segment(uint32_t id, size_t num_pages) : id_(id), pages_(num_pages) {
+    for (size_t i = 0; i < num_pages; ++i) {
+      pages_[i].key = PageKey{id, static_cast<uint32_t>(i)};
+    }
+  }
+
+  uint32_t id() const { return id_; }
+  size_t num_pages() const { return pages_.size(); }
+  uint64_t size_bytes() const { return pages_.size() * kPageSize; }
+
+  PageEntry& page(uint32_t index) {
+    CC_EXPECTS(index < pages_.size());
+    return pages_[index];
+  }
+  const PageEntry& page(uint32_t index) const {
+    CC_EXPECTS(index < pages_.size());
+    return pages_[index];
+  }
+
+ private:
+  uint32_t id_;
+  std::vector<PageEntry> pages_;
+};
+
+struct VmOptions {
+  // Insert compressed pages that arrive "for free" in a swap block read into the
+  // compression cache (the clustering benefit the paper describes).
+  bool insert_coresidents = true;
+
+  // Safety valve on recursive eviction cascades (insert -> frame alloc -> arbiter
+  // -> evict -> insert ...); beyond this depth the pager refuses and the arbiter
+  // falls back to another memory consumer.
+  int max_eviction_depth = 8;
+};
+
+struct VmStats {
+  uint64_t accesses = 0;
+  uint64_t faults = 0;
+  uint64_t faults_zero_fill = 0;
+  uint64_t faults_from_ccache = 0;   // served by in-memory decompression
+  uint64_t faults_from_swap = 0;     // required backing-store I/O
+  uint64_t coresidents_inserted = 0;
+  uint64_t evictions = 0;
+  uint64_t evictions_clean_drop = 0;  // frame dropped, copy already existed
+  uint64_t evictions_compressed = 0;  // kept in the compression cache
+  uint64_t evictions_raw_swap = 0;    // failed threshold, written uncompressed
+  uint64_t evictions_std_write = 0;   // unmodified-system synchronous pageout
+};
+
+class Pager : public CcacheEvents {
+ public:
+  Pager(Clock* clock, const CostModel* costs, FrameSource* frames, VmOptions options = {});
+
+  // Wire exactly one backing configuration before creating segments:
+  //   compression-cache mode: ccache + clustered swap;
+  //   unmodified ("std") mode: fixed swap only.
+  void AttachCompressionCache(CompressionCache* ccache, CompressedSwapBackend* cswap);
+  void AttachFixedSwap(FixedSwapLayout* swap);
+
+  Segment* CreateSegment(size_t num_pages);
+  Segment* GetSegment(uint32_t id);
+
+  // Touches one page, faulting as needed, and returns its frame data. The span is
+  // valid only until the next pager/file operation. `write` marks the page dirty
+  // and invalidates now-stale compressed/backing copies.
+  std::span<uint8_t> Access(Segment& segment, uint32_t page, bool write);
+
+  // LRU advisory (paper section 3): the application hints that these pages should
+  // be retained — the evictor prefers other victims. A hint, not a guarantee: if
+  // nothing else is evictable, advised pages are evicted anyway.
+  void Advise(Segment& segment, uint32_t first_page, uint32_t page_count, bool pin);
+
+  // Called after every serviced fault (the machine hangs the compression-cache
+  // cleaner here).
+  void SetPostFaultHook(std::function<void()> hook) { post_fault_hook_ = std::move(hook); }
+
+  // --- memory arbitration interface ---
+  uint64_t OldestAge() const;
+  bool ReleaseOldest();
+
+  // --- CcacheEvents ---
+  void OnEntryCleaned(PageKey key) override;
+  void OnEntryDropped(PageKey key) override;
+
+  size_t resident_pages() const { return lru_.size(); }
+  const VmStats& stats() const { return stats_; }
+  bool uses_compression_cache() const { return ccache_ != nullptr; }
+
+  // Validates page-state/bookkeeping invariants (test hook).
+  void CheckInvariants() const;
+
+ private:
+  PageEntry& EntryFor(PageKey key);
+  void ServiceFault(Segment& segment, PageEntry& entry, bool write);
+  void DropStaleCopies(PageEntry& entry);
+  void EvictResident(PageEntry& entry);
+
+  Clock* clock_;
+  const CostModel* costs_;
+  FrameSource* frames_;
+  VmOptions options_;
+
+  CompressionCache* ccache_ = nullptr;
+  CompressedSwapBackend* cswap_ = nullptr;
+  FixedSwapLayout* fixed_swap_ = nullptr;
+
+  std::vector<std::unique_ptr<Segment>> segments_;
+  LruList<PageEntry> lru_;  // resident pages, LRU first
+  std::function<void()> post_fault_hook_;
+  int eviction_depth_ = 0;
+
+  VmStats stats_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_VM_PAGER_H_

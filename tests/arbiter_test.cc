@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "policy/memory_arbiter.h"
+
+namespace compcache {
+namespace {
+
+struct FakeConsumer {
+  uint64_t age = UINT64_MAX;
+  bool will_release = true;
+  int released = 0;
+
+  void AddTo(MemoryArbiter& arbiter, const std::string& name, SimDuration bias) {
+    arbiter.AddConsumer(
+        name, [this] { return age; },
+        [this] {
+          if (!will_release) {
+            return false;
+          }
+          ++released;
+          return true;
+        },
+        bias);
+  }
+};
+
+TEST(ArbiterTest, PicksOldestConsumer) {
+  MemoryArbiter arbiter;
+  FakeConsumer a;
+  FakeConsumer b;
+  a.age = 100;
+  b.age = 200;
+  a.AddTo(arbiter, "a", SimDuration::Nanos(0));
+  b.AddTo(arbiter, "b", SimDuration::Nanos(0));
+  EXPECT_TRUE(arbiter.ReclaimOne());
+  EXPECT_EQ(a.released, 1);
+  EXPECT_EQ(b.released, 0);
+}
+
+TEST(ArbiterTest, BiasMakesConsumerLookYounger) {
+  MemoryArbiter arbiter;
+  FakeConsumer favored;
+  FakeConsumer plain;
+  favored.age = 100;  // older in raw age
+  plain.age = 150;
+  favored.AddTo(arbiter, "favored", SimDuration::Nanos(100));  // effective 200
+  plain.AddTo(arbiter, "plain", SimDuration::Nanos(0));        // effective 150
+  EXPECT_TRUE(arbiter.ReclaimOne());
+  EXPECT_EQ(plain.released, 1);  // the biased consumer was retained
+  EXPECT_EQ(favored.released, 0);
+}
+
+TEST(ArbiterTest, EmptyConsumersAreSkipped) {
+  MemoryArbiter arbiter;
+  FakeConsumer empty;
+  FakeConsumer full;
+  empty.age = UINT64_MAX;
+  full.age = 999;
+  empty.AddTo(arbiter, "empty", SimDuration::Nanos(0));
+  full.AddTo(arbiter, "full", SimDuration::Nanos(0));
+  EXPECT_TRUE(arbiter.ReclaimOne());
+  EXPECT_EQ(full.released, 1);
+  EXPECT_EQ(empty.released, 0);
+}
+
+TEST(ArbiterTest, RefusalFallsBackToNextOldest) {
+  MemoryArbiter arbiter;
+  FakeConsumer stubborn;
+  FakeConsumer backup;
+  stubborn.age = 10;
+  stubborn.will_release = false;
+  backup.age = 20;
+  stubborn.AddTo(arbiter, "stubborn", SimDuration::Nanos(0));
+  backup.AddTo(arbiter, "backup", SimDuration::Nanos(0));
+  EXPECT_TRUE(arbiter.ReclaimOne());
+  EXPECT_EQ(backup.released, 1);
+  EXPECT_EQ(arbiter.consumers()[0].refusals, 1u);
+}
+
+TEST(ArbiterTest, AllEmptyOrRefusingFails) {
+  MemoryArbiter arbiter;
+  FakeConsumer a;
+  a.age = 5;
+  a.will_release = false;
+  a.AddTo(arbiter, "a", SimDuration::Nanos(0));
+  EXPECT_FALSE(arbiter.ReclaimOne());
+}
+
+TEST(ArbiterTest, BiasSaturatesWithoutOverflow) {
+  MemoryArbiter arbiter;
+  FakeConsumer near_max;
+  near_max.age = UINT64_MAX - 5;
+  near_max.AddTo(arbiter, "near_max", SimDuration::Seconds(10));
+  FakeConsumer normal;
+  normal.age = 100;
+  normal.AddTo(arbiter, "normal", SimDuration::Nanos(0));
+  EXPECT_TRUE(arbiter.ReclaimOne());
+  EXPECT_EQ(normal.released, 1);
+}
+
+TEST(ArbiterTest, ReclaimCountsTracked) {
+  MemoryArbiter arbiter;
+  FakeConsumer a;
+  a.age = 1;
+  a.AddTo(arbiter, "a", SimDuration::Nanos(0));
+  arbiter.ReclaimOne();
+  arbiter.ReclaimOne();
+  EXPECT_EQ(arbiter.consumers()[0].reclaims, 2u);
+}
+
+}  // namespace
+}  // namespace compcache

@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "compress/codec.h"
+#include "compress/lzrw1.h"
+#include "compress/lzrw1a.h"
+#include "compress/pagegen.h"
+#include "compress/registry.h"
+#include "compress/rle.h"
+#include "compress/store.h"
+#include "compress/wk.h"
+#include "compress/threshold.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace compcache {
+namespace {
+
+std::vector<uint8_t> RoundTrip(Codec& codec, const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> compressed(codec.MaxCompressedSize(input.size()));
+  const size_t c = codec.Compress(input, compressed);
+  EXPECT_LE(c, codec.MaxCompressedSize(input.size()));
+  compressed.resize(c);
+  std::vector<uint8_t> output(input.size());
+  const size_t d = codec.Decompress(compressed, output);
+  EXPECT_EQ(d, input.size());
+  return output;
+}
+
+// ---------- parameterized round-trip sweep: codec x content x size ----------
+
+using RoundTripParam = std::tuple<std::string, ContentClass, size_t>;
+
+class CodecRoundTripTest : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(CodecRoundTripTest, LosslessRoundTrip) {
+  const auto& [codec_name, content, size] = GetParam();
+  auto codec = MakeCodec(codec_name);
+  Rng rng(static_cast<uint64_t>(size) * 31 + static_cast<uint64_t>(content));
+  std::vector<uint8_t> input(size);
+  if (!input.empty()) {
+    FillPage(input, content, rng);
+  }
+  EXPECT_EQ(RoundTrip(*codec, input), input);
+}
+
+std::vector<RoundTripParam> AllRoundTripParams() {
+  std::vector<RoundTripParam> params;
+  for (const auto& name : KnownCodecNames()) {
+    for (const ContentClass content : AllContentClasses()) {
+      for (const size_t size : {size_t{1}, size_t{2}, size_t{3}, size_t{15}, size_t{16},
+                                size_t{17}, size_t{100}, size_t{1024}, size_t{4096},
+                                size_t{4097}, size_t{16384}}) {
+        params.emplace_back(name, content, size);
+      }
+    }
+  }
+  return params;
+}
+
+std::string RoundTripParamName(const ::testing::TestParamInfo<RoundTripParam>& info) {
+  const auto& [name, content, size] = info.param;
+  return name + "_" + std::string(ContentClassName(content)) + "_" + std::to_string(size);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTripTest,
+                         ::testing::ValuesIn(AllRoundTripParams()), RoundTripParamName);
+
+// ---------- expansion bound ----------
+
+class CodecBoundTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CodecBoundTest, NeverExceedsMaxCompressedSize) {
+  auto codec = MakeCodec(GetParam());
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t size = 1 + rng.Below(8192);
+    std::vector<uint8_t> input(size);
+    for (auto& b : input) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    std::vector<uint8_t> out(codec->MaxCompressedSize(size));
+    const size_t c = codec->Compress(input, out);
+    EXPECT_LE(c, codec->MaxCompressedSize(size));
+    // Random data must fall back to the raw container: at most size + 1 bytes.
+    EXPECT_LE(c, size + 1);
+  }
+}
+
+TEST_P(CodecBoundTest, EmptyInput) {
+  auto codec = MakeCodec(GetParam());
+  std::vector<uint8_t> out(codec->MaxCompressedSize(0));
+  const size_t c = codec->Compress({}, out);
+  EXPECT_GE(c, 1u);
+  std::vector<uint8_t> empty;
+  EXPECT_EQ(codec->Decompress(std::span<const uint8_t>(out.data(), c), empty), 0u);
+}
+
+std::string BoundParamName(const ::testing::TestParamInfo<std::string>& info) {
+  return info.param;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecBoundTest, ::testing::ValuesIn(KnownCodecNames()),
+                         BoundParamName);
+
+// ---------- compression-quality expectations ----------
+
+TEST(Lzrw1Test, ZeroPageCompressesExtremely) {
+  std::vector<uint8_t> page(kPageSize, 0);
+  Lzrw1 codec;
+  std::vector<uint8_t> out(codec.MaxCompressedSize(page.size()));
+  const size_t c = codec.Compress(page, out);
+  EXPECT_LT(c, kPageSize / 8);  // far better than 8:1
+}
+
+TEST(Lzrw1Test, RandomPageStoredRaw) {
+  Rng rng(1);
+  std::vector<uint8_t> page(kPageSize);
+  FillPage(page, ContentClass::kRandom, rng);
+  Lzrw1 codec;
+  std::vector<uint8_t> out(codec.MaxCompressedSize(page.size()));
+  const size_t c = codec.Compress(page, out);
+  EXPECT_EQ(c, kPageSize + 1);  // raw container
+  EXPECT_EQ(out[0], kContainerRaw);
+}
+
+TEST(Lzrw1Test, RepetitiveTextBeatsThreePerFour) {
+  Rng rng(2);
+  std::vector<uint8_t> page(kPageSize);
+  FillPage(page, ContentClass::kRepetitiveText, rng);
+  Lzrw1 codec;
+  std::vector<uint8_t> out(codec.MaxCompressedSize(page.size()));
+  const size_t c = codec.Compress(page, out);
+  // Must pass the paper's 4:3 threshold comfortably.
+  EXPECT_LT(c, kPageSize * 3 / 4);
+}
+
+TEST(Lzrw1Test, SparseNumericRoughlyFourToOne) {
+  Rng rng(3);
+  RunningStats ratio;
+  for (int i = 0; i < 32; ++i) {
+    std::vector<uint8_t> page(kPageSize);
+    FillPage(page, ContentClass::kSparseNumeric, rng);
+    ratio.Add(MeasureLzrw1Ratio(page));
+  }
+  // The paper's thrasher pages compressed "roughly 4:1".
+  EXPECT_GT(ratio.mean(), 2.5);
+  EXPECT_LT(ratio.mean(), 8.0);
+}
+
+TEST(Lzrw1Test, ShuffledWordsFailThreshold) {
+  Rng rng(4);
+  const CompressionThreshold threshold;  // 4:3
+  int below = 0;
+  const int n = 64;
+  for (int i = 0; i < n; ++i) {
+    std::vector<uint8_t> page(kPageSize);
+    FillPage(page, ContentClass::kShuffledWords, rng);
+    Lzrw1 codec;
+    std::vector<uint8_t> out(codec.MaxCompressedSize(page.size()));
+    const size_t c = codec.Compress(page, out);
+    if (!threshold.KeepCompressed(kPageSize, c)) {
+      ++below;
+    }
+  }
+  // The paper saw ~98% of sort-random pages below 4:3; require a strong majority.
+  EXPECT_GT(below, n * 3 / 4);
+}
+
+TEST(Lzrw1Test, LargerHashTableCompressesNoWorse) {
+  Rng rng(5);
+  std::vector<uint8_t> page(kPageSize);
+  FillPage(page, ContentClass::kText, rng);
+  Lzrw1 small(10);
+  Lzrw1 large(16);
+  std::vector<uint8_t> out_small(small.MaxCompressedSize(page.size()));
+  std::vector<uint8_t> out_large(large.MaxCompressedSize(page.size()));
+  const size_t cs = small.Compress(page, out_small);
+  const size_t cl = large.Compress(page, out_large);
+  EXPECT_LE(cl, cs + 64);  // a larger table should not be much worse
+}
+
+TEST(Lzrw1Test, HashTableBytesMatchesPaperDefault) {
+  Lzrw1 codec(12);
+  EXPECT_EQ(codec.hash_table_bytes(), 16u * 1024);  // the paper's 16 KB
+}
+
+TEST(Lzrw1aTest, NoWorseThanLzrw1OnText) {
+  Rng rng(6);
+  uint64_t total1 = 0;
+  uint64_t total1a = 0;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<uint8_t> page(kPageSize);
+    FillPage(page, ContentClass::kText, rng);
+    Lzrw1 c1;
+    Lzrw1a c1a;
+    std::vector<uint8_t> out(c1.MaxCompressedSize(page.size()));
+    total1 += c1.Compress(page, out);
+    total1a += c1a.Compress(page, out);
+  }
+  EXPECT_LE(total1a, total1);  // the two-way bucket must pay off on average
+}
+
+TEST(Lzrw1aTest, BitstreamDecodableByLzrw1) {
+  Rng rng(8);
+  std::vector<uint8_t> page(kPageSize);
+  FillPage(page, ContentClass::kRepetitiveText, rng);
+  Lzrw1a enc;
+  std::vector<uint8_t> compressed(enc.MaxCompressedSize(page.size()));
+  const size_t c = enc.Compress(page, compressed);
+  Lzrw1 dec;
+  std::vector<uint8_t> out(page.size());
+  dec.Decompress(std::span<const uint8_t>(compressed.data(), c), out);
+  EXPECT_EQ(out, page);
+}
+
+TEST(RleTest, RunsCollapse) {
+  std::vector<uint8_t> input(1000, 0xAB);
+  RleCodec codec;
+  std::vector<uint8_t> out(codec.MaxCompressedSize(input.size()));
+  const size_t c = codec.Compress(input, out);
+  EXPECT_LT(c, 32u);
+}
+
+TEST(RleTest, AlternatingBytesFallBackRaw) {
+  std::vector<uint8_t> input(1000);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<uint8_t>(i & 1);
+  }
+  RleCodec codec;
+  std::vector<uint8_t> out(codec.MaxCompressedSize(input.size()));
+  const size_t c = codec.Compress(input, out);
+  EXPECT_EQ(c, input.size() + 1);
+}
+
+TEST(StoreTest, AlwaysRaw) {
+  std::vector<uint8_t> input{1, 2, 3};
+  StoreCodec codec;
+  std::vector<uint8_t> out(codec.MaxCompressedSize(input.size()));
+  EXPECT_EQ(codec.Compress(input, out), 4u);
+  EXPECT_EQ(out[0], kContainerRaw);
+}
+
+
+// ---------- WK word codec ----------
+
+TEST(WkTest, PointerPagesBeatLzrw1) {
+  // A page of word-aligned "pointers" into a small region — sort's index pages,
+  // gold's postings. LZRW1 sees near-random bytes; the word model sees partial
+  // dictionary matches.
+  Rng rng(21);
+  std::vector<uint8_t> page(kPageSize);
+  for (size_t w = 0; w < kPageSize / 4; ++w) {
+    // Pointers into a 16 KB hot structure: upper 22 bits take ~16 values (the
+    // dictionary covers them); low 10 bits vary freely.
+    const uint32_t pointer = 0x10000000u + static_cast<uint32_t>(rng.Below(1 << 14));
+    std::memcpy(page.data() + w * 4, &pointer, 4);
+  }
+  WkCodec wk;
+  Lzrw1 lz;
+  std::vector<uint8_t> out(wk.MaxCompressedSize(page.size()));
+  std::vector<uint8_t> out2(lz.MaxCompressedSize(page.size()));
+  const size_t wk_size = wk.Compress(page, out);
+  const size_t lz_size = lz.Compress(page, out2);
+  EXPECT_LT(wk_size, lz_size);
+  EXPECT_LT(wk_size, kPageSize * 3 / 4);  // wk passes the paper's 4:3 threshold...
+  EXPECT_GT(lz_size, kPageSize * 3 / 4);  // ...where LZRW1 fails it
+}
+
+TEST(WkTest, ZeroPageNearOptimal) {
+  std::vector<uint8_t> page(kPageSize, 0);
+  WkCodec wk;
+  std::vector<uint8_t> out(wk.MaxCompressedSize(page.size()));
+  const size_t c = wk.Compress(page, out);
+  // 2 bits per word plus headers: ~260 bytes for a 4 KB page.
+  EXPECT_LT(c, 300u);
+}
+
+TEST(WkTest, UnalignedTailPreserved) {
+  Rng rng(22);
+  for (const size_t n : {17u, 33u, 1001u, 4095u}) {
+    std::vector<uint8_t> input(n);
+    FillPage(input, ContentClass::kSparseNumeric, rng);
+    WkCodec wk;
+    std::vector<uint8_t> out(wk.MaxCompressedSize(n));
+    const size_t c = wk.Compress(input, out);
+    std::vector<uint8_t> back(n);
+    wk.Decompress(std::span<const uint8_t>(out.data(), c), back);
+    EXPECT_EQ(back, input) << n;
+  }
+}
+
+TEST(WkTest, RandomWordsFallBackRaw) {
+  Rng rng(23);
+  std::vector<uint8_t> page(kPageSize);
+  FillPage(page, ContentClass::kRandom, rng);
+  WkCodec wk;
+  std::vector<uint8_t> out(wk.MaxCompressedSize(page.size()));
+  const size_t c = wk.Compress(page, out);
+  EXPECT_EQ(c, kPageSize + 1);
+  EXPECT_EQ(out[0], kContainerRaw);
+}
+
+// ---------- decompression matches across hash-table sizes ----------
+
+class HashBitsTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HashBitsTest, RoundTripAtAnyTableSize) {
+  Lzrw1 codec(GetParam());
+  Rng rng(17);
+  std::vector<uint8_t> page(kPageSize);
+  FillPage(page, ContentClass::kText, rng);
+  EXPECT_EQ(RoundTrip(codec, page), page);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableSizes, HashBitsTest, ::testing::Values(8u, 10u, 12u, 14u, 18u));
+
+// ---------- threshold ----------
+
+TEST(ThresholdTest, PaperDefault) {
+  const CompressionThreshold t;  // 4:3
+  EXPECT_TRUE(t.KeepCompressed(4096, 3072));
+  EXPECT_FALSE(t.KeepCompressed(4096, 3073));
+  EXPECT_EQ(t.MaxAcceptable(4096), 3072u);
+}
+
+TEST(ThresholdTest, TwoToOne) {
+  const CompressionThreshold t(2, 1);
+  EXPECT_TRUE(t.KeepCompressed(4096, 2048));
+  EXPECT_FALSE(t.KeepCompressed(4096, 2049));
+}
+
+TEST(ThresholdTest, OneToOneKeepsEverythingNotExpanded) {
+  const CompressionThreshold t(1, 1);
+  EXPECT_TRUE(t.KeepCompressed(4096, 4096));
+  EXPECT_FALSE(t.KeepCompressed(4096, 4097));
+}
+
+// ---------- registry ----------
+
+TEST(RegistryTest, KnownNamesConstruct) {
+  for (const auto& name : KnownCodecNames()) {
+    auto codec = MakeCodec(name);
+    ASSERT_NE(codec, nullptr);
+    EXPECT_EQ(codec->name(), name);
+  }
+}
+
+// ---------- pagegen ----------
+
+TEST(PagegenTest, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  std::vector<uint8_t> pa(kPageSize);
+  std::vector<uint8_t> pb(kPageSize);
+  for (const ContentClass c : AllContentClasses()) {
+    FillPage(pa, c, a);
+    FillPage(pb, c, b);
+    EXPECT_EQ(pa, pb) << ContentClassName(c);
+  }
+}
+
+TEST(PagegenTest, CompressibilityOrdering) {
+  // zero <= sparse <= repetitive <= text <= shuffled <= random, in compressed size.
+  Rng rng(77);
+  std::vector<double> sizes;
+  for (const ContentClass c :
+       {ContentClass::kZero, ContentClass::kSparseNumeric, ContentClass::kRepetitiveText,
+        ContentClass::kText, ContentClass::kShuffledWords, ContentClass::kRandom}) {
+    double total = 0;
+    for (int i = 0; i < 8; ++i) {
+      std::vector<uint8_t> page(kPageSize);
+      FillPage(page, c, rng);
+      total += 1.0 / MeasureLzrw1Ratio(page);
+    }
+    sizes.push_back(total);
+  }
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i - 1], sizes[i] * 1.05) << "class order " << i;
+  }
+}
+
+}  // namespace
+}  // namespace compcache

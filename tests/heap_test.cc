@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/machine.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "apps/thrasher.h"
+#include "vm/heap.h"
+
+namespace compcache {
+namespace {
+
+class HeapTest : public ::testing::Test {
+ protected:
+  HeapTest() : machine_(SmallConfig(true)), heap_(machine_.NewHeap(64 * kPageSize)) {}
+
+  Machine machine_;
+  Heap heap_;
+};
+
+TEST_F(HeapTest, LoadStoreRoundTrip) {
+  heap_.Store<uint64_t>(128, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(heap_.Load<uint64_t>(128), 0xDEADBEEFCAFEF00Dull);
+}
+
+TEST_F(HeapTest, PageCrossingAccess) {
+  // An 8-byte value straddling a page boundary must split correctly.
+  const uint64_t addr = kPageSize - 4;
+  heap_.Store<uint64_t>(addr, 0x1122334455667788ull);
+  EXPECT_EQ(heap_.Load<uint64_t>(addr), 0x1122334455667788ull);
+  // The two halves land on the right pages.
+  EXPECT_EQ(heap_.Load<uint32_t>(addr), 0x55667788u);
+  EXPECT_EQ(heap_.Load<uint32_t>(kPageSize), 0x11223344u);
+}
+
+TEST_F(HeapTest, ReadWriteBytesArbitrarySpans) {
+  Rng rng(1);
+  std::vector<uint8_t> data(3 * kPageSize + 333);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  heap_.WriteBytes(kPageSize / 2, data);
+  std::vector<uint8_t> out(data.size());
+  heap_.ReadBytes(kPageSize / 2, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(HeapTest, AccessesChargeCpuTime) {
+  const SimTime before = machine_.clock().Now();
+  (void)heap_.Load<uint32_t>(8 * kPageSize + 4);  // includes a fault
+  const SimTime after_fault = machine_.clock().Now();
+  EXPECT_GT((after_fault - before).nanos(), 0);
+
+  (void)heap_.Load<uint32_t>(8 * kPageSize + 4);  // resident: only CPU cost
+  const SimDuration hit_cost = machine_.clock().Now() - after_fault;
+  EXPECT_GT(hit_cost.nanos(), 0);
+  EXPECT_LT(hit_cost.nanos(), (after_fault - before).nanos());
+}
+
+TEST_F(HeapTest, TypedArrayRoundTrip) {
+  TypedArray<int64_t> array(&heap_, 2 * kPageSize, 1000);
+  for (size_t i = 0; i < array.size(); ++i) {
+    array.Set(i, static_cast<int64_t>(i) * 7 - 3);
+  }
+  for (size_t i = 0; i < array.size(); ++i) {
+    ASSERT_EQ(array.Get(i), static_cast<int64_t>(i) * 7 - 3) << i;
+  }
+}
+
+TEST_F(HeapTest, TypedArrayStruct) {
+  struct Pair {
+    uint32_t a;
+    uint32_t b;
+  };
+  TypedArray<Pair> array(&heap_, 0, 512);
+  array.Set(511, Pair{17, 34});
+  const Pair got = array.Get(511);
+  EXPECT_EQ(got.a, 17u);
+  EXPECT_EQ(got.b, 34u);
+}
+
+// ---------- the section-3 LRU advisory ----------
+
+TEST(AdvisoryTest, PinnedPagesSurvivePressure) {
+  Machine machine(SmallConfig(false, 1 * kMiB));
+  Heap heap = machine.NewHeap(2 * kMiB);
+  const uint64_t pages = heap.size_bytes() / kPageSize;
+
+  // Touch the first 16 pages and pin them, then sweep everything else twice.
+  for (uint32_t p = 0; p < 16; ++p) {
+    heap.Store<uint32_t>(static_cast<uint64_t>(p) * kPageSize, p);
+  }
+  machine.pager().Advise(*heap.segment(), 0, 16, /*pin=*/true);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t p = 16; p < pages; ++p) {
+      heap.Store<uint32_t>(p * kPageSize, 1);
+    }
+  }
+  for (uint32_t p = 0; p < 16; ++p) {
+    EXPECT_EQ(heap.segment()->page(p).state, PageState::kResident) << p;
+  }
+}
+
+TEST(AdvisoryTest, AdvisoryIsOnlyAHint) {
+  // Pin more than fits: the evictor must fall back to advised pages instead of
+  // wedging the machine.
+  Machine machine(SmallConfig(false, 1 * kMiB));
+  Heap heap = machine.NewHeap(2 * kMiB);
+  const auto pages = static_cast<uint32_t>(heap.size_bytes() / kPageSize);
+  machine.pager().Advise(*heap.segment(), 0, pages, /*pin=*/true);
+  Rng rng(3);
+  for (uint32_t p = 0; p < pages; ++p) {
+    heap.Store<uint32_t>(static_cast<uint64_t>(p) * kPageSize, p);
+  }
+  // Everything still readable.
+  for (uint32_t p = 0; p < pages; ++p) {
+    ASSERT_EQ(heap.Load<uint32_t>(static_cast<uint64_t>(p) * kPageSize), p);
+  }
+}
+
+TEST(AdvisoryTest, UnpinRestoresNormalEviction) {
+  Machine machine(SmallConfig(false, 1 * kMiB));
+  Heap heap = machine.NewHeap(2 * kMiB);
+  for (uint32_t p = 0; p < 16; ++p) {
+    heap.Store<uint32_t>(static_cast<uint64_t>(p) * kPageSize, p);
+  }
+  machine.pager().Advise(*heap.segment(), 0, 16, true);
+  machine.pager().Advise(*heap.segment(), 0, 16, false);
+  const uint64_t pages = heap.size_bytes() / kPageSize;
+  for (uint64_t p = 16; p < pages; ++p) {
+    heap.Store<uint32_t>(p * kPageSize, 1);
+  }
+  // With the hint removed, the early pages were evicted like any LRU victim.
+  int resident = 0;
+  for (uint32_t p = 0; p < 16; ++p) {
+    resident += heap.segment()->page(p).state == PageState::kResident;
+  }
+  EXPECT_EQ(resident, 0);
+}
+
+TEST(AdvisoryTest, ReducesFaultsOnCyclicSweep) {
+  // The paper's example: pinning part of a cyclic working set converts the
+  // all-faults pattern into faults on the unpinned remainder only.
+  auto faults = [](double pin_fraction) {
+    Machine machine(SmallConfig(false, 2 * kMiB));
+    ThrasherOptions options;
+    options.address_space_bytes = 4 * kMiB;
+    options.passes = 8;  // enough passes that steady state dominates the setup
+    options.advisory_pin_fraction = pin_fraction;
+    Thrasher app(options);
+    app.Run(machine);
+    return machine.pager().stats().faults;
+  };
+  EXPECT_LT(faults(0.45), faults(0.0) * 3 / 4);
+}
+
+}  // namespace
+}  // namespace compcache

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "model/analytic.h"
+
+namespace compcache {
+namespace {
+
+TEST(BandwidthModelTest, NoCompressionBenefitAtRatioOne) {
+  // With no size reduction, compression only adds work: always a slowdown.
+  for (const double speed : {0.5, 1.0, 4.0, 64.0}) {
+    EXPECT_LT(BandwidthSpeedup(1.0, speed), 1.0) << speed;
+  }
+}
+
+TEST(BandwidthModelTest, FastCompressionGoodRatioWins) {
+  EXPECT_GT(BandwidthSpeedup(0.25, 8.0), 2.0);
+  EXPECT_GT(BandwidthSpeedup(0.1, 64.0), 6.0);  // the dark top-left region
+}
+
+TEST(BandwidthModelTest, SlowCompressionLoses) {
+  // "if pages do not compress well, then compression must be much faster than I/O
+  // or overall performance will be worse."
+  EXPECT_LT(BandwidthSpeedup(0.9, 0.5), 1.0);
+}
+
+TEST(BandwidthModelTest, MonotonicInSpeed) {
+  double prev = 0;
+  for (const double speed : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double s = BandwidthSpeedup(0.5, speed);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(BandwidthModelTest, MonotonicInRatio) {
+  double prev = 0;
+  for (const double ratio : {1.0, 0.8, 0.6, 0.4, 0.2, 0.05}) {
+    const double s = BandwidthSpeedup(ratio, 4.0);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(BandwidthModelTest, AsymptoteIsOneOverRatio) {
+  // With infinitely fast compression, only the transfers remain.
+  EXPECT_NEAR(BandwidthSpeedup(0.5, 1e9), 2.0, 1e-3);
+  EXPECT_NEAR(BandwidthSpeedup(0.25, 1e9), 4.0, 1e-3);
+}
+
+TEST(MemRefModelTest, LinearInSpeedWhenDataFits) {
+  // Paper: "if pages are compressed to no larger than half their original size,
+  // on average, the speedup due to compression is linear in the speed of
+  // compression."
+  const double s1 = MemoryReferenceSpeedup(0.3, 1.0);
+  const double s2 = MemoryReferenceSpeedup(0.3, 2.0);
+  const double s4 = MemoryReferenceSpeedup(0.3, 4.0);
+  EXPECT_NEAR(s2 / s1, 2.0, 1e-9);
+  EXPECT_NEAR(s4 / s2, 2.0, 1e-9);
+}
+
+TEST(MemRefModelTest, SharpLeapAtFitBoundary) {
+  // Crossing the fits-in-memory boundary changes the speedup discontinuously.
+  const double fits = MemoryReferenceSpeedup(0.499, 4.0);
+  const double spills = MemoryReferenceSpeedup(0.501, 4.0);
+  EXPECT_GT(fits, 4 * spills);
+}
+
+TEST(MemRefModelTest, PoorRatioIsASlowdown) {
+  // Beyond the fit point with ratio near 1, compression adds work and still does
+  // all the I/O: slower than the unmodified system.
+  EXPECT_LT(MemoryReferenceSpeedup(1.0, 2.0), 1.0);
+}
+
+TEST(MemRefModelTest, InMemoryRegionIndependentOfRatio) {
+  // Once everything fits compressed, the exact ratio no longer matters.
+  EXPECT_DOUBLE_EQ(MemoryReferenceSpeedup(0.2, 4.0), MemoryReferenceSpeedup(0.4, 4.0));
+}
+
+TEST(MemRefModelTest, DecompressFactorMatters) {
+  AnalyticParams slow_decompress;
+  slow_decompress.decompress_factor = 1.0;
+  AnalyticParams fast_decompress;
+  fast_decompress.decompress_factor = 4.0;
+  EXPECT_LT(MemoryReferenceSpeedup(0.3, 4.0, slow_decompress),
+            MemoryReferenceSpeedup(0.3, 4.0, fast_decompress));
+}
+
+TEST(MemRefModelTest, HigherIoOverheadAmplifiesBenefit) {
+  AnalyticParams cheap_io;
+  cheap_io.io_overhead_factor = 1.0;
+  AnalyticParams costly_io;
+  costly_io.io_overhead_factor = 8.0;
+  EXPECT_LT(MemoryReferenceSpeedup(0.3, 4.0, cheap_io),
+            MemoryReferenceSpeedup(0.3, 4.0, costly_io));
+}
+
+}  // namespace
+}  // namespace compcache

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/pagegen.h"
+#include "core/machine.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "vm/heap.h"
+
+namespace compcache {
+namespace {
+
+std::vector<uint8_t> MakePageBytes(ContentClass content, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> page(kPageSize);
+  FillPage(page, content, rng);
+  return page;
+}
+
+class PagerModeTest : public ::testing::TestWithParam<bool> {};  // param: use ccache
+
+TEST_P(PagerModeTest, ZeroFillFirstTouch) {
+  Machine machine(SmallConfig(GetParam()));
+  Heap heap = machine.NewHeap(64 * kPageSize);
+  std::vector<uint8_t> out(kPageSize);
+  heap.ReadBytes(0, out);
+  for (const uint8_t b : out) {
+    ASSERT_EQ(b, 0);
+  }
+  EXPECT_EQ(machine.pager().stats().faults_zero_fill, 1u);
+}
+
+TEST_P(PagerModeTest, DataSurvivesHeavyPaging) {
+  // Working set 2x memory: every page must round-trip through the paging
+  // hierarchy (compression cache and/or swap) unchanged.
+  Machine machine(SmallConfig(GetParam(), 2 * kMiB));
+  const uint64_t pages = (4 * kMiB) / kPageSize;
+  Heap heap = machine.NewHeap(pages * kPageSize);
+
+  std::vector<std::vector<uint8_t>> shadow(pages);
+  Rng rng(1);
+  for (uint64_t p = 0; p < pages; ++p) {
+    const ContentClass content =
+        p % 3 == 0 ? ContentClass::kRandom
+                   : (p % 3 == 1 ? ContentClass::kRepetitiveText : ContentClass::kSparseNumeric);
+    shadow[p] = MakePageBytes(content, 100 + p);
+    heap.WriteBytes(p * kPageSize, shadow[p]);
+  }
+  machine.pager().CheckInvariants();
+
+  std::vector<uint8_t> out(kPageSize);
+  for (uint64_t p = 0; p < pages; ++p) {
+    heap.ReadBytes(p * kPageSize, out);
+    ASSERT_EQ(out, shadow[p]) << "page " << p;
+  }
+  machine.pager().CheckInvariants();
+  EXPECT_GT(machine.pager().stats().faults, pages);
+}
+
+TEST_P(PagerModeTest, RandomAccessPatternMatchesShadow) {
+  Machine machine(SmallConfig(GetParam(), 2 * kMiB));
+  const uint64_t pages = 1024;  // 4 MB vs 2 MB memory
+  Heap heap = machine.NewHeap(pages * kPageSize);
+  std::vector<uint32_t> shadow(pages, 0);
+  Rng rng(17);
+
+  for (int op = 0; op < 20'000; ++op) {
+    const uint64_t p = rng.Below(pages);
+    const uint64_t addr = p * kPageSize + (p % 512) * 8;
+    if (rng.Chance(0.5)) {
+      shadow[p] = static_cast<uint32_t>(rng.Next());
+      heap.Store<uint32_t>(addr, shadow[p]);
+    } else {
+      ASSERT_EQ(heap.Load<uint32_t>(addr), shadow[p]) << "page " << p;
+    }
+  }
+  machine.pager().CheckInvariants();
+}
+
+TEST_P(PagerModeTest, MultipleSegmentsAreIndependent) {
+  Machine machine(SmallConfig(GetParam()));
+  Heap a = machine.NewHeap(32 * kPageSize);
+  Heap b = machine.NewHeap(32 * kPageSize);
+  a.Store<uint64_t>(0, 0x1111);
+  b.Store<uint64_t>(0, 0x2222);
+  EXPECT_EQ(a.Load<uint64_t>(0), 0x1111u);
+  EXPECT_EQ(b.Load<uint64_t>(0), 0x2222u);
+}
+
+TEST_P(PagerModeTest, DeterministicAcrossRuns) {
+  auto run_once = [&] {
+    Machine machine(SmallConfig(GetParam(), 2 * kMiB));
+    Heap heap = machine.NewHeap(3 * kMiB);
+    Rng rng(5);
+    for (int op = 0; op < 5000; ++op) {
+      const uint64_t addr = rng.Below(heap.size_bytes() - 8);
+      if (rng.Chance(0.5)) {
+        heap.Store<uint32_t>(addr, static_cast<uint32_t>(rng.Next()));
+      } else {
+        (void)heap.Load<uint32_t>(addr);
+      }
+    }
+    return machine.clock().Now().nanos();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+std::string ModeName(const ::testing::TestParamInfo<bool>& info) {
+  return info.param ? "cc" : "std";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, PagerModeTest, ::testing::Bool(), ModeName);
+
+// ---------- mode-specific behaviour ----------
+
+TEST(PagerCcTest, SequentialReReadServedFromCcache) {
+  Machine machine(SmallConfig(true, 2 * kMiB));
+  const uint64_t pages = (3 * kMiB) / kPageSize;
+  Heap heap = machine.NewHeap(pages * kPageSize);
+
+  std::vector<uint8_t> page = MakePageBytes(ContentClass::kSparseNumeric, 1);
+  for (uint64_t p = 0; p < pages; ++p) {
+    heap.WriteBytes(p * kPageSize, page);
+  }
+  // Re-read sequentially: faults should hit the compression cache, and with
+  // everything fitting compressed, there should be no disk reads at all.
+  const uint64_t disk_reads_before = machine.disk().stats().read_ops;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t p = 0; p < pages; ++p) {
+      (void)heap.Load<uint32_t>(p * kPageSize);
+    }
+  }
+  EXPECT_GT(machine.pager().stats().faults_from_ccache, 0u);
+  EXPECT_EQ(machine.disk().stats().read_ops, disk_reads_before);
+}
+
+TEST(PagerCcTest, WriteInvalidatesCachedCopy) {
+  Machine machine(SmallConfig(true));
+  Heap heap = machine.NewHeap(8 * kPageSize);
+  std::vector<uint8_t> page = MakePageBytes(ContentClass::kRepetitiveText, 2);
+  heap.WriteBytes(0, page);
+
+  // Force the page into the compression cache, then fault it back.
+  while (machine.pager().resident_pages() > 0) {
+    if (!machine.pager().ReleaseOldest()) {
+      break;
+    }
+  }
+  ASSERT_TRUE(machine.ccache()->Contains(PageKey{0, 0}));
+  const uint64_t invalidations_before = machine.ccache()->stats().invalidations;
+
+  heap.Store<uint32_t>(0, 0xDEAD);  // fault in + dirty
+  EXPECT_EQ(machine.ccache()->stats().invalidations, invalidations_before + 1);
+  EXPECT_FALSE(machine.ccache()->Contains(PageKey{0, 0}));
+  machine.pager().CheckInvariants();
+}
+
+TEST(PagerCcTest, CleanReReadKeepsCachedCopy) {
+  Machine machine(SmallConfig(true));
+  Heap heap = machine.NewHeap(8 * kPageSize);
+  heap.WriteBytes(0, MakePageBytes(ContentClass::kRepetitiveText, 3));
+
+  while (machine.pager().resident_pages() > 0 && machine.pager().ReleaseOldest()) {
+  }
+  ASSERT_TRUE(machine.ccache()->Contains(PageKey{0, 0}));
+
+  (void)heap.Load<uint32_t>(0);  // read-only fault
+  // "The compressed pages are retained in memory ... in the expectation that they
+  // will be accessed again soon": a read fault keeps the compressed copy.
+  EXPECT_TRUE(machine.ccache()->Contains(PageKey{0, 0}));
+
+  // Evicting the still-clean page is free: no compression, no I/O.
+  const uint64_t compressions = machine.ccache()->stats().pages_compressed;
+  const uint64_t clean_drops = machine.pager().stats().evictions_clean_drop;
+  ASSERT_TRUE(machine.pager().ReleaseOldest());
+  EXPECT_EQ(machine.ccache()->stats().pages_compressed, compressions);
+  EXPECT_EQ(machine.pager().stats().evictions_clean_drop, clean_drops + 1);
+}
+
+TEST(PagerCcTest, IncompressiblePagesBypassCache) {
+  Machine machine(SmallConfig(true, 2 * kMiB));
+  const uint64_t pages = (3 * kMiB) / kPageSize;
+  Heap heap = machine.NewHeap(pages * kPageSize);
+  Rng rng(4);
+  std::vector<uint8_t> page(kPageSize);
+  for (uint64_t p = 0; p < pages; ++p) {
+    FillPage(page, ContentClass::kRandom, rng);
+    heap.WriteBytes(p * kPageSize, page);
+  }
+  EXPECT_GT(machine.pager().stats().evictions_raw_swap, 0u);
+  EXPECT_EQ(machine.pager().stats().evictions_compressed, 0u);
+  EXPECT_GT(machine.ccache()->stats().pages_rejected, 0u);
+  machine.pager().CheckInvariants();
+}
+
+TEST(PagerStdTest, EvictionWritesSynchronously) {
+  Machine machine(SmallConfig(false, 2 * kMiB));
+  const uint64_t pages = (3 * kMiB) / kPageSize;
+  Heap heap = machine.NewHeap(pages * kPageSize);
+  std::vector<uint8_t> page = MakePageBytes(ContentClass::kText, 5);
+  for (uint64_t p = 0; p < pages; ++p) {
+    heap.WriteBytes(p * kPageSize, page);
+  }
+  EXPECT_GT(machine.pager().stats().evictions_std_write, 0u);
+  EXPECT_GT(machine.fixed_swap()->pages_written(), 0u);
+  EXPECT_EQ(machine.pager().stats().evictions_compressed, 0u);
+}
+
+TEST(PagerStdTest, CleanPagesDropFree) {
+  Machine machine(SmallConfig(false, 2 * kMiB));
+  const uint64_t pages = (3 * kMiB) / kPageSize;
+  Heap heap = machine.NewHeap(pages * kPageSize);
+  std::vector<uint8_t> page = MakePageBytes(ContentClass::kText, 6);
+  for (uint64_t p = 0; p < pages; ++p) {
+    heap.WriteBytes(p * kPageSize, page);
+  }
+  // Second sequential pass is read-only: evictions of re-read pages need no
+  // write (a valid swap copy exists).
+  const uint64_t writes_after_init = machine.fixed_swap()->pages_written();
+  for (uint64_t p = 0; p < pages; ++p) {
+    (void)heap.Load<uint32_t>(p * kPageSize);
+  }
+  EXPECT_GT(machine.pager().stats().evictions_clean_drop, 0u);
+  // Only the pages dirtied at init that had not yet been paged out can add
+  // writes; re-read pages must not.
+  EXPECT_LE(machine.fixed_swap()->pages_written(), writes_after_init + pages);
+}
+
+TEST(PagerLruTest, LruVictimIsOldest) {
+  Machine machine(SmallConfig(false));
+  Heap heap = machine.NewHeap(4 * kPageSize);
+  // Touch pages 0..3 in order, then re-touch 0: the LRU victim must be page 1.
+  for (uint32_t p = 0; p < 4; ++p) {
+    heap.Store<uint32_t>(p * kPageSize, p);
+  }
+  (void)heap.Load<uint32_t>(0);
+  ASSERT_TRUE(machine.pager().ReleaseOldest());
+  EXPECT_EQ(machine.pager().GetSegment(0)->page(1).state, PageState::kSwapped);
+  EXPECT_EQ(machine.pager().GetSegment(0)->page(0).state, PageState::kResident);
+}
+
+}  // namespace
+}  // namespace compcache

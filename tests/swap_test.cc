@@ -1,0 +1,448 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "swap/clustered_swap.h"
+#include "swap/fixed_compressed_swap.h"
+#include "swap/fixed_swap.h"
+#include "swap/lfs_swap.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace compcache {
+namespace {
+
+class SwapTest : public ::testing::Test {
+ protected:
+  SwapTest()
+      : device_(&clock_, std::make_unique<SeekDiskModel>(), SimDuration::Micros(500)),
+        fs_(&device_) {}
+
+  std::vector<uint8_t> MakeBytes(size_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint8_t> data(n);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    return data;
+  }
+
+  SwapPageImage MakeImage(PageKey key, size_t n, uint64_t seed) {
+    SwapPageImage img;
+    img.key = key;
+    img.bytes = MakeBytes(n, seed);
+    img.is_compressed = true;
+    img.original_size = kPageSize;
+    return img;
+  }
+
+  Clock clock_;
+  DiskDevice device_;
+  FileSystem fs_;
+};
+
+// ---------- FixedSwapLayout ----------
+
+TEST_F(SwapTest, FixedRoundTrip) {
+  FixedSwapLayout swap(&fs_);
+  const PageKey key{0, 5};
+  const auto page = MakeBytes(kPageSize, 1);
+  EXPECT_FALSE(swap.Contains(key));
+  swap.WritePage(key, page);
+  EXPECT_TRUE(swap.Contains(key));
+  std::vector<uint8_t> out(kPageSize);
+  swap.ReadPage(key, out);
+  EXPECT_EQ(out, page);
+}
+
+TEST_F(SwapTest, FixedMappingIsStable) {
+  FixedSwapLayout swap(&fs_);
+  const PageKey key{0, 7};
+  const auto v1 = MakeBytes(kPageSize, 2);
+  const auto v2 = MakeBytes(kPageSize, 3);
+  swap.WritePage(key, v1);
+  const uint64_t writes_v1 = fs_.stats().bytes_transferred_written;
+  swap.WritePage(key, v2);  // overwrites in place
+  EXPECT_EQ(fs_.stats().bytes_transferred_written, writes_v1 * 2);
+  std::vector<uint8_t> out(kPageSize);
+  swap.ReadPage(key, out);
+  EXPECT_EQ(out, v2);
+}
+
+TEST_F(SwapTest, FixedSegmentsGetSeparateFiles) {
+  FixedSwapLayout swap(&fs_);
+  const auto a = MakeBytes(kPageSize, 4);
+  const auto b = MakeBytes(kPageSize, 5);
+  swap.WritePage(PageKey{0, 0}, a);
+  swap.WritePage(PageKey{1, 0}, b);
+  std::vector<uint8_t> out(kPageSize);
+  swap.ReadPage(PageKey{0, 0}, out);
+  EXPECT_EQ(out, a);
+  swap.ReadPage(PageKey{1, 0}, out);
+  EXPECT_EQ(out, b);
+}
+
+// ---------- ClusteredSwapLayout ----------
+
+TEST_F(SwapTest, ClusteredBatchRoundTrip) {
+  ClusteredSwapLayout swap(&fs_);
+  std::vector<SwapPageImage> batch;
+  for (uint32_t i = 0; i < 8; ++i) {
+    batch.push_back(MakeImage(PageKey{0, i}, 700 + i * 100, 10 + i));
+  }
+  swap.WriteBatch(batch);
+  EXPECT_EQ(swap.stats().batches_written, 1u);
+  EXPECT_EQ(swap.live_pages(), 8u);
+
+  for (uint32_t i = 0; i < 8; ++i) {
+    auto result = swap.ReadPage(PageKey{0, i}, /*collect_coresidents=*/false);
+    EXPECT_EQ(result.bytes, batch[i].bytes) << i;
+    EXPECT_TRUE(result.is_compressed);
+    EXPECT_EQ(result.original_size, kPageSize);
+  }
+}
+
+TEST_F(SwapTest, ClusteredBatchIsOneDiskWrite) {
+  ClusteredSwapLayout swap(&fs_);
+  std::vector<SwapPageImage> batch;
+  for (uint32_t i = 0; i < 20; ++i) {
+    batch.push_back(MakeImage(PageKey{0, i}, 1000, 30 + i));
+  }
+  const uint64_t ops_before = device_.stats().write_ops;
+  swap.WriteBatch(batch);
+  // One clustered operation: coalesced by the file system into one disk request.
+  EXPECT_EQ(device_.stats().write_ops, ops_before + 1);
+}
+
+TEST_F(SwapTest, FragmentPadding) {
+  ClusteredSwapLayout swap(&fs_);
+  // A 700-byte page occupies one whole 1 KB fragment.
+  std::vector<SwapPageImage> batch{MakeImage(PageKey{0, 0}, 700, 40),
+                                   MakeImage(PageKey{0, 1}, 1500, 41)};
+  swap.WriteBatch(batch);
+  // 1 + 2 fragments -> one 4 KB block.
+  EXPECT_EQ(swap.stats().fragment_bytes_written, kFsBlockSize);
+  EXPECT_EQ(swap.stats().payload_bytes_written, 2200u);
+}
+
+TEST_F(SwapTest, CoresidentsReturned) {
+  ClusteredSwapLayout swap(&fs_);
+  std::vector<SwapPageImage> batch;
+  for (uint32_t i = 0; i < 4; ++i) {
+    batch.push_back(MakeImage(PageKey{0, i}, 900, 50 + i));  // 4 x 1 frag = 1 block
+  }
+  swap.WriteBatch(batch);
+  auto result = swap.ReadPage(PageKey{0, 1}, /*collect_coresidents=*/true);
+  EXPECT_EQ(result.coresidents.size(), 3u);  // the other three share the block
+  for (const auto& co : result.coresidents) {
+    EXPECT_NE(co.key, (PageKey{0, 1}));
+    EXPECT_EQ(co.bytes, batch[co.key.page].bytes);
+  }
+}
+
+TEST_F(SwapTest, RewriteObsoletesOldLocationAndReusesBlocks) {
+  ClusteredSwapLayout swap(&fs_);
+  // Fill one batch of 4 single-fragment pages (one block).
+  std::vector<SwapPageImage> batch;
+  for (uint32_t i = 0; i < 4; ++i) {
+    batch.push_back(MakeImage(PageKey{0, i}, 1000, 60 + i));
+  }
+  swap.WriteBatch(batch);
+  const uint64_t end_after_first = swap.end_block();
+
+  // Rewrite all four pages: the old block becomes garbage and is reused for the
+  // next batch instead of extending the file.
+  std::vector<SwapPageImage> batch2;
+  for (uint32_t i = 0; i < 4; ++i) {
+    batch2.push_back(MakeImage(PageKey{0, i}, 1000, 70 + i));
+  }
+  swap.WriteBatch(batch2);
+  EXPECT_EQ(swap.free_blocks(), 1u);  // first block fully dead
+
+  std::vector<SwapPageImage> batch3;
+  for (uint32_t i = 10; i < 14; ++i) {
+    batch3.push_back(MakeImage(PageKey{0, i}, 1000, 80 + i));
+  }
+  swap.WriteBatch(batch3);
+  EXPECT_EQ(swap.end_block(), end_after_first + 1);  // batch3 reused the dead block
+  EXPECT_GT(swap.stats().blocks_reused, 0u);
+
+  // Current copies read back correctly.
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto r = swap.ReadPage(PageKey{0, i}, false);
+    EXPECT_EQ(r.bytes, batch2[i].bytes);
+  }
+}
+
+TEST_F(SwapTest, InvalidateFreesFragments) {
+  ClusteredSwapLayout swap(&fs_);
+  std::vector<SwapPageImage> batch;
+  for (uint32_t i = 0; i < 4; ++i) {
+    batch.push_back(MakeImage(PageKey{0, i}, 1000, 90 + i));
+  }
+  swap.WriteBatch(batch);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(swap.Contains(PageKey{0, i}));
+    swap.Invalidate(PageKey{0, i});
+    EXPECT_FALSE(swap.Contains(PageKey{0, i}));
+  }
+  EXPECT_EQ(swap.free_blocks(), 1u);
+  EXPECT_EQ(swap.live_pages(), 0u);
+}
+
+TEST_F(SwapTest, SpanningDisallowedKeepsPagesWithinBlocks) {
+  ClusteredSwapLayout::Options options;
+  options.allow_block_spanning = false;
+  ClusteredSwapLayout swap(&fs_, options);
+
+  // 3-fragment pages: with spanning disallowed, each must start at a block
+  // boundary (3 frags never fit twice in a 4-frag block), costing padding.
+  std::vector<SwapPageImage> batch;
+  for (uint32_t i = 0; i < 4; ++i) {
+    batch.push_back(MakeImage(PageKey{0, i}, 2500, 100 + i));
+  }
+  swap.WriteBatch(batch);
+  // 4 pages x 1 block each (vs 3 blocks if spanning were allowed).
+  EXPECT_EQ(swap.stats().fragment_bytes_written, 4u * kFsBlockSize);
+
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto r = swap.ReadPage(PageKey{0, i}, false);
+    EXPECT_EQ(r.bytes, batch[i].bytes);
+    EXPECT_EQ(r.blocks_read, 1u);  // never two blocks for one page
+  }
+}
+
+TEST_F(SwapTest, SpanningAllowedPacksTighter) {
+  ClusteredSwapLayout swap(&fs_);
+  std::vector<SwapPageImage> batch;
+  for (uint32_t i = 0; i < 4; ++i) {
+    batch.push_back(MakeImage(PageKey{0, i}, 2500, 100 + i));  // 3 frags each
+  }
+  swap.WriteBatch(batch);
+  EXPECT_EQ(swap.stats().fragment_bytes_written, 3u * kFsBlockSize);  // 12 frags
+
+  // Some page now spans two blocks, making its fault an 8 KB read ("a 4-Kbyte
+  // read becomes an 8-Kbyte one").
+  bool any_two_block_read = false;
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto r = swap.ReadPage(PageKey{0, i}, false);
+    EXPECT_EQ(r.bytes, batch[i].bytes);
+    any_two_block_read |= r.blocks_read == 2;
+  }
+  EXPECT_TRUE(any_two_block_read);
+}
+
+TEST_F(SwapTest, RawUncompressedImages) {
+  ClusteredSwapLayout swap(&fs_);
+  SwapPageImage img;
+  img.key = PageKey{2, 9};
+  img.bytes = MakeBytes(kPageSize, 123);
+  img.is_compressed = false;
+  img.original_size = kPageSize;
+  swap.WriteBatch(std::span<const SwapPageImage>(&img, 1));
+  auto r = swap.ReadPage(img.key, false);
+  EXPECT_FALSE(r.is_compressed);
+  EXPECT_EQ(r.bytes, img.bytes);
+}
+
+TEST_F(SwapTest, ManyBatchesStressWithShadow) {
+  ClusteredSwapLayout swap(&fs_);
+  Rng rng(321);
+  std::unordered_map<uint32_t, std::vector<uint8_t>> shadow;
+  uint64_t seed = 1000;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<SwapPageImage> batch;
+    const size_t count = 1 + rng.Below(10);
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t page = static_cast<uint32_t>(rng.Below(40));
+      if (std::any_of(batch.begin(), batch.end(),
+                      [&](const auto& b) { return b.key.page == page; })) {
+        continue;
+      }
+      auto img = MakeImage(PageKey{0, page}, 300 + rng.Below(3700), ++seed);
+      shadow[page] = img.bytes;
+      batch.push_back(std::move(img));
+    }
+    if (!batch.empty()) {
+      swap.WriteBatch(batch);
+    }
+    // Random invalidation.
+    if (rng.Chance(0.3) && !shadow.empty()) {
+      const uint32_t page = static_cast<uint32_t>(rng.Below(40));
+      if (shadow.contains(page)) {
+        swap.Invalidate(PageKey{0, page});
+        shadow.erase(page);
+      }
+    }
+  }
+  for (const auto& [page, bytes] : shadow) {
+    auto r = swap.ReadPage(PageKey{0, page}, true);
+    EXPECT_EQ(r.bytes, bytes) << page;
+    // Coresidents must themselves be current copies.
+    for (const auto& co : r.coresidents) {
+      ASSERT_TRUE(shadow.contains(co.key.page));
+      EXPECT_EQ(co.bytes, shadow.at(co.key.page));
+    }
+  }
+}
+
+
+// ---------- FixedCompressedSwapLayout (the paper's rejected alternative) ----------
+
+TEST_F(SwapTest, FixedCompressedRoundTrip) {
+  FixedCompressedSwapLayout swap(&fs_);
+  SwapPageImage img = MakeImage(PageKey{0, 3}, 2000, 500);
+  swap.WriteBatch(std::span<const SwapPageImage>(&img, 1));
+  EXPECT_TRUE(swap.Contains(img.key));
+  auto r = swap.ReadPage(img.key, true);
+  EXPECT_EQ(r.bytes, img.bytes);
+  EXPECT_TRUE(r.coresidents.empty());  // one page per slot: never any freebies
+}
+
+TEST_F(SwapTest, FixedCompressedPartialWriteTriggersRmw) {
+  FixedCompressedSwapLayout swap(&fs_);
+  // Prime the page's block with a full write, then rewrite smaller: the second
+  // write is partial, so Sprite semantics force a read-modify-write.
+  SwapPageImage full = MakeImage(PageKey{0, 0}, kPageSize, 501);
+  full.is_compressed = false;
+  swap.WriteBatch(std::span<const SwapPageImage>(&full, 1));
+  fs_.ResetStats();
+
+  SwapPageImage small = MakeImage(PageKey{0, 0}, 2048, 502);
+  swap.WriteBatch(std::span<const SwapPageImage>(&small, 1));
+  // Paper: "a 2-Kbyte write would result in a 4-Kbyte read and a 4-Kbyte write".
+  EXPECT_EQ(fs_.stats().rmw_reads, 1u);
+  EXPECT_EQ(fs_.stats().bytes_transferred_written, kFsBlockSize);
+
+  auto r = swap.ReadPage(PageKey{0, 0}, false);
+  EXPECT_EQ(r.bytes, small.bytes);
+}
+
+TEST_F(SwapTest, FixedCompressedKeepsFixedMapping) {
+  FixedCompressedSwapLayout swap(&fs_);
+  std::vector<SwapPageImage> batch;
+  for (uint32_t p = 0; p < 4; ++p) {
+    batch.push_back(MakeImage(PageKey{0, p}, 1000 + p * 300, 510 + p));
+  }
+  swap.WriteBatch(batch);
+  // Rewrite page 1; the others must be untouched (no relocation, no GC).
+  SwapPageImage redo = MakeImage(PageKey{0, 1}, 900, 520);
+  swap.WriteBatch(std::span<const SwapPageImage>(&redo, 1));
+  for (uint32_t p = 0; p < 4; ++p) {
+    auto r = swap.ReadPage(PageKey{0, p}, false);
+    EXPECT_EQ(r.bytes, p == 1 ? redo.bytes : batch[p].bytes) << p;
+  }
+}
+
+TEST_F(SwapTest, FixedCompressedInvalidate) {
+  FixedCompressedSwapLayout swap(&fs_);
+  SwapPageImage img = MakeImage(PageKey{2, 7}, 1500, 530);
+  swap.WriteBatch(std::span<const SwapPageImage>(&img, 1));
+  swap.Invalidate(img.key);
+  EXPECT_FALSE(swap.Contains(img.key));
+}
+
+
+// ---------- LfsSwapLayout ----------
+
+TEST_F(SwapTest, LfsRoundTripThroughBufferAndDisk) {
+  LfsSwapLayout::Options options;
+  options.segment_blocks = 4;  // 16 KB segments: flushes happen quickly
+  options.log_segments = 32;
+  LfsSwapLayout swap(&fs_, nullptr, options);
+
+  std::vector<SwapPageImage> images;
+  for (uint32_t i = 0; i < 24; ++i) {
+    images.push_back(MakeImage(PageKey{0, i}, 1800 + (i % 5) * 300, 600 + i));
+  }
+  swap.WriteBatch(images);
+  for (const auto& img : images) {
+    ASSERT_TRUE(swap.Contains(img.key));
+    auto r = swap.ReadPage(img.key, false);
+    EXPECT_EQ(r.bytes, img.bytes) << img.key.page;
+  }
+  EXPECT_GT(swap.stats().segments_written, 0u);   // most pages hit the disk
+  EXPECT_GT(swap.stats().reads_from_buffer, 0u);  // the newest came from the buffer
+}
+
+TEST_F(SwapTest, LfsSegmentWriteIsOneBigDiskOp) {
+  LfsSwapLayout::Options options;
+  options.segment_blocks = 8;  // 32 KB segments
+  options.log_segments = 32;
+  LfsSwapLayout swap(&fs_, nullptr, options);
+
+  const uint64_t ops_before = device_.stats().write_ops;
+  std::vector<SwapPageImage> images;
+  for (uint32_t i = 0; i < 16; ++i) {  // 16 x 2 KB = one full segment
+    images.push_back(MakeImage(PageKey{0, i}, 2048, 700 + i));
+  }
+  swap.WriteBatch(images);
+  EXPECT_EQ(device_.stats().write_ops, ops_before + 1);  // one sequential segment write
+}
+
+TEST_F(SwapTest, LfsCleanerCopiesLiveDataAndFreesSegments) {
+  LfsSwapLayout::Options options;
+  options.segment_blocks = 2;  // tiny 8 KB segments
+  options.log_segments = 12;
+  options.clean_threshold = 4;
+  LfsSwapLayout swap(&fs_, nullptr, options);
+
+  // Keep rewriting a small set of pages: old copies become garbage spread over
+  // many segments, forcing the cleaner to run and copy the live remainder.
+  std::unordered_map<uint32_t, std::vector<uint8_t>> shadow;
+  uint64_t seed = 800;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<SwapPageImage> batch;
+    for (uint32_t p = 0; p < 6; ++p) {
+      auto img = MakeImage(PageKey{0, p}, 1500 + 100 * (p % 3), ++seed);
+      shadow[p] = img.bytes;
+      batch.push_back(std::move(img));
+    }
+    swap.WriteBatch(batch);
+  }
+  EXPECT_GT(swap.stats().segments_cleaned, 0u);
+  EXPECT_GE(swap.free_segments(), options.clean_threshold);
+  for (const auto& [page, bytes] : shadow) {
+    auto r = swap.ReadPage(PageKey{0, page}, false);
+    EXPECT_EQ(r.bytes, bytes) << page;
+  }
+}
+
+TEST_F(SwapTest, LfsChargesBufferMemory) {
+  TestFrameSource frames(256);
+  const size_t used_before = frames.pool().used_frames();
+  LfsSwapLayout::Options options;
+  options.segment_blocks = 16;
+  LfsSwapLayout swap(&fs_, &frames, options);
+  EXPECT_EQ(frames.pool().used_frames(), used_before + 16);
+}
+
+TEST_F(SwapTest, LfsCoresidentsFromSegmentBlocks) {
+  LfsSwapLayout::Options options;
+  options.segment_blocks = 4;
+  options.log_segments = 16;
+  LfsSwapLayout swap(&fs_, nullptr, options);
+  std::vector<SwapPageImage> images;
+  for (uint32_t i = 0; i < 8; ++i) {
+    images.push_back(MakeImage(PageKey{0, i}, 900, 900 + i));  // ~4 per block
+  }
+  swap.WriteBatch(images);
+  // Force a flush so reads hit the disk path.
+  std::vector<SwapPageImage> filler;
+  for (uint32_t i = 100; i < 120; ++i) {
+    filler.push_back(MakeImage(PageKey{0, i}, 2000, 950 + i));
+  }
+  swap.WriteBatch(filler);
+
+  auto r = swap.ReadPage(PageKey{0, 1}, true);
+  EXPECT_EQ(r.bytes, images[1].bytes);
+  EXPECT_FALSE(r.coresidents.empty());
+  for (const auto& co : r.coresidents) {
+    EXPECT_EQ(co.bytes, images[co.key.page].bytes);
+  }
+}
+
+}  // namespace
+}  // namespace compcache

@@ -1,0 +1,40 @@
+// Shared helpers for the test suite.
+#ifndef COMPCACHE_TESTS_TEST_UTIL_H_
+#define COMPCACHE_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "core/machine.h"
+
+namespace compcache {
+
+// A small machine for fast tests. Memory defaults to 2 MB (512 frames).
+inline MachineConfig SmallConfig(bool use_ccache, uint64_t memory_bytes = 2 * kMiB) {
+  MachineConfig config = use_ccache ? MachineConfig::WithCompressionCache(memory_bytes)
+                                    : MachineConfig::Unmodified(memory_bytes);
+  return config;
+}
+
+// A standalone FrameSource over a private pool, for unit-testing components
+// below the Machine level. Aborts when the pool is exhausted.
+class TestFrameSource : public FrameSource {
+ public:
+  explicit TestFrameSource(size_t frames) : pool_(frames) {}
+
+  FrameId AllocateFrame() override {
+    auto frame = pool_.TryAllocate();
+    CC_ASSERT(frame.has_value() && "test frame pool exhausted");
+    return *frame;
+  }
+  void FreeFrame(FrameId id) override { pool_.Free(id); }
+  std::span<uint8_t> FrameData(FrameId id) override { return pool_.Data(id); }
+
+  FramePool& pool() { return pool_; }
+
+ private:
+  FramePool pool_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_TESTS_TEST_UTIL_H_
