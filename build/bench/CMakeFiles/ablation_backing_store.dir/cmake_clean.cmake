@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backing_store.dir/ablation_backing_store.cc.o"
+  "CMakeFiles/ablation_backing_store.dir/ablation_backing_store.cc.o.d"
+  "ablation_backing_store"
+  "ablation_backing_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backing_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bias.dir/ablation_bias.cc.o"
+  "CMakeFiles/ablation_bias.dir/ablation_bias.cc.o.d"
+  "ablation_bias"
+  "ablation_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisory_vs_ccache.dir/advisory_vs_ccache.cc.o"
+  "CMakeFiles/advisory_vs_ccache.dir/advisory_vs_ccache.cc.o.d"
+  "advisory_vs_ccache"
+  "advisory_vs_ccache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisory_vs_ccache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

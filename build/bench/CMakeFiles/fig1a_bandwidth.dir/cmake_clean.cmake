@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_bandwidth.dir/fig1a_bandwidth.cc.o"
+  "CMakeFiles/fig1a_bandwidth.dir/fig1a_bandwidth.cc.o.d"
+  "fig1a_bandwidth"
+  "fig1a_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_memref.dir/fig1b_memref.cc.o"
+  "CMakeFiles/fig1b_memref.dir/fig1b_memref.cc.o.d"
+  "fig1b_memref"
+  "fig1b_memref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_memref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

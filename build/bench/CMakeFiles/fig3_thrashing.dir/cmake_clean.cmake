@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_thrashing.dir/fig3_thrashing.cc.o"
+  "CMakeFiles/fig3_thrashing.dir/fig3_thrashing.cc.o.d"
+  "fig3_thrashing"
+  "fig3_thrashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

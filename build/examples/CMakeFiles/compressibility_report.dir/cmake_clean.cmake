@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressibility_report.dir/compressibility_report.cpp.o"
+  "CMakeFiles/compressibility_report.dir/compressibility_report.cpp.o.d"
+  "compressibility_report"
+  "compressibility_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressibility_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

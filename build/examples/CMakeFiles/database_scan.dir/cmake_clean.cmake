@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_scan.dir/database_scan.cpp.o"
+  "CMakeFiles/database_scan.dir/database_scan.cpp.o.d"
+  "database_scan"
+  "database_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

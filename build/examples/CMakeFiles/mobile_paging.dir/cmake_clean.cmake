@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_paging.dir/mobile_paging.cpp.o"
+  "CMakeFiles/mobile_paging.dir/mobile_paging.cpp.o.d"
+  "mobile_paging"
+  "mobile_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_apps.dir/compare.cc.o"
+  "CMakeFiles/cc_apps.dir/compare.cc.o.d"
+  "CMakeFiles/cc_apps.dir/gold.cc.o"
+  "CMakeFiles/cc_apps.dir/gold.cc.o.d"
+  "CMakeFiles/cc_apps.dir/isca.cc.o"
+  "CMakeFiles/cc_apps.dir/isca.cc.o.d"
+  "CMakeFiles/cc_apps.dir/sort.cc.o"
+  "CMakeFiles/cc_apps.dir/sort.cc.o.d"
+  "CMakeFiles/cc_apps.dir/thrasher.cc.o"
+  "CMakeFiles/cc_apps.dir/thrasher.cc.o.d"
+  "CMakeFiles/cc_apps.dir/wordgen.cc.o"
+  "CMakeFiles/cc_apps.dir/wordgen.cc.o.d"
+  "libcc_apps.a"
+  "libcc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

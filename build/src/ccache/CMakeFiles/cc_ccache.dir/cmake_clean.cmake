@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_ccache.dir/compression_cache.cc.o"
+  "CMakeFiles/cc_ccache.dir/compression_cache.cc.o.d"
+  "libcc_ccache.a"
+  "libcc_ccache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_ccache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/lzrw1.cc" "src/compress/CMakeFiles/cc_compress.dir/lzrw1.cc.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/lzrw1.cc.o.d"
+  "/root/repo/src/compress/lzrw1a.cc" "src/compress/CMakeFiles/cc_compress.dir/lzrw1a.cc.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/lzrw1a.cc.o.d"
+  "/root/repo/src/compress/pagegen.cc" "src/compress/CMakeFiles/cc_compress.dir/pagegen.cc.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/pagegen.cc.o.d"
+  "/root/repo/src/compress/registry.cc" "src/compress/CMakeFiles/cc_compress.dir/registry.cc.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/registry.cc.o.d"
+  "/root/repo/src/compress/rle.cc" "src/compress/CMakeFiles/cc_compress.dir/rle.cc.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/rle.cc.o.d"
+  "/root/repo/src/compress/wk.cc" "src/compress/CMakeFiles/cc_compress.dir/wk.cc.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/wk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

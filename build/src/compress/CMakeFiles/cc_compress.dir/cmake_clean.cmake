@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_compress.dir/lzrw1.cc.o"
+  "CMakeFiles/cc_compress.dir/lzrw1.cc.o.d"
+  "CMakeFiles/cc_compress.dir/lzrw1a.cc.o"
+  "CMakeFiles/cc_compress.dir/lzrw1a.cc.o.d"
+  "CMakeFiles/cc_compress.dir/pagegen.cc.o"
+  "CMakeFiles/cc_compress.dir/pagegen.cc.o.d"
+  "CMakeFiles/cc_compress.dir/registry.cc.o"
+  "CMakeFiles/cc_compress.dir/registry.cc.o.d"
+  "CMakeFiles/cc_compress.dir/rle.cc.o"
+  "CMakeFiles/cc_compress.dir/rle.cc.o.d"
+  "CMakeFiles/cc_compress.dir/wk.cc.o"
+  "CMakeFiles/cc_compress.dir/wk.cc.o.d"
+  "libcc_compress.a"
+  "libcc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/disk_device.cc" "src/disk/CMakeFiles/cc_disk.dir/disk_device.cc.o" "gcc" "src/disk/CMakeFiles/cc_disk.dir/disk_device.cc.o.d"
+  "/root/repo/src/disk/disk_model.cc" "src/disk/CMakeFiles/cc_disk.dir/disk_model.cc.o" "gcc" "src/disk/CMakeFiles/cc_disk.dir/disk_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_disk.dir/disk_device.cc.o"
+  "CMakeFiles/cc_disk.dir/disk_device.cc.o.d"
+  "CMakeFiles/cc_disk.dir/disk_model.cc.o"
+  "CMakeFiles/cc_disk.dir/disk_model.cc.o.d"
+  "libcc_disk.a"
+  "libcc_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/buffer_cache.cc" "src/fs/CMakeFiles/cc_bcache.dir/buffer_cache.cc.o" "gcc" "src/fs/CMakeFiles/cc_bcache.dir/buffer_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/cc_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccache/CMakeFiles/cc_ccache.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/cc_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/cc_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_bcache.dir/buffer_cache.cc.o"
+  "CMakeFiles/cc_bcache.dir/buffer_cache.cc.o.d"
+  "libcc_bcache.a"
+  "libcc_bcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_bcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_fs.dir/file_system.cc.o"
+  "CMakeFiles/cc_fs.dir/file_system.cc.o.d"
+  "libcc_fs.a"
+  "libcc_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

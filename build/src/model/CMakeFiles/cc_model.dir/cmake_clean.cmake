@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_model.dir/analytic.cc.o"
+  "CMakeFiles/cc_model.dir/analytic.cc.o.d"
+  "libcc_model.a"
+  "libcc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_policy.dir/memory_arbiter.cc.o"
+  "CMakeFiles/cc_policy.dir/memory_arbiter.cc.o.d"
+  "libcc_policy.a"
+  "libcc_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_swap.dir/clustered_swap.cc.o"
+  "CMakeFiles/cc_swap.dir/clustered_swap.cc.o.d"
+  "CMakeFiles/cc_swap.dir/fixed_compressed_swap.cc.o"
+  "CMakeFiles/cc_swap.dir/fixed_compressed_swap.cc.o.d"
+  "CMakeFiles/cc_swap.dir/fixed_swap.cc.o"
+  "CMakeFiles/cc_swap.dir/fixed_swap.cc.o.d"
+  "CMakeFiles/cc_swap.dir/lfs_swap.cc.o"
+  "CMakeFiles/cc_swap.dir/lfs_swap.cc.o.d"
+  "libcc_swap.a"
+  "libcc_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

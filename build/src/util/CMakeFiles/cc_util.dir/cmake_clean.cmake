@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_util.dir/logging.cc.o"
+  "CMakeFiles/cc_util.dir/logging.cc.o.d"
+  "libcc_util.a"
+  "libcc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

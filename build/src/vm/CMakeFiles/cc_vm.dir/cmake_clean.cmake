@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_vm.dir/pager.cc.o"
+  "CMakeFiles/cc_vm.dir/pager.cc.o.d"
+  "libcc_vm.a"
+  "libcc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

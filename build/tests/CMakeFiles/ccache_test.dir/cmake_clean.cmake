@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccache_test.dir/ccache_test.cc.o"
+  "CMakeFiles/ccache_test.dir/ccache_test.cc.o.d"
+  "ccache_test"
+  "ccache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/heap_test.cc" "tests/CMakeFiles/heap_test.dir/heap_test.cc.o" "gcc" "tests/CMakeFiles/heap_test.dir/heap_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/cc_bcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccache/CMakeFiles/cc_ccache.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/cc_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/cc_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/cc_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/cc_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
