@@ -9,8 +9,10 @@
 //     keeps useless 90+% "compressed" pages in memory and a strict threshold
 //     degenerates gracefully toward the unmodified system.
 #include <cstdio>
+#include <string>
 
 #include "apps/thrasher.h"
+#include "bench_json.h"
 #include "core/machine.h"
 
 using namespace compcache;
@@ -37,7 +39,7 @@ SimDuration RunOne(ContentClass content, bool use_ccache, CompressionThreshold t
   return app.result().elapsed;
 }
 
-void Sweep(const char* label, ContentClass content, BackingKind backing) {
+void Sweep(BenchReport& report, const char* label, ContentClass content, BackingKind backing) {
   const SimDuration std_time = RunOne(content, false, CompressionThreshold(4, 3), backing);
   std::printf("%s workload, unmodified system: %s (%.1f s)\n", label,
               std_time.ToMinSec().c_str(), std_time.seconds());
@@ -54,27 +56,40 @@ void Sweep(const char* label, ContentClass content, BackingKind backing) {
   };
   for (const Point& p : points) {
     const SimDuration cc_time = RunOne(content, true, p.threshold, backing);
+    const double speedup =
+        static_cast<double>(std_time.nanos()) / static_cast<double>(cc_time.nanos());
     std::printf("  threshold %-16s cc: %8s (%.1f s)  speedup vs std: %5.2f\n", p.name,
-                cc_time.ToMinSec().c_str(), cc_time.seconds(),
-                static_cast<double>(std_time.nanos()) / static_cast<double>(cc_time.nanos()));
+                cc_time.ToMinSec().c_str(), cc_time.seconds(), speedup);
     std::fflush(stdout);
+    report.AddRow()
+        .Set("workload", std::string(label))
+        .Set("threshold", std::string(p.name))
+        .Set("threshold_ratio", p.threshold.ratio())
+        .Set("std_seconds", std_time.seconds())
+        .Set("cc_seconds", cc_time.seconds())
+        .Set("speedup", speedup);
   }
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("ablation_threshold", argc, argv);
+  report.Config("user_memory_mb", kUserMemory / kMiB);
+  report.Config("working_set_mb", uint64_t{7});
+
   std::printf("Ablation: keep-compressed threshold (%llu MB machine, 7 MB working set)\n\n",
               static_cast<unsigned long long>(kUserMemory / kMiB));
-  Sweep("compressible (~4:1), local disk", ContentClass::kSparseNumeric,
+  Sweep(report, "compressible (~4:1), local disk", ContentClass::kSparseNumeric,
         BackingKind::kLocalDisk);
-  Sweep("incompressible, local disk", ContentClass::kRandom, BackingKind::kLocalDisk);
+  Sweep(report, "incompressible, local disk", ContentClass::kRandom, BackingKind::kLocalDisk);
   std::printf(
       "(On the rotational disk the wasted compression effort hides inside the\n"
       " positioning delay -- the CPU compresses while the platter turns -- which\n"
       " is part of why the paper's sort random lost only ~10%%. A latency/bandwidth\n"
       " backing store has no such slack:)\n\n");
-  Sweep("incompressible, wireless link", ContentClass::kRandom, BackingKind::kNetworkLink);
-  return 0;
+  Sweep(report, "incompressible, wireless link", ContentClass::kRandom,
+        BackingKind::kNetworkLink);
+  return report.WriteIfEnabled() ? 0 : 1;
 }

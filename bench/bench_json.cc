@@ -1,0 +1,124 @@
+#include "bench_json.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/json.h"
+
+namespace compcache {
+
+namespace {
+constexpr std::string_view kJsonFlag = "--json=";
+}  // namespace
+
+BenchReport::BenchReport(std::string bench_name, int argc, char** argv)
+    : name_(std::move(bench_name)) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, kJsonFlag.size()) == kJsonFlag) {
+      path_ = std::string(arg.substr(kJsonFlag.size()));
+    }
+  }
+}
+
+BenchReport::Row& BenchReport::Row::Set(std::string key, double value) {
+  fields_.push_back(Field{std::move(key), false, {}, value});
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Set(std::string key, std::string value) {
+  fields_.push_back(Field{std::move(key), true, std::move(value), 0});
+  return *this;
+}
+
+void BenchReport::Config(std::string key, double value) {
+  config_.push_back(ConfigEntry{std::move(key), ConfigEntry::Kind::kNumber, {}, value, false});
+}
+
+void BenchReport::Config(std::string key, uint64_t value) {
+  Config(std::move(key), static_cast<double>(value));
+}
+
+void BenchReport::Config(std::string key, std::string value) {
+  config_.push_back(
+      ConfigEntry{std::move(key), ConfigEntry::Kind::kString, std::move(value), 0, false});
+}
+
+void BenchReport::Config(std::string key, bool value) {
+  config_.push_back(ConfigEntry{std::move(key), ConfigEntry::Kind::kBool, {}, 0, value});
+}
+
+BenchReport::Row& BenchReport::AddRow() { return rows_.emplace_back(); }
+
+void BenchReport::MergeMetrics(const MetricRegistry& registry, const std::string& prefix) {
+  for (const auto& [name, value] : registry.Snapshot()) {
+    metrics_[prefix + name] = value;
+  }
+}
+
+std::string BenchReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Kv("bench", std::string_view(name_));
+  w.Kv("schema_version", uint64_t{1});
+
+  w.Key("config").BeginObject();
+  for (const ConfigEntry& e : config_) {
+    switch (e.kind) {
+      case ConfigEntry::Kind::kNumber:
+        w.Kv(e.key, e.num);
+        break;
+      case ConfigEntry::Kind::kString:
+        w.Kv(e.key, std::string_view(e.str));
+        break;
+      case ConfigEntry::Kind::kBool:
+        w.Kv(e.key, e.boolean);
+        break;
+    }
+  }
+  w.EndObject();
+
+  w.Key("results").BeginArray();
+  for (const Row& row : rows_) {
+    w.BeginObject();
+    for (const Row::Field& f : row.fields_) {
+      if (f.is_string) {
+        w.Kv(f.key, std::string_view(f.str));
+      } else {
+        w.Kv(f.key, f.num);
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("metrics").BeginObject();
+  for (const auto& [name, value] : metrics_) {
+    w.Kv(name, value);
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+bool BenchReport::WriteIfEnabled() const {
+  if (!enabled()) {
+    return true;
+  }
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path_.c_str());
+    return false;
+  }
+  out << ToJson() << "\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench_json: write to %s failed\n", path_.c_str());
+    return false;
+  }
+  std::printf("wrote JSON report: %s\n", path_.c_str());
+  return true;
+}
+
+}  // namespace compcache

@@ -1,0 +1,96 @@
+// Machine-readable bench output. Every bench binary keeps its human-readable
+// stdout; passing --json=<path> additionally writes one JSON document:
+//
+//   {
+//     "bench": "fig3_thrashing",
+//     "schema_version": 1,
+//     "config":  { ... },     // fixed parameters of this run
+//     "results": [ ... ],     // one object per data point / table row
+//     "metrics": { ... }      // flat name -> number, from MetricRegistry
+//   }
+//
+// The schema is validated in CI by bench/check_bench_json.py and documented in
+// DESIGN.md. Key order inside "config" and each result row follows insertion
+// order so diffs between runs stay readable.
+#ifndef COMPCACHE_BENCH_BENCH_JSON_H_
+#define COMPCACHE_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace compcache {
+
+class BenchReport {
+ public:
+  // Scans argv for --json=<path>; without it the report is disabled and all
+  // recording calls are cheap no-ops that still accept data.
+  BenchReport(std::string bench_name, int argc, char** argv);
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  // One row of "results": typed key/value pairs in insertion order.
+  class Row {
+   public:
+    Row& Set(std::string key, double value);
+    Row& Set(std::string key, uint64_t value) {
+      return Set(std::move(key), static_cast<double>(value));
+    }
+    Row& Set(std::string key, int value) {
+      return Set(std::move(key), static_cast<double>(value));
+    }
+    Row& Set(std::string key, std::string value);
+
+   private:
+    friend class BenchReport;
+    struct Field {
+      std::string key;
+      bool is_string = false;
+      std::string str;
+      double num = 0;
+    };
+    std::vector<Field> fields_;
+  };
+
+  void Config(std::string key, double value);
+  void Config(std::string key, uint64_t value);
+  void Config(std::string key, std::string value);
+  void Config(std::string key, bool value);
+
+  // Returns a row to fill in; it is kept alive inside the report.
+  Row& AddRow();
+
+  // Folds a registry snapshot into "metrics", each name prefixed with `prefix`
+  // (use a prefix when one bench runs several machines).
+  void MergeMetrics(const MetricRegistry& registry, const std::string& prefix = "");
+
+  std::string ToJson() const;
+
+  // Writes ToJson() to the --json path. No-op (returns true) when disabled;
+  // returns false and prints to stderr on I/O failure.
+  bool WriteIfEnabled() const;
+
+ private:
+  struct ConfigEntry {
+    std::string key;
+    enum class Kind { kNumber, kString, kBool } kind = Kind::kNumber;
+    std::string str;
+    double num = 0;
+    bool boolean = false;
+  };
+
+  std::string name_;
+  std::string path_;
+  std::vector<ConfigEntry> config_;
+  std::deque<Row> rows_;  // deque: AddRow() references must stay stable
+  std::map<std::string, double> metrics_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_BENCH_BENCH_JSON_H_

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate bench --json output against the schema documented in DESIGN.md.
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Exits non-zero (listing every violation) if any file fails. Intended for CI
+(the bench-smoke job) and for local use after editing a bench.
+
+Schema (schema_version 1):
+  top level: object with exactly the keys
+    bench           non-empty string
+    schema_version  the integer 1
+    config          object; values are string, number, or bool
+    results         non-empty array of objects; values are string or number
+    metrics         object; values are finite numbers; keys are dotted
+                    lower_snake metric names (e.g. "vm.faults")
+"""
+
+import json
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+TOP_KEYS = {"bench", "schema_version", "config", "results", "metrics"}
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate(path):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+
+    missing = TOP_KEYS - doc.keys()
+    extra = doc.keys() - TOP_KEYS
+    if missing:
+        err(f"missing top-level keys: {sorted(missing)}")
+    if extra:
+        err(f"unexpected top-level keys: {sorted(extra)}")
+
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        err('"bench" must be a non-empty string')
+
+    if doc.get("schema_version") != 1 or isinstance(doc.get("schema_version"), bool):
+        err(f'"schema_version" must be 1, got {doc.get("schema_version")!r}')
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        err('"config" must be an object')
+    else:
+        for k, v in config.items():
+            if not (isinstance(v, (str, bool)) or is_number(v)):
+                err(f'config["{k}"] must be string, number, or bool, got {type(v).__name__}')
+
+    results = doc.get("results")
+    if not isinstance(results, list):
+        err('"results" must be an array')
+    elif not results:
+        err('"results" must not be empty')
+    else:
+        for i, row in enumerate(results):
+            if not isinstance(row, dict):
+                err(f"results[{i}] must be an object")
+                continue
+            if not row:
+                err(f"results[{i}] must not be empty")
+            for k, v in row.items():
+                if not (isinstance(v, str) or is_number(v)):
+                    err(f'results[{i}]["{k}"] must be string or number, '
+                        f"got {type(v).__name__}")
+                if is_number(v) and not math.isfinite(v):
+                    err(f'results[{i}]["{k}"] must be finite, got {v}')
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        err('"metrics" must be an object')
+    else:
+        for k, v in metrics.items():
+            if not METRIC_NAME_RE.match(k):
+                err(f'metric name "{k}" is not dotted lower_snake')
+            if not is_number(v):
+                err(f'metrics["{k}"] must be a number, got {type(v).__name__}')
+            elif not math.isfinite(v):
+                err(f'metrics["{k}"] must be finite, got {v}')
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        errs = validate(path)
+        if errs:
+            all_errors.extend(errs)
+        else:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            print(f"OK {path}: bench={doc['bench']} "
+                  f"results={len(doc['results'])} metrics={len(doc['metrics'])}")
+    for e in all_errors:
+        print(f"FAIL {e}", file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

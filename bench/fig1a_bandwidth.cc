@@ -8,14 +8,19 @@
 // CSV for plotting.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "model/analytic.h"
 
 using namespace compcache;
 
-int main() {
+int main(int argc, char** argv) {
   const double ratios[] = {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5,
                            0.6,  0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0};
   const double speeds[] = {64, 32, 16, 8, 4, 2, 1, 0.5};
+
+  BenchReport report("fig1a_bandwidth", argc, argv);
+  report.Config("model", std::string("analytic"));
+  report.Config("decompress_speed_factor", 2.0);
 
   std::printf("Figure 1(a): bandwidth speedup, compressed transfers to backing store\n");
   std::printf("(rows: compression speed vs I/O, fast at top; cols: compression ratio,\n");
@@ -38,8 +43,10 @@ int main() {
   std::printf("\nCSV: speed,ratio,speedup\n");
   for (const double s : speeds) {
     for (const double r : ratios) {
-      std::printf("%g,%g,%.3f\n", s, r, BandwidthSpeedup(r, s));
+      const double speedup = BandwidthSpeedup(r, s);
+      std::printf("%g,%g,%.3f\n", s, r, speedup);
+      report.AddRow().Set("speed", s).Set("ratio", r).Set("speedup", speedup);
     }
   }
-  return 0;
+  return report.WriteIfEnabled() ? 0 : 1;
 }

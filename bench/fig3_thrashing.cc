@@ -13,10 +13,12 @@
 // rises once the backing store is needed — but stays below the unmodified system
 // thanks to clustered compressed transfers.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "apps/thrasher.h"
+#include "bench_json.h"
 #include "core/machine.h"
 
 using namespace compcache;
@@ -25,7 +27,10 @@ namespace {
 
 constexpr uint64_t kUserMemory = 6 * kMiB;
 
-double RunOne(uint64_t address_space, bool use_ccache, bool write) {
+// When `report` is non-null the machine's full metric snapshot is folded into
+// it under `metrics_prefix` — done for one representative run, not all of them.
+double RunOne(uint64_t address_space, bool use_ccache, bool write,
+              BenchReport* report = nullptr, const std::string& metrics_prefix = "") {
   MachineConfig config = use_ccache ? MachineConfig::WithCompressionCache(kUserMemory)
                                     : MachineConfig::Unmodified(kUserMemory);
   Machine machine(config);
@@ -37,13 +42,32 @@ double RunOne(uint64_t address_space, bool use_ccache, bool write) {
   options.content = ContentClass::kSparseNumeric;  // ~4:1 under LZRW1, like the paper
   Thrasher app(options);
   app.Run(machine);
+  if (report != nullptr) {
+    report->MergeMetrics(machine.metrics(), metrics_prefix);
+  }
   return app.result().AvgAccessMillis();
 }
 
 }  // namespace
 
-int main() {
-  const uint64_t sizes_mb[] = {2, 4, 5, 6, 8, 10, 12, 15, 20, 25, 30, 40};
+int main(int argc, char** argv) {
+  // --quick: two sizes instead of twelve, for CI smoke runs.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  const std::vector<uint64_t> sizes_mb = quick
+                                             ? std::vector<uint64_t>{2, 8}
+                                             : std::vector<uint64_t>{2,  4,  5,  6,  8,  10,
+                                                                     12, 15, 20, 25, 30, 40};
+
+  BenchReport report("fig3_thrashing", argc, argv);
+  report.Config("user_memory_mb", kUserMemory / kMiB);
+  report.Config("content", std::string("sparse_numeric"));
+  report.Config("passes", uint64_t{2});
+  report.Config("quick", quick);
 
   std::printf("Figure 3: thrasher on a %llu MB machine (RZ57-class disk, LZRW1, 4 KB pages)\n\n",
               static_cast<unsigned long long>(kUserMemory / kMiB));
@@ -54,8 +78,11 @@ int main() {
   std::string csv = "size_mb,std_rw_ms,cc_rw_ms,std_ro_ms,cc_ro_ms\n";
   for (const uint64_t mb : sizes_mb) {
     const uint64_t bytes = mb * kMiB;
+    // The last size's cc_rw machine contributes the metric snapshot: the most
+    // memory-pressured configuration, so every subsystem has non-zero counters.
+    const bool snapshot = mb == sizes_mb.back() && report.enabled();
     const double std_rw = RunOne(bytes, false, true);
-    const double cc_rw = RunOne(bytes, true, true);
+    const double cc_rw = RunOne(bytes, true, true, snapshot ? &report : nullptr);
     const double std_ro = RunOne(bytes, false, false);
     const double cc_ro = RunOne(bytes, true, false);
     std::printf("%8llu %10.3f %10.3f %10.3f %10.3f %11.2f %11.2f\n",
@@ -66,8 +93,16 @@ int main() {
     std::snprintf(line, sizeof(line), "%llu,%.3f,%.3f,%.3f,%.3f\n",
                   static_cast<unsigned long long>(mb), std_rw, cc_rw, std_ro, cc_ro);
     csv += line;
+    report.AddRow()
+        .Set("size_mb", mb)
+        .Set("std_rw_ms", std_rw)
+        .Set("cc_rw_ms", cc_rw)
+        .Set("std_ro_ms", std_ro)
+        .Set("cc_ro_ms", cc_ro)
+        .Set("speedup_rw", cc_rw > 0 ? std_rw / cc_rw : 0.0)
+        .Set("speedup_ro", cc_ro > 0 ? std_ro / cc_ro : 0.0);
   }
 
   std::printf("\nCSV:\n%s", csv.c_str());
-  return 0;
+  return report.WriteIfEnabled() ? 0 : 1;
 }

@@ -28,6 +28,7 @@
 #include "apps/gold.h"
 #include "apps/isca.h"
 #include "apps/sort.h"
+#include "bench_json.h"
 #include "core/machine.h"
 
 using namespace compcache;
@@ -35,6 +36,10 @@ using namespace compcache;
 namespace {
 
 constexpr uint64_t kUserMemory = 8 * kMiB;
+
+// Set in main when --json is active; the compare CC run contributes the
+// machine-wide metric snapshot (one representative machine, not all fourteen).
+BenchReport* g_report = nullptr;
 
 struct RowResult {
   SimDuration elapsed;
@@ -69,6 +74,9 @@ RowResult RunCompare(bool cc) {
   options.band_width = 256;  // band = 12 MB of traceback cells vs 8 MB memory
   Compare app(options);
   app.Run(machine);
+  if (cc && g_report != nullptr) {
+    g_report->MergeMetrics(machine.metrics());
+  }
   return Finish(machine, app.result().elapsed);
 }
 
@@ -162,11 +170,27 @@ void PrintRow(const std::string& name, const RowResult& std_row, const RowResult
               std_row.elapsed.ToMinSec().c_str(), cc_row.elapsed.ToMinSec().c_str(), speedup,
               cc_row.kept_ratio_pct, cc_row.uncompressible_pct, paper_speedup);
   std::fflush(stdout);
+  if (g_report != nullptr) {
+    g_report->AddRow()
+        .Set("application", name)
+        .Set("std_seconds", std_row.elapsed.seconds())
+        .Set("cc_seconds", cc_row.elapsed.seconds())
+        .Set("speedup", speedup)
+        .Set("kept_ratio_pct", cc_row.kept_ratio_pct)
+        .Set("uncompressible_pct", cc_row.uncompressible_pct)
+        .Set("paper_speedup", paper_speedup);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("table1_applications", argc, argv);
+  report.Config("user_memory_mb", kUserMemory / kMiB);
+  report.Config("codec", std::string("lzrw1"));
+  report.Config("disk", std::string("rz57"));
+  g_report = &report;
+
   std::printf("Table 1: application speedups (%llu MB user memory, RZ57-class disk, LZRW1)\n\n",
               static_cast<unsigned long long>(kUserMemory / kMiB));
   std::printf("%-13s %9s %9s %8s %9s %11s\n", "application", "time(std)", "time(CC)", "speedup",
@@ -187,5 +211,5 @@ int main() {
 
   std::printf("\nNote: 'ratio' and 'uncompr' come from the CC run's compression statistics;\n");
   std::printf("the std run performs no compression.\n");
-  return 0;
+  return report.WriteIfEnabled() ? 0 : 1;
 }

@@ -196,6 +196,36 @@ void CompressionCache::AppendEntry(PageKey key, std::span<const uint8_t> payload
   tail_off_ = e.end_off();
 }
 
+void CompressionCache::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  const CcacheStats* s = &stats_;
+  const auto gauge = [&](const char* name, const uint64_t CcacheStats::*field) {
+    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+  };
+  gauge("ccache.pages_compressed", &CcacheStats::pages_compressed);
+  gauge("ccache.pages_kept", &CcacheStats::pages_kept);
+  gauge("ccache.pages_rejected", &CcacheStats::pages_rejected);
+  gauge("ccache.fault_hits", &CcacheStats::fault_hits);
+  gauge("ccache.inserted_from_swap", &CcacheStats::inserted_from_swap);
+  gauge("ccache.entries_cleaned", &CcacheStats::entries_cleaned);
+  gauge("ccache.entries_dropped", &CcacheStats::entries_dropped);
+  gauge("ccache.invalidations", &CcacheStats::invalidations);
+  gauge("ccache.frames_mapped_peak", &CcacheStats::frames_mapped_peak);
+  gauge("ccache.adaptive_skips", &CcacheStats::adaptive_skips);
+  gauge("ccache.adaptive_probes", &CcacheStats::adaptive_probes);
+  gauge("ccache.adaptive_disables", &CcacheStats::adaptive_disables);
+  gauge("ccache.adaptive_reenables", &CcacheStats::adaptive_reenables);
+  gauge("ccache.original_bytes_kept", &CcacheStats::original_bytes_kept);
+  gauge("ccache.compressed_bytes_kept", &CcacheStats::compressed_bytes_kept);
+  registry->RegisterGauge("ccache.frames_mapped",
+                          [this] { return static_cast<double>(mapped_count_); });
+  registry->RegisterGauge("ccache.live_entries",
+                          [this] { return static_cast<double>(index_.size()); });
+  registry->RegisterGauge("ccache.used_bytes",
+                          [this] { return static_cast<double>(used_bytes()); });
+  kept_ratio_hist_ = &registry->GetHistogram("ccache.kept_ratio_pct");
+}
+
 CompressionCache::Entry* CompressionCache::Find(PageKey key) {
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -267,6 +297,10 @@ CompressionCache::CompressOutcome CompressionCache::CompressPage(
 
   if (!keep) {
     ++stats_.pages_rejected;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventKind::kCompressRejected, clock_->Now(), page.size(),
+                      compressed_size);
+    }
     return outcome;
   }
   outcome.keep = true;
@@ -281,8 +315,16 @@ void CompressionCache::InsertCompressed(PageKey key, std::span<const uint8_t> co
   ++stats_.pages_kept;
   stats_.original_bytes_kept += original_size;
   stats_.compressed_bytes_kept += compressed.size();
-  stats_.kept_ratio_pct.Add(100.0 * static_cast<double>(compressed.size()) /
-                            static_cast<double>(original_size));
+  const double ratio_pct =
+      100.0 * static_cast<double>(compressed.size()) / static_cast<double>(original_size);
+  stats_.kept_ratio_pct.Add(ratio_pct);
+  if (kept_ratio_hist_ != nullptr) {
+    kept_ratio_hist_->Observe(ratio_pct);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kCompressKept, clock_->Now(), key, original_size,
+                    compressed.size());
+  }
 }
 
 bool CompressionCache::CompressAndInsert(PageKey key, std::span<const uint8_t> page,
@@ -303,6 +345,10 @@ void CompressionCache::InsertCompressedClean(PageKey key, std::span<const uint8_
   clock_->Advance(costs_->CopyCost(compressed.size()), TimeCategory::kCopy);
   AppendEntry(key, compressed, original_size, /*dirty=*/false);
   ++stats_.inserted_from_swap;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kCcacheInsertClean, clock_->Now(), key, original_size,
+                    compressed.size());
+  }
 }
 
 bool CompressionCache::FaultIn(PageKey key, std::span<uint8_t> out) {
@@ -338,6 +384,9 @@ void CompressionCache::Invalidate(PageKey key) {
   index_.erase(key);
   AddLiveBytes(e->header_off, e->end_off(), -1);
   ++stats_.invalidations;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kCcacheInvalidate, clock_->Now(), key);
+  }
 }
 
 uint64_t CompressionCache::OldestAge() const {
@@ -404,11 +453,17 @@ void CompressionCache::ReclaimHeadFrame() {
     }
     clock_->Advance(costs_->CopyCost(staged), TimeCategory::kCopy);
     swap_->WriteBatch(batch);
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventKind::kCcacheWriteBatch, clock_->Now(), staged, batch.size());
+    }
     for (const SwapPageImage& img : batch) {
       Entry* e = Find(img.key);
       CC_ASSERT(e != nullptr);
       e->dirty = false;
       ++stats_.entries_cleaned;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kCcacheEntryCleaned, clock_->Now(), img.key);
+      }
       events_->OnEntryCleaned(img.key);
     }
   }
@@ -425,6 +480,9 @@ void CompressionCache::ReclaimHeadFrame() {
       index_.erase(e.key);
       AddLiveBytes(e.header_off, e.end_off(), -1);
       ++stats_.entries_dropped;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kCcacheEntryDropped, clock_->Now(), e.key);
+      }
       events_->OnEntryDropped(e.key);
     }
   }
@@ -490,11 +548,17 @@ bool CompressionCache::WriteOldestDirtyBatch() {
   }
   clock_->Advance(costs_->CopyCost(payload), TimeCategory::kCopy);
   swap_->WriteBatch(batch);
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kCcacheWriteBatch, clock_->Now(), payload, batch.size());
+  }
   for (const SwapPageImage& img : batch) {
     Entry* e = Find(img.key);
     CC_ASSERT(e != nullptr);
     e->dirty = false;
     ++stats_.entries_cleaned;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventKind::kCcacheEntryCleaned, clock_->Now(), img.key);
+    }
     events_->OnEntryCleaned(img.key);
   }
   return true;

@@ -33,7 +33,9 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "swap/compressed_swap_backend.h"
+#include "util/metrics.h"
 #include "util/stats.h"
+#include "util/trace.h"
 #include "vm/frame_source.h"
 #include "vm/page_key.h"
 
@@ -175,6 +177,12 @@ class CompressionCache {
   const CcacheStats& stats() const { return stats_; }
   const CcacheOptions& options() const { return options_; }
 
+  // --- observability ---
+  // Publishes every CcacheStats counter as a "ccache.*" gauge plus the
+  // "ccache.kept_ratio_pct" histogram (observed per kept page).
+  void BindMetrics(MetricRegistry* registry);
+  void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+
   // The paper's per-compressed-page header size (section 4.4).
   static constexpr uint32_t kEntryHeaderBytes = 36;
 
@@ -274,6 +282,8 @@ class CompressionCache {
   uint32_t skips_since_probe_ = 0;
 
   CcacheStats stats_;
+  LatencyHistogram* kept_ratio_hist_ = nullptr;  // owned by the bound registry
+  EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace compcache

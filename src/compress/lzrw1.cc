@@ -103,7 +103,9 @@ size_t Lzrw1::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
   if (compressed_size >= n + 1) {
     // Expansion: store raw. This is the standard LZRW1 "copy flag" escape.
     dst[0] = kContainerRaw;
-    std::memcpy(dst.data() + 1, in, n);
+    if (n > 0) {  // memcpy from an empty span's null data() is UB
+      std::memcpy(dst.data() + 1, in, n);
+    }
     return n + 1;
   }
   dst[0] = kContainerCompressed;
@@ -122,7 +124,9 @@ size_t LzrwDecode(std::span<const uint8_t> src, std::span<uint8_t> dst) {
 
   if (src[0] == kContainerRaw) {
     CC_EXPECTS(src.size() == n + 1);
-    std::memcpy(dst.data(), in, n);
+    if (n > 0) {  // memcpy on an empty span's null data() is UB
+      std::memcpy(dst.data(), in, n);
+    }
     return n;
   }
   CC_EXPECTS(src[0] == kContainerCompressed);

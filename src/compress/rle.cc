@@ -80,7 +80,9 @@ size_t RleCodec::Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst
 
   if (src[0] == kContainerRaw) {
     CC_EXPECTS(src.size() == n + 1);
-    std::memcpy(dst.data(), in, n);
+    if (n > 0) {  // memcpy on an empty span's null data() is UB
+      std::memcpy(dst.data(), in, n);
+    }
     return n;
   }
   CC_EXPECTS(src[0] == kContainerCompressed);

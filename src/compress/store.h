@@ -18,7 +18,9 @@ class StoreCodec : public Codec {
   size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override {
     CC_EXPECTS(dst.size() >= src.size() + 1);
     dst[0] = kContainerRaw;
-    std::memcpy(dst.data() + 1, src.data(), src.size());
+    if (!src.empty()) {  // memcpy from an empty span's null data() is UB
+      std::memcpy(dst.data() + 1, src.data(), src.size());
+    }
     return src.size() + 1;
   }
 
@@ -26,7 +28,9 @@ class StoreCodec : public Codec {
     CC_EXPECTS(!src.empty());
     CC_EXPECTS(src[0] == kContainerRaw);
     CC_EXPECTS(src.size() == dst.size() + 1);
-    std::memcpy(dst.data(), src.data() + 1, dst.size());
+    if (!dst.empty()) {  // memcpy into an empty span's null data() is UB
+      std::memcpy(dst.data(), src.data() + 1, dst.size());
+    }
     return dst.size();
   }
 };

@@ -94,7 +94,9 @@ size_t WkCodec::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
   CC_EXPECTS(dst.size() >= MaxCompressedSize(n));
   if (n < 16) {
     dst[0] = kContainerRaw;
-    std::memcpy(dst.data() + 1, src.data(), n);
+    if (n > 0) {  // memcpy from an empty span's null data() is UB
+      std::memcpy(dst.data() + 1, src.data(), n);
+    }
     return n + 1;
   }
 
@@ -185,7 +187,9 @@ size_t WkCodec::Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst)
   const size_t n = dst.size();
   if (src[0] == kContainerRaw) {
     CC_EXPECTS(src.size() == n + 1);
-    std::memcpy(dst.data(), src.data() + 1, n);
+    if (n > 0) {  // memcpy into an empty span's null data() is UB
+      std::memcpy(dst.data(), src.data() + 1, n);
+    }
     return n;
   }
   CC_EXPECTS(src[0] == kContainerCompressed);

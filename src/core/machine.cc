@@ -95,6 +95,65 @@ Machine::Machine(MachineConfig config)
       ccache_->RunCleaner(pool_.free_frames());
     }
   });
+
+  BindAllMetrics();
+
+  if (config_.trace_capacity > 0) {
+    tracer_ = std::make_unique<EventTracer>(config_.trace_capacity);
+    disk_->SetTracer(tracer_.get());
+    buffer_cache_->SetTracer(tracer_.get());
+    pager_->SetTracer(tracer_.get());
+    arbiter_.SetTracer(tracer_.get(), &clock_);
+    if (ccache_ != nullptr) {
+      ccache_->SetTracer(tracer_.get());
+    }
+    if (cswap_ != nullptr) {
+      cswap_->SetTracer(tracer_.get());
+    }
+  }
+}
+
+void Machine::BindAllMetrics() {
+  // Simulated-time breakdown (mirrors the Report() header line).
+  metrics_.RegisterGauge("clock.now_ns",
+                         [this] { return static_cast<double>(clock_.Now().nanos()); });
+  metrics_.RegisterGauge("clock.cpu_ns", [this] {
+    return static_cast<double>(clock_.TimeIn(TimeCategory::kCpu).nanos());
+  });
+  metrics_.RegisterGauge("clock.compress_ns", [this] {
+    return static_cast<double>(clock_.TimeIn(TimeCategory::kCompression).nanos());
+  });
+  metrics_.RegisterGauge("clock.decompress_ns", [this] {
+    return static_cast<double>(clock_.TimeIn(TimeCategory::kDecompression).nanos());
+  });
+  metrics_.RegisterGauge("clock.copy_ns", [this] {
+    return static_cast<double>(clock_.TimeIn(TimeCategory::kCopy).nanos());
+  });
+  metrics_.RegisterGauge("clock.io_ns", [this] {
+    return static_cast<double>(clock_.TimeIn(TimeCategory::kIo).nanos());
+  });
+
+  metrics_.RegisterGauge("mem.total_frames",
+                         [this] { return static_cast<double>(pool_.total_frames()); });
+  metrics_.RegisterGauge("mem.free_frames",
+                         [this] { return static_cast<double>(pool_.free_frames()); });
+  metrics_.RegisterGauge("mem.metadata_frames",
+                         [this] { return static_cast<double>(metadata_frames_); });
+
+  disk_->BindMetrics(&metrics_);
+  fs_->BindMetrics(&metrics_);
+  buffer_cache_->BindMetrics(&metrics_);
+  pager_->BindMetrics(&metrics_);
+  arbiter_.BindMetrics(&metrics_);
+  if (ccache_ != nullptr) {
+    ccache_->BindMetrics(&metrics_);
+  }
+  if (cswap_ != nullptr) {
+    cswap_->BindMetrics(&metrics_);
+  }
+  if (fixed_swap_ != nullptr) {
+    fixed_swap_->BindMetrics(&metrics_);
+  }
 }
 
 Machine::~Machine() {

@@ -18,6 +18,8 @@
 #include "policy/memory_arbiter.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "swap/clustered_swap.h"
 #include "swap/fixed_compressed_swap.h"
 #include "swap/fixed_swap.h"
@@ -77,6 +79,10 @@ struct MachineConfig {
   // extension, codec hash table, extra kernel code, slot descriptors).
   bool charge_metadata_overhead = true;
 
+  // Event-trace ring capacity; 0 disables tracing entirely (the default — no
+  // per-event overhead is paid unless a capacity is configured).
+  size_t trace_capacity = 0;
+
   static MachineConfig Unmodified(uint64_t memory_bytes) {
     MachineConfig config;
     config.user_memory_bytes = memory_bytes;
@@ -122,6 +128,16 @@ class Machine : public FrameSource {
   FramePool& frame_pool() { return pool_; }
   const MachineConfig& config() const { return config_; }
 
+  // --- observability ---
+  // Every component's counters are registered here (as pull-mode gauges reading
+  // the authoritative struct counters, so the registry can never drift).
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  // Null unless MachineConfig::trace_capacity > 0.
+  EventTracer* tracer() { return tracer_.get(); }
+  // Full metric snapshot as one JSON object, sorted by name.
+  std::string MetricsJson() const { return metrics_.ToJson(); }
+
   // --- FrameSource ---
   FrameId AllocateFrame() override;
   void FreeFrame(FrameId id) override;
@@ -157,8 +173,12 @@ class Machine : public FrameSource {
     Machine* machine_;
   };
 
+  void BindAllMetrics();
+
   MachineConfig config_;
   Clock clock_;
+  MetricRegistry metrics_;
+  std::unique_ptr<EventTracer> tracer_;
   EventRouter event_router_{this};
   std::unique_ptr<Codec> codec_;
   std::unique_ptr<DiskDevice> disk_;

@@ -19,6 +19,25 @@ void DiskDevice::Charge(uint64_t offset, uint64_t length) {
   const SimDuration device_cost = timing_->Access(clock_->Now(), offset, length);
   clock_->Advance(device_cost, TimeCategory::kIo);
   stats_.busy_time += setup_overhead_ + device_cost;
+  if (access_latency_ != nullptr) {
+    access_latency_->Observe(static_cast<double>((setup_overhead_ + device_cost).nanos()));
+  }
+}
+
+void DiskDevice::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  const DiskStats* s = &stats_;
+  registry->RegisterGauge("disk.read_ops",
+                          [s] { return static_cast<double>(s->read_ops); });
+  registry->RegisterGauge("disk.write_ops",
+                          [s] { return static_cast<double>(s->write_ops); });
+  registry->RegisterGauge("disk.bytes_read",
+                          [s] { return static_cast<double>(s->bytes_read); });
+  registry->RegisterGauge("disk.bytes_written",
+                          [s] { return static_cast<double>(s->bytes_written); });
+  registry->RegisterGauge("disk.busy_ns",
+                          [s] { return static_cast<double>(s->busy_time.nanos()); });
+  access_latency_ = &registry->GetHistogram("disk.access_ns");
 }
 
 DiskDevice::Chunk& DiskDevice::ChunkFor(uint64_t index) {
@@ -35,6 +54,9 @@ void DiskDevice::Read(uint64_t offset, std::span<uint8_t> out) {
   Charge(offset, out.size());
   ++stats_.read_ops;
   stats_.bytes_read += out.size();
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kDiskRead, clock_->Now(), offset, out.size());
+  }
 
   uint64_t pos = offset;
   size_t done = 0;
@@ -59,6 +81,9 @@ void DiskDevice::Write(uint64_t offset, std::span<const uint8_t> data) {
   Charge(offset, data.size());
   ++stats_.write_ops;
   stats_.bytes_written += data.size();
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kDiskWrite, clock_->Now(), offset, data.size());
+  }
 
   uint64_t pos = offset;
   size_t done = 0;

@@ -15,7 +15,9 @@
 
 #include "disk/disk_model.h"
 #include "sim/clock.h"
+#include "util/metrics.h"
 #include "util/time_types.h"
+#include "util/trace.h"
 
 namespace compcache {
 
@@ -42,6 +44,13 @@ class DiskDevice {
   uint64_t capacity() const { return timing_->capacity(); }
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats{}; }
+  Clock* clock() const { return clock_; }
+
+  // --- observability ---
+  // Publishes counters as "disk.*" gauges and creates the "disk.access_ns"
+  // per-request latency histogram.
+  void BindMetrics(MetricRegistry* registry);
+  void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
 
  private:
   static constexpr uint64_t kChunkSize = 4096;
@@ -55,6 +64,8 @@ class DiskDevice {
   SimDuration setup_overhead_;
   std::unordered_map<uint64_t, std::unique_ptr<Chunk>> chunks_;
   DiskStats stats_;
+  LatencyHistogram* access_latency_ = nullptr;  // owned by the bound registry
+  EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace compcache

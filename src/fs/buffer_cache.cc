@@ -34,6 +34,9 @@ BufferCache::Block& BufferCache::GetBlock(FileId file, uint64_t index,
   }
 
   ++stats_.misses;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kBufferMiss, clock_->Now(), FileBlockKey(file.value, index));
+  }
   auto block = std::make_unique<Block>();
   block->key = key;
   // Allocating may reclaim — possibly from this very cache. The new block is not
@@ -59,6 +62,10 @@ BufferCache::Block& BufferCache::GetBlock(FileId file, uint64_t index,
 void BufferCache::Evict(Block& block) {
   if (block.dirty) {
     ++stats_.writebacks;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventKind::kBufferWriteback, clock_->Now(),
+                      FileBlockKey(block.key.file, block.key.index));
+    }
     fs_->Write(FileId{block.key.file}, block.key.index * kFsBlockSize,
                frames_->FrameData(block.frame));
   }
@@ -102,6 +109,10 @@ void BufferCache::FlushAll() {
   lru_.ForEach([&](const Block& b) {
     if (b.dirty) {
       ++stats_.writebacks;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kBufferWriteback, clock_->Now(),
+                        FileBlockKey(b.key.file, b.key.index));
+      }
       fs_->Write(FileId{b.key.file}, b.key.index * kFsBlockSize,
                  frames_->FrameData(b.frame));
       const_cast<Block&>(b).dirty = false;
@@ -140,6 +151,21 @@ void BufferCache::Write(FileId file, uint64_t offset, std::span<const uint8_t> d
     }
     pos += n;
   }
+}
+
+void BufferCache::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  const BufferCacheStats* s = &stats_;
+  const auto gauge = [&](const char* name, const uint64_t BufferCacheStats::*field) {
+    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+  };
+  gauge("bcache.hits", &BufferCacheStats::hits);
+  gauge("bcache.misses", &BufferCacheStats::misses);
+  gauge("bcache.writebacks", &BufferCacheStats::writebacks);
+  gauge("bcache.compressed_inserts", &BufferCacheStats::compressed_inserts);
+  gauge("bcache.compressed_hits", &BufferCacheStats::compressed_hits);
+  registry->RegisterGauge("bcache.blocks",
+                          [this] { return static_cast<double>(blocks_.size()); });
 }
 
 }  // namespace compcache

@@ -13,6 +13,8 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "util/intrusive_lru.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "vm/frame_source.h"
 
 namespace compcache {
@@ -51,6 +53,11 @@ class BufferCache {
   size_t num_blocks() const { return blocks_.size(); }
   const BufferCacheStats& stats() const { return stats_; }
 
+  // --- observability ---
+  // Publishes counters as "bcache.*" gauges.
+  void BindMetrics(MetricRegistry* registry);
+  void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+
   // Writes back all dirty blocks (shutdown / sync).
   void FlushAll();
 
@@ -86,6 +93,7 @@ class BufferCache {
   std::unordered_map<Key, std::unique_ptr<Block>, KeyHash> blocks_;
   LruList<Block> lru_;
   BufferCacheStats stats_;
+  EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace compcache

@@ -193,4 +193,19 @@ void FileSystem::Write(FileId file, uint64_t offset, std::span<const uint8_t> da
   f.size = std::max(f.size, offset + data.size());
 }
 
+void FileSystem::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  const FsStats* s = &stats_;
+  const auto gauge = [&](const char* name, const uint64_t FsStats::*field) {
+    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+  };
+  gauge("fs.direct_reads", &FsStats::direct_reads);
+  gauge("fs.direct_writes", &FsStats::direct_writes);
+  gauge("fs.rmw_reads", &FsStats::rmw_reads);
+  gauge("fs.bytes_requested_read", &FsStats::bytes_requested_read);
+  gauge("fs.bytes_requested_written", &FsStats::bytes_requested_written);
+  gauge("fs.bytes_transferred_read", &FsStats::bytes_transferred_read);
+  gauge("fs.bytes_transferred_written", &FsStats::bytes_transferred_written);
+}
+
 }  // namespace compcache

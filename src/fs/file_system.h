@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "disk/disk_device.h"
+#include "util/metrics.h"
 #include "util/units.h"
 
 namespace compcache {
@@ -70,6 +71,9 @@ class FileSystem {
   const FsStats& stats() const { return stats_; }
   void ResetStats() { stats_ = FsStats{}; }
   DiskDevice* disk() { return disk_; }
+
+  // Publishes counters as "fs.*" gauges.
+  void BindMetrics(MetricRegistry* registry);
 
  private:
   struct File {

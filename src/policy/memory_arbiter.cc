@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/clock.h"
 #include "util/assert.h"
 
 namespace compcache {
@@ -33,6 +34,7 @@ bool MemoryArbiter::ReclaimOne() {
   }
   std::sort(order.begin(), order.end());
 
+  bool fell_through = false;
   for (const auto& [effective, idx] : order) {
     if (effective == UINT64_MAX) {
       break;  // empty consumer; everything after is empty too
@@ -40,19 +42,41 @@ bool MemoryArbiter::ReclaimOne() {
     Consumer& c = consumers_[idx];
     if (c.release_oldest()) {
       ++c.reclaims;
+      RecordReclaim(idx, fell_through);
       return true;
     }
     ++c.refusals;
+    fell_through = true;
   }
   // Last resort: ask everyone once more in order, ignoring emptiness markers
   // (a consumer may hold frames yet report UINT64_MAX transiently).
-  for (Consumer& c : consumers_) {
+  for (size_t i = 0; i < consumers_.size(); ++i) {
+    Consumer& c = consumers_[i];
     if (c.release_oldest()) {
       ++c.reclaims;
+      RecordReclaim(i, /*fell_through=*/true);
       return true;
     }
   }
   return false;
+}
+
+void MemoryArbiter::RecordReclaim(size_t consumer_index, bool fell_through) {
+  if (tracer_ != nullptr && trace_clock_ != nullptr) {
+    tracer_->Record(TraceEventKind::kArbiterReclaim, trace_clock_->Now(),
+                    /*a=*/consumer_index, /*b=*/fell_through ? 1 : 0);
+  }
+}
+
+void MemoryArbiter::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  for (size_t i = 0; i < consumers_.size(); ++i) {
+    const Consumer* c = &consumers_[i];
+    registry->RegisterGauge("arbiter." + c->name + ".reclaims",
+                            [c] { return static_cast<double>(c->reclaims); });
+    registry->RegisterGauge("arbiter." + c->name + ".refusals",
+                            [c] { return static_cast<double>(c->refusals); });
+  }
 }
 
 }  // namespace compcache

@@ -20,9 +20,13 @@
 #include <string>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/time_types.h"
+#include "util/trace.h"
 
 namespace compcache {
+
+class Clock;
 
 struct ArbiterBiases {
   SimDuration file_cache;  // baseline: reclaimed first among equals
@@ -56,8 +60,21 @@ class MemoryArbiter {
 
   const std::vector<Consumer>& consumers() const { return consumers_; }
 
+  // Publishes per-consumer counters as "arbiter.<name>.reclaims|refusals" gauges.
+  // Call after all consumers are added.
+  void BindMetrics(MetricRegistry* registry);
+  // The arbiter has no clock of its own; the tracer needs one for timestamps.
+  void SetTracer(EventTracer* tracer, const Clock* clock) {
+    tracer_ = tracer;
+    trace_clock_ = clock;
+  }
+
  private:
+  void RecordReclaim(size_t consumer_index, bool fell_through);
+
   std::vector<Consumer> consumers_;
+  EventTracer* tracer_ = nullptr;
+  const Clock* trace_clock_ = nullptr;
 };
 
 }  // namespace compcache

@@ -20,6 +20,27 @@ ClusteredSwapLayout::ClusteredSwapLayout(FileSystem* fs, Options options)
   file_ = fs_->Create("cswap");
 }
 
+void ClusteredSwapLayout::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  const ClusteredSwapStats* s = &stats_;
+  const auto gauge = [&](const char* name, const uint64_t ClusteredSwapStats::*field) {
+    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+  };
+  gauge("swap.clustered.batches_written", &ClusteredSwapStats::batches_written);
+  gauge("swap.clustered.pages_written", &ClusteredSwapStats::pages_written);
+  gauge("swap.clustered.pages_read", &ClusteredSwapStats::pages_read);
+  gauge("swap.clustered.fragment_bytes_written", &ClusteredSwapStats::fragment_bytes_written);
+  gauge("swap.clustered.payload_bytes_written", &ClusteredSwapStats::payload_bytes_written);
+  gauge("swap.clustered.blocks_reused", &ClusteredSwapStats::blocks_reused);
+  gauge("swap.clustered.blocks_appended", &ClusteredSwapStats::blocks_appended);
+  gauge("swap.clustered.coresident_pages_returned",
+        &ClusteredSwapStats::coresident_pages_returned);
+  registry->RegisterGauge("swap.clustered.live_pages",
+                          [this] { return static_cast<double>(locations_.size()); });
+  registry->RegisterGauge("swap.clustered.free_blocks",
+                          [this] { return static_cast<double>(free_blocks_.size()); });
+}
+
 uint64_t ClusteredSwapLayout::AllocateBlocks(uint64_t blocks) {
   CC_EXPECTS(blocks > 0);
   // Look for a contiguous run of garbage-collected blocks (first fit).
@@ -111,6 +132,10 @@ void ClusteredSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
   fs_->Write(file_, start_block * kFsBlockSize, staging);
   ++stats_.batches_written;
   stats_.fragment_bytes_written += staging.size();
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kSwapWriteBatch, fs_->disk()->clock()->Now(),
+                    pages.size(), staging.size());
+  }
 
   // Update the location map; prior copies become garbage.
   for (const Placement& p : placements) {
@@ -158,6 +183,10 @@ ClusteredSwapLayout::ReadResult ClusteredSwapLayout::ReadPage(PageKey key,
   result.bytes.assign(staging.begin() + static_cast<ptrdiff_t>(skip),
                       staging.begin() + static_cast<ptrdiff_t>(skip + loc.byte_size));
   ++stats_.pages_read;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kSwapReadPage, fs_->disk()->clock()->Now(), key,
+                    loc.byte_size, blocks);
+  }
 
   if (collect_coresidents) {
     const uint64_t range_start = first_block * kFragsPerBlock;

@@ -68,6 +68,10 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
 
   const ClusteredSwapStats& stats() const { return stats_; }
 
+  // Publishes counters as "swap.clustered.*" gauges.
+  void BindMetrics(MetricRegistry* registry) override;
+  void SetTracer(EventTracer* tracer) override { tracer_ = tracer; }
+
   // Introspection for tests.
   size_t live_pages() const { return locations_.size(); }
   size_t free_blocks() const { return free_blocks_.size(); }
@@ -98,6 +102,7 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
   std::set<uint64_t> free_blocks_;
   uint64_t end_block_ = 0;
   ClusteredSwapStats stats_;
+  EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace compcache

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "util/units.h"
 #include "vm/page_key.h"
 
@@ -51,6 +53,12 @@ class CompressedSwapBackend {
 
   // Marks a page's copy obsolete (rewritten in memory or dropped).
   virtual void Invalidate(PageKey key) = 0;
+
+  // --- observability ---
+  // Publishes the layout's counters as "swap.<layout>.*" gauges.
+  virtual void BindMetrics(MetricRegistry* registry) = 0;
+  // Records write-batch/read events; the default keeps tracing off.
+  virtual void SetTracer(EventTracer* tracer) { (void)tracer; }
 };
 
 }  // namespace compcache

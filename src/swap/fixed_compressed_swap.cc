@@ -52,4 +52,15 @@ CompressedSwapBackend::ReadResult FixedCompressedSwapLayout::ReadPage(
 
 void FixedCompressedSwapLayout::Invalidate(PageKey key) { sizes_.erase(key); }
 
+void FixedCompressedSwapLayout::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  const FixedCompressedSwapStats* s = &stats_;
+  registry->RegisterGauge("swap.fixed_compressed.pages_written",
+                          [s] { return static_cast<double>(s->pages_written); });
+  registry->RegisterGauge("swap.fixed_compressed.pages_read",
+                          [s] { return static_cast<double>(s->pages_read); });
+  registry->RegisterGauge("swap.fixed_compressed.payload_bytes_written",
+                          [s] { return static_cast<double>(s->payload_bytes_written); });
+}
+
 }  // namespace compcache

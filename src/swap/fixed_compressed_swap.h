@@ -40,6 +40,9 @@ class FixedCompressedSwapLayout : public CompressedSwapBackend {
 
   const FixedCompressedSwapStats& stats() const { return stats_; }
 
+  // Publishes counters as "swap.fixed_compressed.*" gauges.
+  void BindMetrics(MetricRegistry* registry) override;
+
  private:
   struct StoredSize {
     uint32_t byte_size = 0;

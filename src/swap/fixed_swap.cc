@@ -33,4 +33,14 @@ void FixedSwapLayout::ReadPage(PageKey key, std::span<uint8_t> out) {
   ++pages_read_;
 }
 
+void FixedSwapLayout::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  registry->RegisterGauge("swap.fixed.pages_written",
+                          [this] { return static_cast<double>(pages_written_); });
+  registry->RegisterGauge("swap.fixed.pages_read",
+                          [this] { return static_cast<double>(pages_read_); });
+  registry->RegisterGauge("swap.fixed.live_pages",
+                          [this] { return static_cast<double>(written_.size()); });
+}
+
 }  // namespace compcache

@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "fs/file_system.h"
+#include "util/metrics.h"
 #include "vm/page_key.h"
 
 namespace compcache {
@@ -29,6 +30,9 @@ class FixedSwapLayout {
 
   uint64_t pages_written() const { return pages_written_; }
   uint64_t pages_read() const { return pages_read_; }
+
+  // Publishes counters as "swap.fixed.*" gauges.
+  void BindMetrics(MetricRegistry* registry);
 
  private:
   FileId SwapFileFor(uint32_t segment);

@@ -215,4 +215,20 @@ CompressedSwapBackend::ReadResult LfsSwapLayout::ReadPage(PageKey key,
 
 void LfsSwapLayout::Invalidate(PageKey key) { ReleaseLocation(key); }
 
+void LfsSwapLayout::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  const LfsSwapStats* s = &stats_;
+  const auto gauge = [&](const char* name, const uint64_t LfsSwapStats::*field) {
+    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+  };
+  gauge("swap.lfs.pages_written", &LfsSwapStats::pages_written);
+  gauge("swap.lfs.pages_read", &LfsSwapStats::pages_read);
+  gauge("swap.lfs.segments_written", &LfsSwapStats::segments_written);
+  gauge("swap.lfs.segments_cleaned", &LfsSwapStats::segments_cleaned);
+  gauge("swap.lfs.live_pages_copied", &LfsSwapStats::live_pages_copied);
+  gauge("swap.lfs.reads_from_buffer", &LfsSwapStats::reads_from_buffer);
+  registry->RegisterGauge("swap.lfs.free_segments",
+                          [this] { return static_cast<double>(free_segments_.size()); });
+}
+
 }  // namespace compcache

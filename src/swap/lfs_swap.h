@@ -66,6 +66,9 @@ class LfsSwapLayout : public CompressedSwapBackend {
   const LfsSwapStats& stats() const { return stats_; }
   size_t free_segments() const { return free_segments_.size(); }
 
+  // Publishes counters as "swap.lfs.*" gauges.
+  void BindMetrics(MetricRegistry* registry) override;
+
  private:
   struct Location {
     uint32_t segment = 0;

@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer used by the observability layer (metric
+// snapshots, trace dumps, bench output). Only what the simulator needs to *emit*
+// machine-readable artifacts: objects, arrays, strings, numbers, booleans. There
+// is deliberately no parser — consumers are external tools (CI validators,
+// plotting scripts).
+#ifndef COMPCACHE_UTIL_JSON_H_
+#define COMPCACHE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compcache {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key for the next value inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);    // emits integers without a fraction part
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Key + value shorthands.
+  JsonWriter& Kv(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  // Without this overload a string literal value would pick the bool overload
+  // (pointer-to-bool is a standard conversion; to string_view is user-defined).
+  JsonWriter& Kv(std::string_view key, const char* value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& Kv(std::string_view key, double value) { return Key(key).Number(value); }
+  JsonWriter& Kv(std::string_view key, uint64_t value) { return Key(key).Uint(value); }
+  JsonWriter& Kv(std::string_view key, int64_t value) { return Key(key).Int(value); }
+  JsonWriter& Kv(std::string_view key, bool value) { return Key(key).Bool(value); }
+
+  // The document built so far. Valid once every Begin* has been closed.
+  const std::string& str() const { return out_; }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true until the first element is written.
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_UTIL_JSON_H_

@@ -1,0 +1,131 @@
+// The metric registry: named counters, pull-mode gauges, and latency histograms
+// shared by every simulator subsystem.
+//
+// Douglis's evaluation is counter-driven — faults served from the compression
+// cache vs the backing store, pages kept vs rejected by the 4:3 threshold,
+// clustered write-out batches, arbiter reclaim decisions. Each subsystem keeps
+// its existing plain struct counters (cheap, branch-free) and *publishes* them
+// here as gauges whose callbacks read those structs, so the registry can never
+// drift from the source of truth. Latency distributions (fault service time,
+// disk access time) are recorded directly into histograms.
+//
+// Naming convention: dotted lower_snake paths, subsystem first —
+//   vm.faults, ccache.pages_kept, swap.clustered.batches_written,
+//   disk.read_ops, bcache.hits, arbiter.ccache.reclaims, clock.io_ns.
+// Histograms flatten into <name>.count/.mean/.min/.max/.p50/.p90/.p99 in
+// snapshots. DESIGN.md documents the full metric list.
+#ifndef COMPCACHE_UTIL_METRICS_H_
+#define COMPCACHE_UTIL_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/stats.h"
+
+namespace compcache {
+
+// Monotonic event counter for direct instrumentation (push mode).
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Latency/size distribution: exact running moments (Welford, via RunningStats)
+// plus power-of-two buckets for percentile estimation. Values are unit-free
+// non-negative doubles; by convention latencies are virtual-clock nanoseconds.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;  // bucket 0 = [0,1), i>=1 = [2^(i-1), 2^i)
+
+  void Observe(double value);
+
+  uint64_t count() const { return stats_.count(); }
+  double sum() const { return stats_.sum(); }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  const RunningStats& stats() const { return stats_; }
+
+  // Percentile estimate, p in [0, 100]. Linear interpolation inside the bucket
+  // containing the rank, clamped to the observed min/max so estimates never
+  // leave the sampled range. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  uint64_t bucket_count(size_t i) const { return buckets_.at(i); }
+
+  void Reset();
+
+ private:
+  static size_t BucketFor(double value);
+  static double BucketLow(size_t i);
+  static double BucketHigh(size_t i);
+
+  RunningStats stats_;
+  std::array<uint64_t, kNumBuckets> buckets_{};
+};
+
+// Owns metric objects and hands out stable references. Registration is
+// idempotent by name within a kind; a name may be used by only one kind.
+// Not thread-safe — the simulator is single-threaded by design.
+class MetricRegistry {
+ public:
+  using GaugeFn = std::function<double()>;
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Creates the counter on first use; later calls return the same object.
+  Counter& GetCounter(const std::string& name);
+
+  // Registers a pull-mode gauge. Re-registering a name replaces its callback
+  // (components may be re-bound after reconfiguration).
+  void RegisterGauge(const std::string& name, GaugeFn fn);
+
+  Counter* FindCounter(const std::string& name);
+  const Counter* FindCounter(const std::string& name) const;
+
+  LatencyHistogram& GetHistogram(const std::string& name);
+  LatencyHistogram* FindHistogram(const std::string& name);
+  const LatencyHistogram* FindHistogram(const std::string& name) const;
+
+  bool HasGauge(const std::string& name) const { return gauges_.contains(name); }
+  // Evaluates a gauge; the gauge must exist.
+  double GaugeValue(const std::string& name) const;
+
+  // Value of `name` regardless of kind (counter value, gauge callback, or a
+  // histogram sub-field like "vm.fault_ns.p99"). Returns false when unknown.
+  bool Lookup(const std::string& name, double* out) const;
+
+  size_t num_counters() const { return counters_.size(); }
+  size_t num_gauges() const { return gauges_.size(); }
+  size_t num_histograms() const { return histograms_.size(); }
+
+  // Flat name -> value view of everything, histograms expanded into
+  // .count/.mean/.min/.max/.p50/.p90/.p99. Deterministically ordered.
+  std::map<std::string, double> Snapshot() const;
+
+  // Snapshot rendered as one JSON object.
+  std::string ToJson() const;
+
+ private:
+  void CheckNameFree(const std::string& name, const void* exempt) const;
+
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, GaugeFn> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_UTIL_METRICS_H_

@@ -77,8 +77,31 @@ std::span<uint8_t> Pager::Access(Segment& segment, uint32_t page, bool write) {
   return frames_->FrameData(entry.frame);
 }
 
+void Pager::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  const VmStats* s = &stats_;
+  const auto gauge = [&](const char* name, const uint64_t VmStats::*field) {
+    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+  };
+  gauge("vm.accesses", &VmStats::accesses);
+  gauge("vm.faults", &VmStats::faults);
+  gauge("vm.faults_zero_fill", &VmStats::faults_zero_fill);
+  gauge("vm.faults_from_ccache", &VmStats::faults_from_ccache);
+  gauge("vm.faults_from_swap", &VmStats::faults_from_swap);
+  gauge("vm.coresidents_inserted", &VmStats::coresidents_inserted);
+  gauge("vm.evictions", &VmStats::evictions);
+  gauge("vm.evictions_clean_drop", &VmStats::evictions_clean_drop);
+  gauge("vm.evictions_compressed", &VmStats::evictions_compressed);
+  gauge("vm.evictions_raw_swap", &VmStats::evictions_raw_swap);
+  gauge("vm.evictions_std_write", &VmStats::evictions_std_write);
+  registry->RegisterGauge("vm.resident_pages",
+                          [this] { return static_cast<double>(lru_.size()); });
+  fault_latency_ = &registry->GetHistogram("vm.fault_ns");
+}
+
 void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
   ++stats_.faults;
+  const SimTime fault_start = clock_->Now();
   clock_->Advance(costs_->fault_overhead);
 
   // Pin across the fault: frame allocation below may trigger eviction, which must
@@ -89,6 +112,7 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
 
   // Allocation can have reclaimed this page's own compressed copy (clean entries
   // at the ring head are fair game), so re-read the state now.
+  TraceEventKind fault_kind = TraceEventKind::kFaultZeroFill;
   switch (entry.state) {
     case PageState::kResident:
       CC_ASSERT(false && "fault on resident page");
@@ -106,6 +130,7 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
       const bool hit = ccache_->FaultIn(entry.key, frame_data);
       CC_ASSERT(hit);  // state said compressed; events keep it coherent
       ++stats_.faults_from_ccache;
+      fault_kind = TraceEventKind::kFaultFromCcache;
       // The compressed copy stays in the cache ("retained ... in the expectation
       // that they will be accessed again soon"); it dies on the first write.
       entry.dirty = false;
@@ -144,6 +169,7 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
         fixed_swap_->ReadPage(entry.key, frame_data);
       }
       ++stats_.faults_from_swap;
+      fault_kind = TraceEventKind::kFaultFromSwap;
       entry.has_backing_copy = true;
       entry.dirty = false;
       break;
@@ -155,6 +181,14 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
   entry.age_ns = static_cast<uint64_t>(clock_->Now().nanos());
   lru_.PushMru(entry);
   entry.pinned = false;
+
+  const auto latency_ns = static_cast<uint64_t>((clock_->Now() - fault_start).nanos());
+  if (fault_latency_ != nullptr) {
+    fault_latency_->Observe(static_cast<double>(latency_ns));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(fault_kind, clock_->Now(), entry.key, latency_ns);
+  }
 
   (void)segment;
   (void)write;  // dirtying is handled by the caller after the fault completes
@@ -181,6 +215,9 @@ void Pager::EvictResident(PageEntry& entry) {
       entry.state =
           entry.has_ccache_copy ? PageState::kCompressed : PageState::kSwapped;
       ++stats_.evictions_clean_drop;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kEvictCleanDrop, clock_->Now(), entry.key);
+      }
     } else {
       // Dirty (or never-stored) page: stale copies were invalidated when it was
       // dirtied, so compress it now.
@@ -198,6 +235,10 @@ void Pager::EvictResident(PageEntry& entry) {
         entry.has_ccache_copy = true;
         entry.state = PageState::kCompressed;
         ++stats_.evictions_compressed;
+        if (tracer_ != nullptr) {
+          tracer_->Record(TraceEventKind::kEvictCompressed, clock_->Now(), entry.key,
+                          outcome.bytes.size());
+        }
         entry.dirty = false;
         entry.pinned = false;
         return;  // frame already freed
@@ -213,6 +254,9 @@ void Pager::EvictResident(PageEntry& entry) {
       entry.has_backing_copy = true;
       entry.state = PageState::kSwapped;
       ++stats_.evictions_raw_swap;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kEvictRawSwap, clock_->Now(), entry.key);
+      }
     }
   } else {
     // Unmodified system: synchronous pageout of dirty pages to the fixed layout.
@@ -220,8 +264,14 @@ void Pager::EvictResident(PageEntry& entry) {
       fixed_swap_->WritePage(entry.key, frame_data);
       entry.has_backing_copy = true;
       ++stats_.evictions_std_write;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kEvictStdWrite, clock_->Now(), entry.key);
+      }
     } else {
       ++stats_.evictions_clean_drop;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kEvictCleanDrop, clock_->Now(), entry.key);
+      }
     }
     entry.state = PageState::kSwapped;
   }

@@ -27,6 +27,8 @@
 #include "swap/compressed_swap_backend.h"
 #include "swap/fixed_swap.h"
 #include "util/intrusive_lru.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "vm/frame_source.h"
 #include "vm/page_key.h"
 
@@ -142,6 +144,14 @@ class Pager : public CcacheEvents {
   const VmStats& stats() const { return stats_; }
   bool uses_compression_cache() const { return ccache_ != nullptr; }
 
+  // --- observability ---
+  // Publishes every VmStats counter as a "vm.*" gauge reading the struct (so the
+  // registry can never drift from the counters) and creates the "vm.fault_ns"
+  // fault-service latency histogram.
+  void BindMetrics(MetricRegistry* registry);
+  // Records fault/evict events; pass nullptr to disable.
+  void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
+
   // Validates page-state/bookkeeping invariants (test hook).
   void CheckInvariants() const;
 
@@ -166,6 +176,8 @@ class Pager : public CcacheEvents {
   int eviction_depth_ = 0;
 
   VmStats stats_;
+  LatencyHistogram* fault_latency_ = nullptr;  // owned by the bound registry
+  EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace compcache

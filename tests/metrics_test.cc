@@ -1,0 +1,150 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace compcache {
+namespace {
+
+TEST(CounterTest, IncAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricRegistryTest, CounterRegistrationIsIdempotent) {
+  MetricRegistry registry;
+  Counter& a = registry.GetCounter("vm.test_counter");
+  Counter& b = registry.GetCounter("vm.test_counter");
+  EXPECT_EQ(&a, &b);
+  a.Inc(7);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(registry.num_counters(), 1u);
+
+  ASSERT_NE(registry.FindCounter("vm.test_counter"), nullptr);
+  EXPECT_EQ(registry.FindCounter("vm.test_counter")->value(), 7u);
+  EXPECT_EQ(registry.FindCounter("no.such"), nullptr);
+
+  double out = 0;
+  ASSERT_TRUE(registry.Lookup("vm.test_counter", &out));
+  EXPECT_EQ(out, 7.0);
+  EXPECT_FALSE(registry.Lookup("no.such", &out));
+}
+
+TEST(MetricRegistryTest, GaugeReadsLiveValueAndRebindReplaces) {
+  MetricRegistry registry;
+  uint64_t source = 3;
+  registry.RegisterGauge("mem.source", [&source] { return static_cast<double>(source); });
+  EXPECT_TRUE(registry.HasGauge("mem.source"));
+  EXPECT_EQ(registry.GaugeValue("mem.source"), 3.0);
+  source = 9;  // pull mode: the gauge tracks the source with no publishing step
+  EXPECT_EQ(registry.GaugeValue("mem.source"), 9.0);
+
+  registry.RegisterGauge("mem.source", [] { return 1.5; });
+  EXPECT_EQ(registry.GaugeValue("mem.source"), 1.5);
+  EXPECT_EQ(registry.num_gauges(), 1u);
+}
+
+TEST(MetricRegistryTest, SnapshotFlattensEverything) {
+  MetricRegistry registry;
+  registry.GetCounter("a.count").Inc(2);
+  registry.RegisterGauge("b.gauge", [] { return 4.0; });
+  LatencyHistogram& h = registry.GetHistogram("c.hist");
+  h.Observe(10);
+  h.Observe(20);
+
+  const auto snap = registry.Snapshot();
+  EXPECT_EQ(snap.at("a.count"), 2.0);
+  EXPECT_EQ(snap.at("b.gauge"), 4.0);
+  EXPECT_EQ(snap.at("c.hist.count"), 2.0);
+  EXPECT_EQ(snap.at("c.hist.mean"), 15.0);
+  EXPECT_EQ(snap.at("c.hist.min"), 10.0);
+  EXPECT_EQ(snap.at("c.hist.max"), 20.0);
+  EXPECT_TRUE(snap.contains("c.hist.p50"));
+  EXPECT_TRUE(snap.contains("c.hist.p90"));
+  EXPECT_TRUE(snap.contains("c.hist.p99"));
+
+  // Histogram sub-fields resolve through Lookup as well.
+  double out = 0;
+  ASSERT_TRUE(registry.Lookup("c.hist.p99", &out));
+  EXPECT_GE(out, 10.0);
+  EXPECT_LE(out, 20.0);
+
+  const std::string json = registry.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.hist.p50\""), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, MomentsAreExact) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0.0);  // empty
+
+  for (double v : {4.0, 8.0, 12.0}) {
+    h.Observe(v);
+  }
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 24.0);
+  EXPECT_EQ(h.mean(), 8.0);
+  EXPECT_EQ(h.min(), 4.0);
+  EXPECT_EQ(h.max(), 12.0);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(LatencyHistogramTest, PercentilesClampToObservedRange) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(1000.0);  // single point: every percentile must be that point
+  }
+  EXPECT_EQ(h.Percentile(0), 1000.0);
+  EXPECT_EQ(h.Percentile(50), 1000.0);
+  EXPECT_EQ(h.Percentile(100), 1000.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneAndBracketed) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Observe(static_cast<double>(i));
+  }
+  const double p10 = h.Percentile(10);
+  const double p50 = h.Percentile(50);
+  const double p90 = h.Percentile(90);
+  const double p99 = h.Percentile(99);
+  EXPECT_LE(h.min(), p10);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  // Power-of-two buckets: the estimate may be off by up to one bucket width, so
+  // only assert it lands in the right neighborhood.
+  EXPECT_GT(p50, 250.0);
+  EXPECT_LT(p50, 1000.0);
+  EXPECT_GT(p99, 500.0);
+}
+
+TEST(LatencyHistogramTest, ExtremeValuesLandInEdgeBuckets) {
+  LatencyHistogram h;
+  h.Observe(0.0);
+  h.Observe(0.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);  // [0, 1)
+  h.Observe(1e300);                  // far beyond 2^63: clamps to the last bucket
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 3u);
+  // The percentile estimate saturates at the last bucket's edge (~2^63); it
+  // must stay within [min, max] and above the second-to-last bucket.
+  EXPECT_GE(h.Percentile(100), 4.6e18);
+  EXPECT_LE(h.Percentile(100), h.max());
+}
+
+}  // namespace
+}  // namespace compcache

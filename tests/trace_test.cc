@@ -1,0 +1,109 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace compcache {
+namespace {
+
+SimTime At(int64_t ns) { return SimTime::FromNanos(ns); }
+
+TEST(EventTracerTest, RecordsUpToCapacity) {
+  EventTracer tracer(8);
+  EXPECT_EQ(tracer.capacity(), 8u);
+  EXPECT_EQ(tracer.size(), 0u);
+
+  tracer.Record(TraceEventKind::kFaultZeroFill, At(10), PageKey{0, 1}, 42);
+  tracer.Record(TraceEventKind::kDiskRead, At(20), /*a=*/4096, /*b=*/512);
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.total_recorded(), 2u);
+
+  std::vector<TraceEvent> seen;
+  tracer.ForEach([&](const TraceEvent& e) { seen.push_back(e); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].kind, TraceEventKind::kFaultZeroFill);
+  EXPECT_EQ(seen[0].t_ns, 10);
+  EXPECT_EQ(seen[0].key, (PageKey{0, 1}));
+  EXPECT_EQ(seen[0].a, 42u);
+  EXPECT_EQ(seen[1].kind, TraceEventKind::kDiskRead);
+  EXPECT_FALSE(seen[1].key.valid());
+}
+
+TEST(EventTracerTest, RingWrapsOverwritingOldest) {
+  EventTracer tracer(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    tracer.Record(TraceEventKind::kEvictCompressed, At(static_cast<int64_t>(i)),
+                  PageKey{0, static_cast<uint32_t>(i)}, /*a=*/i);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+
+  // The survivors are the last four (6..9), visited oldest-first.
+  std::vector<uint64_t> order;
+  tracer.ForEach([&](const TraceEvent& e) { order.push_back(e.a); });
+  EXPECT_EQ(order, (std::vector<uint64_t>{6, 7, 8, 9}));
+}
+
+TEST(EventTracerTest, ClearEmptiesButKeepsCapacity) {
+  EventTracer tracer(4);
+  tracer.Record(TraceEventKind::kDiskWrite, At(1), 0, 0);
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  tracer.Record(TraceEventKind::kDiskWrite, At(2), 0, 0);
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(EventTracerTest, JsonlHasOneLinePerEvent) {
+  EventTracer tracer(4);
+  tracer.Record(TraceEventKind::kCompressKept, At(5), PageKey{2, 3}, 4096, 1024);
+  tracer.Record(TraceEventKind::kArbiterReclaim, At(6), /*a=*/1);
+
+  const std::string jsonl = tracer.ToJsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) {
+      rows.push_back(line);
+    }
+  }
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NE(rows[0].find("\"event\":\"compress_kept\""), std::string::npos);
+  EXPECT_NE(rows[0].find("\"seg\":2"), std::string::npos);
+  EXPECT_NE(rows[0].find("\"page\":3"), std::string::npos);
+  EXPECT_NE(rows[0].find("\"a\":4096"), std::string::npos);
+  // Keyless events omit the page identity entirely.
+  EXPECT_EQ(rows[1].find("\"seg\""), std::string::npos);
+  EXPECT_NE(rows[1].find("arbiter_reclaim"), std::string::npos);
+}
+
+TEST(EventTracerTest, DumpJsonlWritesFile) {
+  EventTracer tracer(4);
+  tracer.Record(TraceEventKind::kSwapReadPage, At(7), PageKey{1, 9}, 2048);
+
+  const std::string path = ::testing::TempDir() + "/trace_test_dump.jsonl";
+  ASSERT_TRUE(tracer.DumpJsonl(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("swap_read_page"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(EventTracerTest, EveryKindHasAName) {
+  for (uint8_t k = 0; k < static_cast<uint8_t>(TraceEventKind::kCount); ++k) {
+    const char* name = TraceEventKindName(static_cast<TraceEventKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "");
+    EXPECT_STRNE(name, "?");
+  }
+}
+
+}  // namespace
+}  // namespace compcache
