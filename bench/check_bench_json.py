@@ -14,6 +14,11 @@ Schema (schema_version 1):
     results         non-empty array of objects; values are string or number
     metrics         object; values are finite numbers; keys are dotted
                     lower_snake metric names (e.g. "vm.faults")
+
+  Additional semantic rules:
+    fault.* / retry.*   injection and retry counters; must be non-negative
+                        (present whenever a machine publishes its registry,
+                        zero when fault injection is disabled)
 """
 
 import json
@@ -23,10 +28,18 @@ import sys
 
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 TOP_KEYS = {"bench", "schema_version", "config", "results", "metrics"}
+# Monotonic counter families: a negative value can only be a bug.
+COUNTER_PREFIXES = ("fault.", "retry.")
 
 
 def is_number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def is_counter_metric(name):
+    # Benches may prefix a machine label (e.g. "cc_rw.fault.pages_lost").
+    return name.startswith(COUNTER_PREFIXES) or any(
+        f".{p}" in name for p in ("fault.", "retry."))
 
 
 def validate(path):
@@ -96,6 +109,8 @@ def validate(path):
                 err(f'metrics["{k}"] must be a number, got {type(v).__name__}')
             elif not math.isfinite(v):
                 err(f'metrics["{k}"] must be finite, got {v}')
+            elif v < 0 and is_counter_metric(k):
+                err(f'metrics["{k}"] is a counter and must be non-negative, got {v}')
 
     return errors
 

@@ -12,7 +12,14 @@
 // compressed working set fits in memory (up to ~3-4x the physical memory), then
 // rises once the backing store is needed — but stays below the unmodified system
 // thanks to clustered compressed transfers.
+//
+// --faults=<rate> enables deterministic fault injection (transient disk read and
+// write errors at the given per-operation probability) on every machine in the
+// sweep. The expected shape is *graceful* degradation: access times creep up
+// with the retry/backoff cost, retries are counted, and no pages are lost —
+// there is no cliff and no wrong result as the rate rises 0 -> 1e-3.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -27,12 +34,24 @@ namespace {
 
 constexpr uint64_t kUserMemory = 6 * kMiB;
 
+struct RunResult {
+  double avg_access_ms = 0.0;
+  uint64_t disk_retries = 0;
+  uint64_t pages_lost = 0;
+};
+
 // When `report` is non-null the machine's full metric snapshot is folded into
 // it under `metrics_prefix` — done for one representative run, not all of them.
-double RunOne(uint64_t address_space, bool use_ccache, bool write,
-              BenchReport* report = nullptr, const std::string& metrics_prefix = "") {
+RunResult RunOne(uint64_t address_space, bool use_ccache, bool write, double fault_rate,
+                 BenchReport* report = nullptr, const std::string& metrics_prefix = "") {
   MachineConfig config = use_ccache ? MachineConfig::WithCompressionCache(kUserMemory)
                                     : MachineConfig::Unmodified(kUserMemory);
+  if (fault_rate > 0.0) {
+    config.fault_injection.enabled = true;
+    config.fault_injection.seed = 1993;
+    config.fault_injection.disk_read_error_rate = fault_rate;
+    config.fault_injection.disk_write_error_rate = fault_rate;
+  }
   Machine machine(config);
 
   ThrasherOptions options;
@@ -45,17 +64,25 @@ double RunOne(uint64_t address_space, bool use_ccache, bool write,
   if (report != nullptr) {
     report->MergeMetrics(machine.metrics(), metrics_prefix);
   }
-  return app.result().AvgAccessMillis();
+  RunResult result;
+  result.avg_access_ms = app.result().AvgAccessMillis();
+  result.disk_retries = machine.disk().stats().read_retries + machine.disk().stats().write_retries;
+  result.pages_lost = machine.pager().stats().pages_lost;
+  return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   // --quick: two sizes instead of twelve, for CI smoke runs.
+  // --faults=<rate>: per-operation transient disk error probability (default 0).
   bool quick = false;
+  double fault_rate = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      fault_rate = std::strtod(argv[i] + 9, nullptr);
     }
   }
   const std::vector<uint64_t> sizes_mb = quick
@@ -68,39 +95,58 @@ int main(int argc, char** argv) {
   report.Config("content", std::string("sparse_numeric"));
   report.Config("passes", uint64_t{2});
   report.Config("quick", quick);
+  report.Config("fault_rate", fault_rate);
 
-  std::printf("Figure 3: thrasher on a %llu MB machine (RZ57-class disk, LZRW1, 4 KB pages)\n\n",
+  std::printf("Figure 3: thrasher on a %llu MB machine (RZ57-class disk, LZRW1, 4 KB pages)\n",
               static_cast<unsigned long long>(kUserMemory / kMiB));
-  std::printf("(a) average page access time (ms) and (b) speedup vs unmodified\n\n");
-  std::printf("%8s %10s %10s %10s %10s %11s %11s\n", "size(MB)", "std_rw", "cc_rw", "std_ro",
-              "cc_ro", "speedup_rw", "speedup_ro");
+  if (fault_rate > 0.0) {
+    std::printf("fault injection: transient disk error rate %g per op\n", fault_rate);
+  }
+  std::printf("\n(a) average page access time (ms) and (b) speedup vs unmodified\n\n");
+  std::printf("%8s %10s %10s %10s %10s %11s %11s %9s %6s\n", "size(MB)", "std_rw", "cc_rw",
+              "std_ro", "cc_ro", "speedup_rw", "speedup_ro", "retries", "lost");
 
-  std::string csv = "size_mb,std_rw_ms,cc_rw_ms,std_ro_ms,cc_ro_ms\n";
+  std::string csv = "size_mb,std_rw_ms,cc_rw_ms,std_ro_ms,cc_ro_ms,retries,pages_lost\n";
   for (const uint64_t mb : sizes_mb) {
     const uint64_t bytes = mb * kMiB;
     // The last size's cc_rw machine contributes the metric snapshot: the most
     // memory-pressured configuration, so every subsystem has non-zero counters.
     const bool snapshot = mb == sizes_mb.back() && report.enabled();
-    const double std_rw = RunOne(bytes, false, true);
-    const double cc_rw = RunOne(bytes, true, true, snapshot ? &report : nullptr);
-    const double std_ro = RunOne(bytes, false, false);
-    const double cc_ro = RunOne(bytes, true, false);
-    std::printf("%8llu %10.3f %10.3f %10.3f %10.3f %11.2f %11.2f\n",
-                static_cast<unsigned long long>(mb), std_rw, cc_rw, std_ro, cc_ro,
-                cc_rw > 0 ? std_rw / cc_rw : 0.0, cc_ro > 0 ? std_ro / cc_ro : 0.0);
+    const RunResult std_rw = RunOne(bytes, false, true, fault_rate);
+    const RunResult cc_rw =
+        RunOne(bytes, true, true, fault_rate, snapshot ? &report : nullptr);
+    const RunResult std_ro = RunOne(bytes, false, false, fault_rate);
+    const RunResult cc_ro = RunOne(bytes, true, false, fault_rate);
+    const uint64_t retries = std_rw.disk_retries + cc_rw.disk_retries + std_ro.disk_retries +
+                             cc_ro.disk_retries;
+    const uint64_t lost =
+        std_rw.pages_lost + cc_rw.pages_lost + std_ro.pages_lost + cc_ro.pages_lost;
+    std::printf("%8llu %10.3f %10.3f %10.3f %10.3f %11.2f %11.2f %9llu %6llu\n",
+                static_cast<unsigned long long>(mb), std_rw.avg_access_ms, cc_rw.avg_access_ms,
+                std_ro.avg_access_ms, cc_ro.avg_access_ms,
+                cc_rw.avg_access_ms > 0 ? std_rw.avg_access_ms / cc_rw.avg_access_ms : 0.0,
+                cc_ro.avg_access_ms > 0 ? std_ro.avg_access_ms / cc_ro.avg_access_ms : 0.0,
+                static_cast<unsigned long long>(retries), static_cast<unsigned long long>(lost));
     std::fflush(stdout);
-    char line[160];
-    std::snprintf(line, sizeof(line), "%llu,%.3f,%.3f,%.3f,%.3f\n",
-                  static_cast<unsigned long long>(mb), std_rw, cc_rw, std_ro, cc_ro);
+    char line[200];
+    std::snprintf(line, sizeof(line), "%llu,%.3f,%.3f,%.3f,%.3f,%llu,%llu\n",
+                  static_cast<unsigned long long>(mb), std_rw.avg_access_ms,
+                  cc_rw.avg_access_ms, std_ro.avg_access_ms, cc_ro.avg_access_ms,
+                  static_cast<unsigned long long>(retries),
+                  static_cast<unsigned long long>(lost));
     csv += line;
     report.AddRow()
         .Set("size_mb", mb)
-        .Set("std_rw_ms", std_rw)
-        .Set("cc_rw_ms", cc_rw)
-        .Set("std_ro_ms", std_ro)
-        .Set("cc_ro_ms", cc_ro)
-        .Set("speedup_rw", cc_rw > 0 ? std_rw / cc_rw : 0.0)
-        .Set("speedup_ro", cc_ro > 0 ? std_ro / cc_ro : 0.0);
+        .Set("std_rw_ms", std_rw.avg_access_ms)
+        .Set("cc_rw_ms", cc_rw.avg_access_ms)
+        .Set("std_ro_ms", std_ro.avg_access_ms)
+        .Set("cc_ro_ms", cc_ro.avg_access_ms)
+        .Set("speedup_rw",
+             cc_rw.avg_access_ms > 0 ? std_rw.avg_access_ms / cc_rw.avg_access_ms : 0.0)
+        .Set("speedup_ro",
+             cc_ro.avg_access_ms > 0 ? std_ro.avg_access_ms / cc_ro.avg_access_ms : 0.0)
+        .Set("disk_retries", retries)
+        .Set("pages_lost", lost);
   }
 
   std::printf("\nCSV:\n%s", csv.c_str());

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/assert.h"
+#include "util/checksum.h"
 #include "util/units.h"
 
 namespace compcache {
@@ -189,6 +190,16 @@ void CompressionCache::AppendEntry(PageKey key, std::span<const uint8_t> payload
   e.valid = true;
   e.age_ns = static_cast<uint64_t>(clock_->Now().nanos());
 
+  if (options_.checksums) {
+    // The paper's 36-byte per-page header carries the payload CRC-32C in its
+    // first word; the Entry keeps a copy so verification needs no header read.
+    e.checksum = Crc32(payload);
+    const uint8_t hdr[4] = {static_cast<uint8_t>(e.checksum),
+                            static_cast<uint8_t>(e.checksum >> 8),
+                            static_cast<uint8_t>(e.checksum >> 16),
+                            static_cast<uint8_t>(e.checksum >> 24)};
+    CopyIn(e.header_off, hdr);
+  }
   CopyIn(e.payload_off(), payload);
   entries_.push_back(e);
   index_[key] = base_seq_ + entries_.size() - 1;
@@ -217,6 +228,9 @@ void CompressionCache::BindMetrics(MetricRegistry* registry) {
   gauge("ccache.adaptive_reenables", &CcacheStats::adaptive_reenables);
   gauge("ccache.original_bytes_kept", &CcacheStats::original_bytes_kept);
   gauge("ccache.compressed_bytes_kept", &CcacheStats::compressed_bytes_kept);
+  gauge("ccache.checksum_mismatches", &CcacheStats::checksum_mismatches);
+  gauge("ccache.entries_lost", &CcacheStats::entries_lost);
+  gauge("ccache.write_batch_failures", &CcacheStats::write_batch_failures);
   registry->RegisterGauge("ccache.frames_mapped",
                           [this] { return static_cast<double>(mapped_count_); });
   registry->RegisterGauge("ccache.live_entries",
@@ -351,28 +365,56 @@ void CompressionCache::InsertCompressedClean(PageKey key, std::span<const uint8_
   }
 }
 
-bool CompressionCache::FaultIn(PageKey key, std::span<uint8_t> out) {
+CcacheFaultResult CompressionCache::FaultIn(PageKey key, std::span<uint8_t> out) {
   Entry* e = Find(key);
   if (e == nullptr) {
-    return false;
+    return CcacheFaultResult::kMiss;
   }
   CC_EXPECTS(out.size() == e->original_size);
   std::vector<uint8_t> buf(e->payload_size);
   CopyOut(e->payload_off(), buf);
-  codec_->Decompress(buf, out);
+  if (injector_ != nullptr && !buf.empty() &&
+      injector_->ShouldFault(FaultSite::kCodecCorruption)) {
+    // Corrupt the transient decode buffer, not the ring: this models a bad DMA
+    // or bus flip on the read path, and leaves the stored copy intact.
+    const uint64_t bit = injector_->Draw(FaultSite::kCodecCorruption, buf.size() * 8);
+    buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+  if (options_.verify_on_fault_in && e->checksum != 0) {
+    const uint32_t computed = Crc32(buf);
+    if (computed != e->checksum) {
+      ++stats_.checksum_mismatches;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kChecksumMismatch, clock_->Now(), key, e->checksum,
+                        computed);
+      }
+      return CcacheFaultResult::kCorrupt;
+    }
+  }
+  if (!codec_->TryDecompress(buf, out)) {
+    // Malformed stream that still passed (or skipped) the checksum.
+    ++stats_.checksum_mismatches;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventKind::kChecksumMismatch, clock_->Now(), key, e->checksum, 0);
+    }
+    return CcacheFaultResult::kCorrupt;
+  }
   clock_->Advance(costs_->DecompressCost(out.size()), TimeCategory::kDecompression);
   // A hit refreshes the entry's age: the arbiter compares last-access times, and
   // a compressed page that keeps servicing faults is earning its memory.
   // (Position in the ring stays FIFO; only the age the arbiter sees changes.)
   e->age_ns = static_cast<uint64_t>(clock_->Now().nanos());
   ++stats_.fault_hits;
-  return true;
+  return CcacheFaultResult::kHit;
 }
 
-void CompressionCache::DecompressImage(std::span<const uint8_t> compressed,
+bool CompressionCache::DecompressImage(std::span<const uint8_t> compressed,
                                        std::span<uint8_t> out) {
-  codec_->Decompress(compressed, out);
+  if (!codec_->TryDecompress(compressed, out)) {
+    return false;
+  }
   clock_->Advance(costs_->DecompressCost(out.size()), TimeCategory::kDecompression);
+  return true;
 }
 
 void CompressionCache::Invalidate(PageKey key) {
@@ -441,6 +483,7 @@ void CompressionCache::ReclaimHeadFrame() {
       img.key = e.key;
       img.is_compressed = true;
       img.original_size = e.original_size;
+      img.checksum = e.checksum;
       img.bytes.resize(e.payload_size);
       CopyOut(e.payload_off(), img.bytes);
       batch.push_back(std::move(img));
@@ -452,19 +495,26 @@ void CompressionCache::ReclaimHeadFrame() {
       staged += img.bytes.size();
     }
     clock_->Advance(costs_->CopyCost(staged), TimeCategory::kCopy);
-    swap_->WriteBatch(batch);
+    const IoStatus write_status = swap_->WriteBatch(batch);
     if (tracer_ != nullptr) {
       tracer_->Record(TraceEventKind::kCcacheWriteBatch, clock_->Now(), staged, batch.size());
     }
-    for (const SwapPageImage& img : batch) {
-      Entry* e = Find(img.key);
-      CC_ASSERT(e != nullptr);
-      e->dirty = false;
-      ++stats_.entries_cleaned;
-      if (tracer_ != nullptr) {
-        tracer_->Record(TraceEventKind::kCcacheEntryCleaned, clock_->Now(), img.key);
+    if (write_status != IoStatus::kOk) {
+      // Retries were already exhausted below; which images persisted is backend-
+      // dependent, so conservatively keep them all dirty. The drop pass below
+      // then reports them lost — reclamation must still make progress.
+      ++stats_.write_batch_failures;
+    } else {
+      for (const SwapPageImage& img : batch) {
+        Entry* e = Find(img.key);
+        CC_ASSERT(e != nullptr);
+        e->dirty = false;
+        ++stats_.entries_cleaned;
+        if (tracer_ != nullptr) {
+          tracer_->Record(TraceEventKind::kCcacheEntryCleaned, clock_->Now(), img.key);
+        }
+        events_->OnEntryCleaned(img.key);
       }
-      events_->OnEntryCleaned(img.key);
     }
   }
 
@@ -479,11 +529,22 @@ void CompressionCache::ReclaimHeadFrame() {
     if (e.valid) {
       index_.erase(e.key);
       AddLiveBytes(e.header_off, e.end_off(), -1);
-      ++stats_.entries_dropped;
-      if (tracer_ != nullptr) {
-        tracer_->Record(TraceEventKind::kCcacheEntryDropped, clock_->Now(), e.key);
+      if (e.dirty) {
+        // Still dirty here means the write-out above failed: no valid copy of
+        // this page survives the drop. Tell the VM layer, which accounts the
+        // loss against the owning segment — never the whole machine.
+        ++stats_.entries_lost;
+        if (tracer_ != nullptr) {
+          tracer_->Record(TraceEventKind::kPageLost, clock_->Now(), e.key);
+        }
+        events_->OnEntryLost(e.key);
+      } else {
+        ++stats_.entries_dropped;
+        if (tracer_ != nullptr) {
+          tracer_->Record(TraceEventKind::kCcacheEntryDropped, clock_->Now(), e.key);
+        }
+        events_->OnEntryDropped(e.key);
       }
-      events_->OnEntryDropped(e.key);
     }
   }
 
@@ -535,6 +596,7 @@ bool CompressionCache::WriteOldestDirtyBatch() {
     img.key = e.key;
     img.is_compressed = true;
     img.original_size = e.original_size;
+    img.checksum = e.checksum;
     img.bytes.resize(e.payload_size);
     CopyOut(e.payload_off(), img.bytes);
     payload += e.payload_size;
@@ -547,9 +609,15 @@ bool CompressionCache::WriteOldestDirtyBatch() {
     return false;
   }
   clock_->Advance(costs_->CopyCost(payload), TimeCategory::kCopy);
-  swap_->WriteBatch(batch);
+  const IoStatus write_status = swap_->WriteBatch(batch);
   if (tracer_ != nullptr) {
     tracer_->Record(TraceEventKind::kCcacheWriteBatch, clock_->Now(), payload, batch.size());
+  }
+  if (write_status != IoStatus::kOk) {
+    // Entries stay dirty; the cleaner (and FlushDirty) will stop rather than
+    // spin, and ReclaimHeadFrame handles the terminal case.
+    ++stats_.write_batch_failures;
+    return false;
   }
   for (const SwapPageImage& img : batch) {
     Entry* e = Find(img.key);
@@ -602,6 +670,16 @@ std::optional<CompressionCache::EntryInfo> CompressionCache::EntryInfoFor(PageKe
     return std::nullopt;
   }
   return EntryInfo{e->header_off, e->payload_size, e->dirty};
+}
+
+void CompressionCache::CorruptPayloadBitForTest(PageKey key, size_t bit) {
+  Entry* e = Find(key);
+  CC_EXPECTS(e != nullptr);
+  CC_EXPECTS(bit < static_cast<size_t>(e->payload_size) * 8);
+  uint8_t byte = 0;
+  CopyOut(e->payload_off() + bit / 8, std::span<uint8_t>(&byte, 1));
+  byte ^= static_cast<uint8_t>(1u << (bit % 8));
+  CopyIn(e->payload_off() + bit / 8, std::span<const uint8_t>(&byte, 1));
 }
 
 std::optional<std::vector<uint8_t>> CompressionCache::RawPayloadFor(PageKey key) const {

@@ -33,6 +33,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "swap/compressed_swap_backend.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/stats.h"
 #include "util/trace.h"
@@ -53,6 +54,12 @@ class CcacheEvents {
   // The compressed copy of `key` left the cache. Guaranteed: either the page is
   // resident or a valid copy exists on the backing store.
   virtual void OnEntryDropped(PageKey key) = 0;
+
+  // The dirty compressed copy of `key` could not reach the backing store (write
+  // retries exhausted) and its frame had to be reclaimed anyway. No valid copy
+  // exists anywhere unless the page is also resident. The VM layer decides what
+  // dies (the owning segment, not the machine).
+  virtual void OnEntryLost(PageKey key) = 0;
 };
 
 // Paper section 5.2/6: "It should be possible to disable compression completely
@@ -85,6 +92,11 @@ struct CcacheOptions {
   // head of the ring are clean/reclaimable.
   size_t pool_free_target = 16;
   size_t clean_frames_target = 8;
+
+  // End-to-end integrity: record a CRC-32C of each compressed payload in the
+  // entry's 36-byte ring header and re-verify it on every fault-in.
+  bool checksums = true;
+  bool verify_on_fault_in = true;
 };
 
 struct CcacheStats {
@@ -103,7 +115,18 @@ struct CcacheStats {
   uint64_t adaptive_reenables = 0; // on transitions
   uint64_t original_bytes_kept = 0;
   uint64_t compressed_bytes_kept = 0;
+  uint64_t checksum_mismatches = 0;    // fault-ins whose payload failed its CRC
+  uint64_t entries_lost = 0;           // dirty entries reclaimed after write failure
+  uint64_t write_batch_failures = 0;   // WriteBatch calls that did not fully succeed
   RunningStats kept_ratio_pct;  // compressed/original * 100 for kept pages
+};
+
+// Outcome of CompressionCache::FaultIn.
+enum class CcacheFaultResult : uint8_t {
+  kMiss = 0,    // no entry for the key
+  kHit,         // page decompressed into the caller's frame
+  kCorrupt,     // entry found but its payload failed the checksum or decode;
+                // the entry is left in place for the caller to invalidate
 };
 
 class CompressionCache {
@@ -140,14 +163,17 @@ class CompressionCache {
 
   bool Contains(PageKey key) const { return index_.contains(key); }
 
-  // Decompresses the cached copy of `key` into `out` (a whole page). Returns
-  // false when the page is not in the cache.
-  bool FaultIn(PageKey key, std::span<uint8_t> out);
+  // Decompresses the cached copy of `key` into `out` (a whole page). kMiss when
+  // the page is not in the cache; kCorrupt when the stored payload fails its
+  // checksum or does not decode (the entry stays in the ring — the caller
+  // invalidates it once it has decided how to recover).
+  CcacheFaultResult FaultIn(PageKey key, std::span<uint8_t> out);
 
   // Decompresses an arbitrary compressed image with the cache's codec, charging
   // the modelled decompression time (used by the fault path for images that were
-  // just read from the backing store).
-  void DecompressImage(std::span<const uint8_t> compressed, std::span<uint8_t> out);
+  // just read from the backing store). Returns false when the image is corrupt.
+  [[nodiscard]] bool DecompressImage(std::span<const uint8_t> compressed,
+                                     std::span<uint8_t> out);
 
   // Discards the cached copy (page was modified while resident, or dropped).
   void Invalidate(PageKey key);
@@ -183,6 +209,11 @@ class CompressionCache {
   void BindMetrics(MetricRegistry* registry);
   void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
 
+  // Optional fault injection: models in-memory corruption of compressed data
+  // (FaultSite::kCodecCorruption) on the fault-in path. The flipped bit lives in
+  // the transient decode buffer, never the ring, so recovery can re-read.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
   // The paper's per-compressed-page header size (section 4.4).
   static constexpr uint32_t kEntryHeaderBytes = 36;
 
@@ -199,6 +230,9 @@ class CompressionCache {
   std::optional<EntryInfo> EntryInfoFor(PageKey key) const;
   // Raw compressed payload bytes of a live entry (no time charge; test hook).
   std::optional<std::vector<uint8_t>> RawPayloadFor(PageKey key) const;
+  // Flips one bit of a live entry's stored payload in the ring (test hook for
+  // latent in-cache corruption; the recorded checksum is left untouched).
+  void CorruptPayloadBitForTest(PageKey key, size_t bit);
   uint64_t head_off() const { return head_off_; }
   uint64_t tail_off() const { return tail_off_; }
 
@@ -208,6 +242,7 @@ class CompressionCache {
     uint64_t header_off = 0;  // linear (monotonic) byte offset of the entry header
     uint32_t payload_size = 0;
     uint32_t original_size = 0;
+    uint32_t checksum = 0;  // CRC-32C of the payload; 0 = not recorded
     bool dirty = false;
     bool valid = true;
     uint64_t age_ns = 0;
@@ -284,6 +319,7 @@ class CompressionCache {
   CcacheStats stats_;
   LatencyHistogram* kept_ratio_hist_ = nullptr;  // owned by the bound registry
   EventTracer* tracer_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace compcache

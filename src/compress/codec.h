@@ -12,6 +12,8 @@
 #include <span>
 #include <string_view>
 
+#include "util/assert.h"
+
 namespace compcache {
 
 class Codec {
@@ -28,9 +30,21 @@ class Codec {
   virtual size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) = 0;
 
   // Decompresses src into dst. dst.size() must equal the original input size
-  // exactly (the VM system always knows it: one page). Returns bytes written,
-  // which equals dst.size() on success; aborts on corrupt input.
-  virtual size_t Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) = 0;
+  // exactly (the VM system always knows it: one page). Returns true and fills
+  // dst on success; returns false on malformed input. Implementations bound
+  // every read against src and every write against dst, so arbitrary corrupt
+  // bytes are safe to feed in — required for latent-corruption recovery, where
+  // a damaged image must be *detected*, not trusted. dst contents are
+  // unspecified on failure.
+  virtual bool TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) = 0;
+
+  // Asserting wrapper for callers that hold an image known to be intact (e.g.
+  // just produced by Compress). Returns dst.size().
+  size_t Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+    const bool ok = TryDecompress(src, dst);
+    CC_ASSERT(ok && "corrupt compressed stream");
+    return dst.size();
+  }
 };
 
 // Container flags shared by the codecs in this library.

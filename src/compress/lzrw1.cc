@@ -112,53 +112,71 @@ size_t Lzrw1::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
   return compressed_size;
 }
 
-size_t Lzrw1::Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
-  return LzrwDecode(src, dst);
+bool Lzrw1::TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  return LzrwTryDecode(src, dst);
 }
 
-size_t LzrwDecode(std::span<const uint8_t> src, std::span<uint8_t> dst) {
-  CC_EXPECTS(!src.empty());
+bool LzrwTryDecode(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  if (src.empty()) {
+    return false;
+  }
   const size_t n = dst.size();
   const uint8_t* in = src.data() + 1;
   const uint8_t* const in_end = src.data() + src.size();
 
   if (src[0] == kContainerRaw) {
-    CC_EXPECTS(src.size() == n + 1);
+    if (src.size() != n + 1) {
+      return false;
+    }
     if (n > 0) {  // memcpy on an empty span's null data() is UB
       std::memcpy(dst.data(), in, n);
     }
-    return n;
+    return true;
   }
-  CC_EXPECTS(src[0] == kContainerCompressed);
+  if (src[0] != kContainerCompressed) {
+    return false;
+  }
 
   uint8_t* out = dst.data();
   uint8_t* const out_end = out + n;
   while (out < out_end) {
-    CC_ASSERT(in + 2 <= in_end);
+    if (in + 2 > in_end) {
+      return false;  // truncated control word
+    }
     const uint16_t control = static_cast<uint16_t>(in[0] | (in[1] << 8));
     in += 2;
     for (size_t item = 0; item < kItemsPerGroup && out < out_end; ++item) {
       if (control & (1u << item)) {
-        CC_ASSERT(in + 2 <= in_end);
+        if (in + 2 > in_end) {
+          return false;  // truncated copy item
+        }
         const uint32_t b0 = *in++;
         const uint32_t b1 = *in++;
         const size_t offset = ((b0 & 0xF0u) << 4) | b1;
         const size_t len = (b0 & 0x0Fu) + kLzrwMinMatch;
-        CC_ASSERT(offset >= 1);
-        CC_ASSERT(out - dst.data() >= static_cast<ptrdiff_t>(offset));
-        CC_ASSERT(out + len <= out_end);
+        if (offset < 1 || out - dst.data() < static_cast<ptrdiff_t>(offset) ||
+            out + len > out_end) {
+          return false;  // offset before start of output, or copy past its end
+        }
         const uint8_t* from = out - offset;
         for (size_t i = 0; i < len; ++i) {  // byte-wise: offset may be < len
           *out++ = *from++;
         }
       } else {
-        CC_ASSERT(in < in_end);
+        if (in >= in_end) {
+          return false;  // truncated literal
+        }
         *out++ = *in++;
       }
     }
   }
-  CC_ENSURES(out == out_end);
-  return n;
+  return in == in_end;  // trailing garbage is also corruption
+}
+
+size_t LzrwDecode(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  const bool ok = LzrwTryDecode(src, dst);
+  CC_ASSERT(ok && "corrupt LZRW stream");
+  return dst.size();
 }
 
 }  // namespace compcache

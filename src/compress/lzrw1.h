@@ -38,7 +38,7 @@ class Lzrw1 : public Codec {
   std::string_view name() const override { return "lzrw1"; }
   size_t MaxCompressedSize(size_t n) const override;
   size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
-  size_t Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+  bool TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
 
   size_t hash_table_bytes() const { return table_.size() * sizeof(uint32_t); }
 
@@ -57,6 +57,10 @@ inline constexpr uint32_t kLzrwMaxMatch = 18;
 
 // Decodes the shared LZRW bitstream (used by both Lzrw1 and Lzrw1a — decompression
 // needs no per-codec state). dst.size() must equal the original input size.
+// Returns false on malformed input without reading or writing out of bounds.
+bool LzrwTryDecode(std::span<const uint8_t> src, std::span<uint8_t> dst);
+
+// Asserting wrapper for known-intact streams; returns dst.size().
 size_t LzrwDecode(std::span<const uint8_t> src, std::span<uint8_t> dst);
 
 }  // namespace compcache

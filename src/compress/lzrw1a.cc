@@ -104,9 +104,9 @@ size_t Lzrw1a::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
   return compressed_size;
 }
 
-size_t Lzrw1a::Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+bool Lzrw1a::TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
   // The bitstream is format-compatible with Lzrw1 by construction.
-  return LzrwDecode(src, dst);
+  return LzrwTryDecode(src, dst);
 }
 
 }  // namespace compcache

@@ -22,7 +22,7 @@ class Lzrw1a : public Codec {
   std::string_view name() const override { return "lzrw1a"; }
   size_t MaxCompressedSize(size_t n) const override;
   size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
-  size_t Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+  bool TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
 
  private:
   struct Bucket {

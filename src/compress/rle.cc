@@ -72,43 +72,52 @@ size_t RleCodec::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) 
   return compressed_size;
 }
 
-size_t RleCodec::Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
-  CC_EXPECTS(!src.empty());
+bool RleCodec::TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  if (src.empty()) {
+    return false;
+  }
   const size_t n = dst.size();
   const uint8_t* in = src.data() + 1;
   const uint8_t* const in_end = src.data() + src.size();
 
   if (src[0] == kContainerRaw) {
-    CC_EXPECTS(src.size() == n + 1);
+    if (src.size() != n + 1) {
+      return false;
+    }
     if (n > 0) {  // memcpy on an empty span's null data() is UB
       std::memcpy(dst.data(), in, n);
     }
-    return n;
+    return true;
   }
-  CC_EXPECTS(src[0] == kContainerCompressed);
+  if (src[0] != kContainerCompressed) {
+    return false;
+  }
 
   uint8_t* out = dst.data();
   uint8_t* const out_end = out + n;
   while (out < out_end) {
-    CC_ASSERT(in < in_end);
+    if (in >= in_end) {
+      return false;  // truncated control byte
+    }
     const uint8_t c = *in++;
     if (c < kMaxLiteral) {
       const size_t len = static_cast<size_t>(c) + 1;
-      CC_ASSERT(in + len <= in_end);
-      CC_ASSERT(out + len <= out_end);
+      if (in + len > in_end || out + len > out_end) {
+        return false;
+      }
       std::memcpy(out, in, len);
       in += len;
       out += len;
     } else {
       const size_t len = static_cast<size_t>(c) - 125;
-      CC_ASSERT(in < in_end);
-      CC_ASSERT(out + len <= out_end);
+      if (in >= in_end || out + len > out_end) {
+        return false;
+      }
       std::memset(out, *in++, len);
       out += len;
     }
   }
-  CC_ENSURES(out == out_end);
-  return n;
+  return in == in_end;  // trailing garbage is also corruption
 }
 
 }  // namespace compcache

@@ -13,7 +13,7 @@ class RleCodec : public Codec {
   std::string_view name() const override { return "rle"; }
   size_t MaxCompressedSize(size_t n) const override;
   size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
-  size_t Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+  bool TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
 };
 
 }  // namespace compcache

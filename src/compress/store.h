@@ -24,14 +24,14 @@ class StoreCodec : public Codec {
     return src.size() + 1;
   }
 
-  size_t Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override {
-    CC_EXPECTS(!src.empty());
-    CC_EXPECTS(src[0] == kContainerRaw);
-    CC_EXPECTS(src.size() == dst.size() + 1);
+  bool TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override {
+    if (src.empty() || src[0] != kContainerRaw || src.size() != dst.size() + 1) {
+      return false;
+    }
     if (!dst.empty()) {  // memcpy into an empty span's null data() is UB
       std::memcpy(dst.data(), src.data() + 1, dst.size());
     }
-    return dst.size();
+    return true;
   }
 };
 

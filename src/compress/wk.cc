@@ -182,26 +182,39 @@ size_t WkCodec::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
   return total;
 }
 
-size_t WkCodec::Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
-  CC_EXPECTS(!src.empty());
+bool WkCodec::TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  if (src.empty()) {
+    return false;
+  }
   const size_t n = dst.size();
   if (src[0] == kContainerRaw) {
-    CC_EXPECTS(src.size() == n + 1);
+    if (src.size() != n + 1) {
+      return false;
+    }
     if (n > 0) {  // memcpy into an empty span's null data() is UB
       std::memcpy(dst.data(), src.data() + 1, n);
     }
-    return n;
+    return true;
   }
-  CC_EXPECTS(src[0] == kContainerCompressed);
+  if (src[0] != kContainerCompressed || src.size() < 6) {
+    return false;  // too short for flag + word count + tail size
+  }
 
   const uint8_t* in = src.data() + 1;
   uint32_t words;
   std::memcpy(&words, in, 4);
   in += 4;
   const uint8_t tail = *in++;
-  CC_EXPECTS(static_cast<size_t>(words) * 4 + tail == n);
+  // This also bounds `words` by n/4, so the derived stream sizes cannot
+  // overflow below.
+  if (static_cast<uint64_t>(words) * 4 + tail != n) {
+    return false;
+  }
 
-  const size_t tag_bytes = (words + 3) / 4;
+  const size_t tag_bytes = (static_cast<size_t>(words) + 3) / 4;
+  if (tag_bytes > static_cast<size_t>(src.data() + src.size() - in)) {
+    return false;  // truncated tag stream
+  }
   const uint8_t* tags = in;
   in += tag_bytes;
 
@@ -217,6 +230,14 @@ size_t WkCodec::Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst)
   }
   const size_t index_bytes = (exacts + partials + 1) / 2;
   const size_t low_bytes = (partials * kLowBits + 7) / 8;
+  // One exact extent check makes every stream read below in-bounds by
+  // construction (the BitReader consumes at most low_bytes for partials*10
+  // bits).
+  if (1 + 4 + 1 + static_cast<uint64_t>(tag_bytes) + index_bytes + low_bytes +
+          static_cast<uint64_t>(misses) * 4 + tail !=
+      src.size()) {
+    return false;
+  }
   const uint8_t* indexes = in;
   in += index_bytes;
   BitReader low_reader(in, low_bytes);
@@ -224,7 +245,6 @@ size_t WkCodec::Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst)
   const uint8_t* fulls = in;
   in += misses * 4;
   const uint8_t* tail_bytes = in;
-  CC_EXPECTS(static_cast<size_t>(tail_bytes + tail - src.data()) == src.size());
 
   uint32_t dict[kDictSize] = {};
   size_t index_pos = 0;
@@ -261,7 +281,7 @@ size_t WkCodec::Decompress(std::span<const uint8_t> src, std::span<uint8_t> dst)
     std::memcpy(dst.data() + static_cast<size_t>(w) * 4, &word, 4);
   }
   std::memcpy(dst.data() + static_cast<size_t>(words) * 4, tail_bytes, tail);
-  return n;
+  return true;
 }
 
 }  // namespace compcache

@@ -25,6 +25,20 @@ Machine::Machine(MachineConfig config)
   CC_EXPECTS(config_.user_memory_bytes >= 32 * kPageSize);
 
   disk_ = std::make_unique<DiskDevice>(&clock_, MakeTiming(config_), config_.costs.io_setup_overhead);
+  disk_->SetRetryPolicy(config_.retry);
+  if (config_.fault_injection.enabled) {
+    const FaultInjectionOptions& fi = config_.fault_injection;
+    injector_ = std::make_unique<FaultInjector>(fi.seed);
+    injector_->SetSchedule(FaultSite::kDiskRead,
+                           {fi.disk_read_error_rate, fi.fail_nth_disk_reads});
+    injector_->SetSchedule(FaultSite::kDiskWrite,
+                           {fi.disk_write_error_rate, fi.fail_nth_disk_writes});
+    injector_->SetSchedule(FaultSite::kSectorCorruption,
+                           {fi.sector_corruption_rate, fi.corrupt_nth_sectors});
+    injector_->SetSchedule(FaultSite::kCodecCorruption,
+                           {fi.codec_corruption_rate, fi.corrupt_nth_codec_ops});
+    disk_->SetFaultInjector(injector_.get());
+  }
   fs_ = std::make_unique<FileSystem>(disk_.get(), config_.fs_options);
   buffer_cache_ = std::make_unique<BufferCache>(&clock_, &config_.costs, this, fs_.get());
 
@@ -55,8 +69,14 @@ Machine::Machine(MachineConfig config)
     cc_options.write_batch_bytes = config_.write_batch_bytes;
     cc_options.pool_free_target = std::max<size_t>(16, pool_.total_frames() / 64);
     cc_options.clean_frames_target = 8;
+    cc_options.checksums = config_.integrity.checksums;
+    cc_options.verify_on_fault_in = config_.integrity.verify_on_fault_in;
+    cswap_->SetVerifyChecksums(config_.integrity.checksums);
     ccache_ = std::make_unique<CompressionCache>(&clock_, &config_.costs, this, codec_.get(),
                                                  cswap_.get(), &event_router_, cc_options);
+    if (injector_ != nullptr) {
+      ccache_->SetFaultInjector(injector_.get());
+    }
     pager_->AttachCompressionCache(ccache_.get(), cswap_.get());
     if (config_.compress_file_cache) {
       buffer_cache_->SetCompressionCache(ccache_.get());
@@ -75,6 +95,7 @@ Machine::Machine(MachineConfig config)
     }
   } else {
     fixed_swap_ = std::make_unique<FixedSwapLayout>(fs_.get());
+    fixed_swap_->SetVerifyChecksums(config_.integrity.checksums);
     pager_->AttachFixedSwap(fixed_swap_.get());
   }
 
@@ -101,6 +122,9 @@ Machine::Machine(MachineConfig config)
   if (config_.trace_capacity > 0) {
     tracer_ = std::make_unique<EventTracer>(config_.trace_capacity);
     disk_->SetTracer(tracer_.get());
+    if (injector_ != nullptr) {
+      injector_->SetTracer(tracer_.get(), &clock_);
+    }
     buffer_cache_->SetTracer(tracer_.get());
     pager_->SetTracer(tracer_.get());
     arbiter_.SetTracer(tracer_.get(), &clock_);
@@ -139,6 +163,33 @@ void Machine::BindAllMetrics() {
                          [this] { return static_cast<double>(pool_.free_frames()); });
   metrics_.RegisterGauge("mem.metadata_frames",
                          [this] { return static_cast<double>(metadata_frames_); });
+
+  if (injector_ != nullptr) {
+    injector_->BindMetrics(&metrics_);
+  }
+  // Cross-layer integrity summary, always registered so bench JSON schemas are
+  // stable whether or not faults are enabled.
+  metrics_.RegisterGauge("fault.checksum_mismatches", [this] {
+    double total = ccache_ != nullptr
+                       ? static_cast<double>(ccache_->stats().checksum_mismatches)
+                       : 0.0;
+    if (cswap_ != nullptr) {
+      total += static_cast<double>(cswap_->checksum_mismatches());
+    }
+    if (fixed_swap_ != nullptr) {
+      total += static_cast<double>(fixed_swap_->checksum_mismatches());
+    }
+    return total;
+  });
+  metrics_.RegisterGauge("fault.pages_recovered", [this] {
+    return static_cast<double>(pager_->stats().pages_recovered);
+  });
+  metrics_.RegisterGauge("fault.pages_lost", [this] {
+    return static_cast<double>(pager_->stats().pages_lost);
+  });
+  metrics_.RegisterGauge("fault.segments_aborted", [this] {
+    return static_cast<double>(pager_->stats().segments_aborted);
+  });
 
   disk_->BindMetrics(&metrics_);
   fs_->BindMetrics(&metrics_);
@@ -303,6 +354,22 @@ std::string Machine::Report() const {
                 static_cast<double>(ds.bytes_read) / 1e6,
                 static_cast<double>(ds.bytes_written) / 1e6, ds.busy_time.seconds());
   out += buf;
+
+  if (injector_ != nullptr || vm.pages_lost > 0 || vm.pages_recovered > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "faults: %llu injected, %llu read / %llu write retries "
+                  "(%llu exhausted), %llu pages recovered, %llu lost, "
+                  "%llu segments aborted\n",
+                  static_cast<unsigned long long>(
+                      injector_ != nullptr ? injector_->total_injected() : 0),
+                  static_cast<unsigned long long>(ds.read_retries),
+                  static_cast<unsigned long long>(ds.write_retries),
+                  static_cast<unsigned long long>(ds.reads_exhausted + ds.writes_exhausted),
+                  static_cast<unsigned long long>(vm.pages_recovered),
+                  static_cast<unsigned long long>(vm.pages_lost),
+                  static_cast<unsigned long long>(vm.segments_aborted));
+    out += buf;
+  }
 
   const auto& bc = buffer_cache_->stats();
   std::snprintf(buf, sizeof(buf), "buffer cache: %zu blocks, %llu hits, %llu misses\n",

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ccache/compression_cache.h"
 #include "compress/registry.h"
@@ -18,6 +19,7 @@
 #include "policy/memory_arbiter.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 #include "swap/clustered_swap.h"
@@ -41,6 +43,30 @@ enum class CompressedSwapKind {
   kClustered,    // 1 KB fragments, 32 KB batches, GC — the paper's design
   kFixedOffset,  // fixed page offsets, partial-block writes — the rejected ideal
   kLfs,          // Sprite-LFS-style log with segment cleaning (paper 4.3/5.1)
+};
+
+// Deterministic fault-injection configuration. Disabled by default: no injector
+// is constructed, no RNG is consumed, and every run is bit-identical to a build
+// without this subsystem. Rates are per-operation probabilities; the `*_nth_*`
+// lists name explicit 1-based operation ordinals for targeted tests.
+struct FaultInjectionOptions {
+  bool enabled = false;
+  uint64_t seed = 1;
+  double disk_read_error_rate = 0.0;
+  double disk_write_error_rate = 0.0;
+  double sector_corruption_rate = 0.0;
+  double codec_corruption_rate = 0.0;
+  std::vector<uint64_t> fail_nth_disk_reads;
+  std::vector<uint64_t> fail_nth_disk_writes;
+  std::vector<uint64_t> corrupt_nth_sectors;
+  std::vector<uint64_t> corrupt_nth_codec_ops;
+};
+
+// End-to-end page integrity: CRC-32C on every compressed payload (ring header
+// and swap fragment metadata), verified on decompress/read-in.
+struct IntegrityOptions {
+  bool checksums = true;
+  bool verify_on_fault_in = true;
 };
 
 struct MachineConfig {
@@ -82,6 +108,11 @@ struct MachineConfig {
   // Event-trace ring capacity; 0 disables tracing entirely (the default — no
   // per-event overhead is paid unless a capacity is configured).
   size_t trace_capacity = 0;
+
+  // Robustness knobs: fault injection, bounded disk retry, page integrity.
+  FaultInjectionOptions fault_injection;
+  RetryPolicy retry;
+  IntegrityOptions integrity;
 
   static MachineConfig Unmodified(uint64_t memory_bytes) {
     MachineConfig config;
@@ -135,6 +166,8 @@ class Machine : public FrameSource {
   const MetricRegistry& metrics() const { return metrics_; }
   // Null unless MachineConfig::trace_capacity > 0.
   EventTracer* tracer() { return tracer_.get(); }
+  // Null unless MachineConfig::fault_injection.enabled.
+  FaultInjector* fault_injector() { return injector_.get(); }
   // Full metric snapshot as one JSON object, sorted by name.
   std::string MetricsJson() const { return metrics_.ToJson(); }
 
@@ -168,6 +201,13 @@ class Machine : public FrameSource {
         machine_->pager_->OnEntryDropped(key);
       }
     }
+    void OnEntryLost(PageKey key) override {
+      // File-block entries are inserted clean, so they can never be lost to a
+      // failed write-out; only VM pages reach this event.
+      if (!IsFileKey(key)) {
+        machine_->pager_->OnEntryLost(key);
+      }
+    }
 
    private:
     Machine* machine_;
@@ -179,6 +219,7 @@ class Machine : public FrameSource {
   Clock clock_;
   MetricRegistry metrics_;
   std::unique_ptr<EventTracer> tracer_;
+  std::unique_ptr<FaultInjector> injector_;
   EventRouter event_router_{this};
   std::unique_ptr<Codec> codec_;
   std::unique_ptr<DiskDevice> disk_;

@@ -13,6 +13,19 @@ DiskDevice::DiskDevice(Clock* clock, std::unique_ptr<BackingTimingModel> timing,
   CC_EXPECTS(timing_ != nullptr);
 }
 
+void DiskDevice::SetRetryPolicy(const RetryPolicy& policy) {
+  CC_EXPECTS(policy.max_attempts >= 1);
+  CC_EXPECTS(policy.backoff_multiplier >= 1.0);
+  retry_policy_ = policy;
+}
+
+void DiskDevice::ResetStats() {
+  stats_ = DiskStats{};
+  if (access_latency_ != nullptr) {
+    access_latency_->Reset();
+  }
+}
+
 void DiskDevice::Charge(uint64_t offset, uint64_t length) {
   // The setup overhead elapses before the device starts working on the request.
   clock_->Advance(setup_overhead_, TimeCategory::kIo);
@@ -21,6 +34,21 @@ void DiskDevice::Charge(uint64_t offset, uint64_t length) {
   stats_.busy_time += setup_overhead_ + device_cost;
   if (access_latency_ != nullptr) {
     access_latency_->Observe(static_cast<double>((setup_overhead_ + device_cost).nanos()));
+  }
+}
+
+void DiskDevice::ChargeBackoff(uint32_t attempt) {
+  double scale = 1.0;
+  for (uint32_t i = 1; i < attempt; ++i) {
+    scale *= retry_policy_.backoff_multiplier;
+  }
+  const auto backoff = SimDuration::Nanos(static_cast<int64_t>(
+      static_cast<double>(retry_policy_.initial_backoff.nanos()) * scale));
+  clock_->Advance(backoff, TimeCategory::kIo);
+  stats_.retry_backoff_time += backoff;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kDiskRetry, clock_->Now(), attempt,
+                    static_cast<uint64_t>(backoff.nanos()));
   }
 }
 
@@ -37,6 +65,17 @@ void DiskDevice::BindMetrics(MetricRegistry* registry) {
                           [s] { return static_cast<double>(s->bytes_written); });
   registry->RegisterGauge("disk.busy_ns",
                           [s] { return static_cast<double>(s->busy_time.nanos()); });
+  registry->RegisterGauge("retry.read_retries",
+                          [s] { return static_cast<double>(s->read_retries); });
+  registry->RegisterGauge("retry.write_retries",
+                          [s] { return static_cast<double>(s->write_retries); });
+  registry->RegisterGauge("retry.reads_exhausted",
+                          [s] { return static_cast<double>(s->reads_exhausted); });
+  registry->RegisterGauge("retry.writes_exhausted",
+                          [s] { return static_cast<double>(s->writes_exhausted); });
+  registry->RegisterGauge("retry.backoff_ns", [s] {
+    return static_cast<double>(s->retry_backoff_time.nanos());
+  });
   access_latency_ = &registry->GetHistogram("disk.access_ns");
 }
 
@@ -49,13 +88,29 @@ DiskDevice::Chunk& DiskDevice::ChunkFor(uint64_t index) {
   return *slot;
 }
 
-void DiskDevice::Read(uint64_t offset, std::span<uint8_t> out) {
+IoStatus DiskDevice::Read(uint64_t offset, std::span<uint8_t> out) {
   CC_EXPECTS(offset + out.size() <= capacity());
-  Charge(offset, out.size());
+  // One logical operation regardless of how many attempts it takes.
   ++stats_.read_ops;
   stats_.bytes_read += out.size();
   if (tracer_ != nullptr) {
     tracer_->Record(TraceEventKind::kDiskRead, clock_->Now(), offset, out.size());
+  }
+
+  for (uint32_t attempt = 1;; ++attempt) {
+    Charge(offset, out.size());
+    if (injector_ == nullptr || !injector_->ShouldFault(FaultSite::kDiskRead)) {
+      break;  // the transfer succeeded
+    }
+    if (attempt >= retry_policy_.max_attempts) {
+      ++stats_.reads_exhausted;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kDiskRetryExhausted, clock_->Now(), attempt, 0);
+      }
+      return IoStatus::kFailed;
+    }
+    ++stats_.read_retries;
+    ChargeBackoff(attempt);
   }
 
   uint64_t pos = offset;
@@ -74,15 +129,31 @@ void DiskDevice::Read(uint64_t offset, std::span<uint8_t> out) {
     pos += n;
     done += n;
   }
+  return IoStatus::kOk;
 }
 
-void DiskDevice::Write(uint64_t offset, std::span<const uint8_t> data) {
+IoStatus DiskDevice::Write(uint64_t offset, std::span<const uint8_t> data) {
   CC_EXPECTS(offset + data.size() <= capacity());
-  Charge(offset, data.size());
   ++stats_.write_ops;
   stats_.bytes_written += data.size();
   if (tracer_ != nullptr) {
     tracer_->Record(TraceEventKind::kDiskWrite, clock_->Now(), offset, data.size());
+  }
+
+  for (uint32_t attempt = 1;; ++attempt) {
+    Charge(offset, data.size());
+    if (injector_ == nullptr || !injector_->ShouldFault(FaultSite::kDiskWrite)) {
+      break;
+    }
+    if (attempt >= retry_policy_.max_attempts) {
+      ++stats_.writes_exhausted;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kDiskRetryExhausted, clock_->Now(), attempt, 0);
+      }
+      return IoStatus::kFailed;
+    }
+    ++stats_.write_retries;
+    ChargeBackoff(attempt);
   }
 
   uint64_t pos = offset;
@@ -96,6 +167,17 @@ void DiskDevice::Write(uint64_t offset, std::span<const uint8_t> data) {
     pos += n;
     done += n;
   }
+
+  // Latent corruption: after an otherwise-successful write, one stored bit may
+  // flip. Silent here — the device has no checksums; the layers above do.
+  if (injector_ != nullptr && !data.empty() &&
+      injector_->ShouldFault(FaultSite::kSectorCorruption)) {
+    const uint64_t bit = injector_->Draw(FaultSite::kSectorCorruption, data.size() * 8);
+    const uint64_t victim = offset + bit / 8;
+    ChunkFor(victim / kChunkSize)[victim % kChunkSize] ^=
+        static_cast<uint8_t>(1u << (bit % 8));
+  }
+  return IoStatus::kOk;
 }
 
 }  // namespace compcache

@@ -4,6 +4,14 @@
 // simulator pages out and back in is verified end-to-end — a bug that corrupted a
 // compressed page in the swap path would surface as wrong application results, not
 // just wrong timings.
+//
+// The device can also fail. When a FaultInjector is attached, transient read and
+// write errors follow its schedule and are absorbed by a bounded
+// retry-with-backoff policy whose latency is charged through the timing model;
+// only when the policy is exhausted does the error surface as IoStatus::kFailed.
+// Latent sector corruption (a stored bit flipping after an otherwise successful
+// write) is injected silently — the device has no checksums, by design; the swap
+// backends and the compression cache detect it at read time.
 #ifndef COMPCACHE_DISK_DISK_DEVICE_H_
 #define COMPCACHE_DISK_DISK_DEVICE_H_
 
@@ -15,6 +23,8 @@
 
 #include "disk/disk_model.h"
 #include "sim/clock.h"
+#include "util/fault.h"
+#include "util/io_status.h"
 #include "util/metrics.h"
 #include "util/time_types.h"
 #include "util/trace.h"
@@ -27,6 +37,23 @@ struct DiskStats {
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
   SimDuration busy_time;
+  // Retry-policy outcomes under fault injection (all zero without an injector).
+  uint64_t read_retries = 0;
+  uint64_t write_retries = 0;
+  uint64_t reads_exhausted = 0;
+  uint64_t writes_exhausted = 0;
+  SimDuration retry_backoff_time;
+};
+
+// Bounded exponential backoff for transient device errors. An operation is
+// attempted up to max_attempts times; between attempts the caller waits
+// initial_backoff * backoff_multiplier^(attempt-1) of virtual time, charged as
+// I/O. Defaults follow the classic SCSI-driver shape: a handful of quick
+// retries, then give up and let the layer above recover.
+struct RetryPolicy {
+  uint32_t max_attempts = 4;
+  SimDuration initial_backoff = SimDuration::Micros(500);
+  double backoff_multiplier = 2.0;
 };
 
 class DiskDevice {
@@ -36,19 +63,30 @@ class DiskDevice {
              SimDuration setup_overhead);
 
   // Reads `out.size()` bytes at `offset`; unwritten areas read as zero.
-  void Read(uint64_t offset, std::span<uint8_t> out);
+  // Returns kFailed when injected transient errors outlast the retry policy
+  // (out is untouched past the failed attempt's zero guarantee: nothing is
+  // copied on failure).
+  IoStatus Read(uint64_t offset, std::span<uint8_t> out);
 
-  // Writes `data` at `offset`.
-  void Write(uint64_t offset, std::span<const uint8_t> data);
+  // Writes `data` at `offset`. Returns kFailed when retries are exhausted; the
+  // stored bytes are unchanged in that case.
+  IoStatus Write(uint64_t offset, std::span<const uint8_t> data);
 
   uint64_t capacity() const { return timing_->capacity(); }
   const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats{}; }
+  // Clears the counters and the bound disk.access_ns histogram (if any), so a
+  // bench warm-up reset leaves no stale observability state.
+  void ResetStats();
   Clock* clock() const { return clock_; }
 
+  void SetRetryPolicy(const RetryPolicy& policy);
+  // Attaches fault injection; nullptr (the default) restores the perfect
+  // device.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
   // --- observability ---
-  // Publishes counters as "disk.*" gauges and creates the "disk.access_ns"
-  // per-request latency histogram.
+  // Publishes counters as "disk.*" / "retry.*" gauges and creates the
+  // "disk.access_ns" per-request latency histogram.
   void BindMetrics(MetricRegistry* registry);
   void SetTracer(EventTracer* tracer) { tracer_ = tracer; }
 
@@ -57,13 +95,17 @@ class DiskDevice {
   using Chunk = std::array<uint8_t, kChunkSize>;
 
   void Charge(uint64_t offset, uint64_t length);
+  // Charges one backoff interval for `attempt` (1-based) and records it.
+  void ChargeBackoff(uint32_t attempt);
   Chunk& ChunkFor(uint64_t index);
 
   Clock* clock_;
   std::unique_ptr<BackingTimingModel> timing_;
   SimDuration setup_overhead_;
+  RetryPolicy retry_policy_;
   std::unordered_map<uint64_t, std::unique_ptr<Chunk>> chunks_;
   DiskStats stats_;
+  FaultInjector* injector_ = nullptr;
   LatencyHistogram* access_latency_ = nullptr;  // owned by the bound registry
   EventTracer* tracer_ = nullptr;
 };

@@ -46,10 +46,24 @@ BufferCache::Block& BufferCache::GetBlock(FileId file, uint64_t index,
     // With the compressed-file-cache extension, a previously evicted block may
     // still be in memory in compressed form — a decompression instead of a read.
     const PageKey ckey = FileBlockKey(file.value, index);
-    if (ccache_ != nullptr && ccache_->FaultIn(ckey, frames_->FrameData(block->frame))) {
-      ++stats_.compressed_hits;
-    } else {
-      fs_->Read(file, index * kFsBlockSize, frames_->FrameData(block->frame));
+    bool filled = false;
+    if (ccache_ != nullptr) {
+      const CcacheFaultResult hit = ccache_->FaultIn(ckey, frames_->FrameData(block->frame));
+      if (hit == CcacheFaultResult::kHit) {
+        ++stats_.compressed_hits;
+        filled = true;
+      } else if (hit == CcacheFaultResult::kCorrupt) {
+        // Drop the bad compressed copy; the disk still has the block.
+        ccache_->Invalidate(ckey);
+      }
+    }
+    if (!filled &&
+        fs_->Read(file, index * kFsBlockSize, frames_->FrameData(block->frame)) !=
+            IoStatus::kOk) {
+      // Unreadable after retries: surface deterministic zeros, never garbage.
+      auto data = frames_->FrameData(block->frame);
+      std::memset(data.data(), 0, data.size());
+      ++stats_.read_failures;
     }
   }
   block->age = clock_->NextTick();
@@ -60,28 +74,40 @@ BufferCache::Block& BufferCache::GetBlock(FileId file, uint64_t index,
 }
 
 void BufferCache::Evict(Block& block) {
+  bool persisted = true;
   if (block.dirty) {
     ++stats_.writebacks;
     if (tracer_ != nullptr) {
       tracer_->Record(TraceEventKind::kBufferWriteback, clock_->Now(),
                       FileBlockKey(block.key.file, block.key.index));
     }
-    fs_->Write(FileId{block.key.file}, block.key.index * kFsBlockSize,
-               frames_->FrameData(block.frame));
+    if (fs_->Write(FileId{block.key.file}, block.key.index * kFsBlockSize,
+                   frames_->FrameData(block.frame)) != IoStatus::kOk) {
+      // Retries exhausted: the disk keeps its stale copy and this update is
+      // dropped with the block. Counted so callers can see the data loss.
+      ++stats_.writeback_failures;
+      persisted = false;
+    }
   }
   if (ccache_ != nullptr) {
     // Keep the (now clean) block compressed in memory. Re-inserting replaces any
     // stale copy; the frame must be freed first so the ring can use it (the same
     // donor discipline as VM eviction). The copy is clean: the disk always has
-    // the data, so the cache may drop it at any time without I/O.
+    // the data, so the cache may drop it at any time without I/O. When the
+    // writeback failed that invariant would not hold, so nothing is inserted.
     const PageKey ckey = FileBlockKey(block.key.file, block.key.index);
     ccache_->Invalidate(ckey);
-    auto outcome = ccache_->CompressPage(frames_->FrameData(block.frame));
-    lru_.Remove(block);
-    frames_->FreeFrame(block.frame);
-    if (outcome.keep) {
-      ccache_->InsertCompressedClean(ckey, outcome.bytes, kFsBlockSize);
-      ++stats_.compressed_inserts;
+    if (persisted) {
+      auto outcome = ccache_->CompressPage(frames_->FrameData(block.frame));
+      lru_.Remove(block);
+      frames_->FreeFrame(block.frame);
+      if (outcome.keep) {
+        ccache_->InsertCompressedClean(ckey, outcome.bytes, kFsBlockSize);
+        ++stats_.compressed_inserts;
+      }
+    } else {
+      lru_.Remove(block);
+      frames_->FreeFrame(block.frame);
     }
     blocks_.erase(block.key);  // destroys `block`
     return;
@@ -113,8 +139,12 @@ void BufferCache::FlushAll() {
         tracer_->Record(TraceEventKind::kBufferWriteback, clock_->Now(),
                         FileBlockKey(b.key.file, b.key.index));
       }
-      fs_->Write(FileId{b.key.file}, b.key.index * kFsBlockSize,
-                 frames_->FrameData(b.frame));
+      if (fs_->Write(FileId{b.key.file}, b.key.index * kFsBlockSize,
+                     frames_->FrameData(b.frame)) != IoStatus::kOk) {
+        // Stays dirty: the next flush or eviction retries the writeback.
+        ++stats_.writeback_failures;
+        return;
+      }
       const_cast<Block&>(b).dirty = false;
     }
   });
@@ -164,6 +194,8 @@ void BufferCache::BindMetrics(MetricRegistry* registry) {
   gauge("bcache.writebacks", &BufferCacheStats::writebacks);
   gauge("bcache.compressed_inserts", &BufferCacheStats::compressed_inserts);
   gauge("bcache.compressed_hits", &BufferCacheStats::compressed_hits);
+  gauge("bcache.read_failures", &BufferCacheStats::read_failures);
+  gauge("bcache.writeback_failures", &BufferCacheStats::writeback_failures);
   registry->RegisterGauge("bcache.blocks",
                           [this] { return static_cast<double>(blocks_.size()); });
 }

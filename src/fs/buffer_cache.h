@@ -27,6 +27,8 @@ struct BufferCacheStats {
   uint64_t writebacks = 0;
   uint64_t compressed_inserts = 0;  // evicted blocks kept compressed in memory
   uint64_t compressed_hits = 0;     // misses served by decompression, not disk
+  uint64_t read_failures = 0;       // block reads that failed; block zero-filled
+  uint64_t writeback_failures = 0;  // writebacks that failed after retries
 };
 
 class BufferCache {

@@ -52,8 +52,8 @@ uint64_t FileSystem::DiskBlockFor(FileId file, uint64_t file_block) {
   return f.blocks[file_block];
 }
 
-void FileSystem::TransferBlocks(File& f, uint64_t first_block, uint64_t block_count,
-                                uint8_t* read_into, const uint8_t* write_from) {
+IoStatus FileSystem::TransferBlocks(File& f, uint64_t first_block, uint64_t block_count,
+                                    uint8_t* read_into, const uint8_t* write_from) {
   CC_EXPECTS((read_into == nullptr) != (write_from == nullptr));
   // Materialize the block map for the whole range first.
   for (uint64_t b = first_block; b < first_block + block_count; ++b) {
@@ -73,18 +73,24 @@ void FileSystem::TransferBlocks(File& f, uint64_t first_block, uint64_t block_co
     const uint64_t disk_offset = f.blocks[run_start] * kFsBlockSize;
     const uint64_t byte_len = run_len * kFsBlockSize;
     const uint64_t buf_offset = (run_start - first_block) * kFsBlockSize;
+    IoStatus status;
     if (read_into != nullptr) {
-      disk_->Read(disk_offset, std::span<uint8_t>(read_into + buf_offset, byte_len));
+      status = disk_->Read(disk_offset, std::span<uint8_t>(read_into + buf_offset, byte_len));
     } else {
-      disk_->Write(disk_offset, std::span<const uint8_t>(write_from + buf_offset, byte_len));
+      status =
+          disk_->Write(disk_offset, std::span<const uint8_t>(write_from + buf_offset, byte_len));
+    }
+    if (status != IoStatus::kOk) {
+      return status;
     }
     run_start += run_len;
   }
+  return IoStatus::kOk;
 }
 
-void FileSystem::Read(FileId file, uint64_t offset, std::span<uint8_t> out) {
+IoStatus FileSystem::Read(FileId file, uint64_t offset, std::span<uint8_t> out) {
   if (out.empty()) {
-    return;
+    return IoStatus::kOk;
   }
   File& f = GetFile(file);
   ++stats_.direct_reads;
@@ -97,16 +103,20 @@ void FileSystem::Read(FileId file, uint64_t offset, std::span<uint8_t> out) {
   // Whole-block semantics: the device moves full blocks regardless of how little
   // the caller asked for.
   std::vector<uint8_t> staging(block_count * kFsBlockSize);
-  TransferBlocks(f, first_block, block_count, staging.data(), nullptr);
+  const IoStatus status = TransferBlocks(f, first_block, block_count, staging.data(), nullptr);
+  if (status != IoStatus::kOk) {
+    return status;
+  }
   stats_.bytes_transferred_read += staging.size();
 
   const uint64_t skip = offset - first_block * kFsBlockSize;
   std::memcpy(out.data(), staging.data() + skip, out.size());
+  return IoStatus::kOk;
 }
 
-void FileSystem::Write(FileId file, uint64_t offset, std::span<const uint8_t> data) {
+IoStatus FileSystem::Write(FileId file, uint64_t offset, std::span<const uint8_t> data) {
   if (data.empty()) {
-    return;
+    return IoStatus::kOk;
   }
   File& f = GetFile(file);
   ++stats_.direct_writes;
@@ -142,13 +152,16 @@ void FileSystem::Write(FileId file, uint64_t offset, std::span<const uint8_t> da
           break;
         }
       }
-      disk_->Write(f.blocks[b] * kFsBlockSize + within,
-                   std::span<const uint8_t>(data.data() + pos, len));
+      const IoStatus status = disk_->Write(f.blocks[b] * kFsBlockSize + within,
+                                           std::span<const uint8_t>(data.data() + pos, len));
+      if (status != IoStatus::kOk) {
+        return status;
+      }
       stats_.bytes_transferred_written += len;
       pos += len;
     }
     f.size = std::max(f.size, offset + data.size());
-    return;
+    return IoStatus::kOk;
   }
 
   // Sprite semantics: stage whole blocks. Partially covered blocks whose existing
@@ -172,7 +185,9 @@ void FileSystem::Write(FileId file, uint64_t offset, std::span<const uint8_t> da
 
   if (head_partial && block_has_valid_head(first_block)) {
     std::vector<uint8_t> old(kFsBlockSize);
-    TransferBlocks(f, first_block, 1, old.data(), nullptr);
+    if (TransferBlocks(f, first_block, 1, old.data(), nullptr) != IoStatus::kOk) {
+      return IoStatus::kFailed;  // RMW read failed: nothing was written
+    }
     ++stats_.rmw_reads;
     stats_.bytes_transferred_read += kFsBlockSize;
     std::memcpy(staging.data(), old.data(), kFsBlockSize);
@@ -180,17 +195,23 @@ void FileSystem::Write(FileId file, uint64_t offset, std::span<const uint8_t> da
   if (tail_partial && block_has_valid_tail(last_block) &&
       !(block_count == 1 && head_partial && block_has_valid_head(first_block))) {
     std::vector<uint8_t> old(kFsBlockSize);
-    TransferBlocks(f, last_block, 1, old.data(), nullptr);
+    if (TransferBlocks(f, last_block, 1, old.data(), nullptr) != IoStatus::kOk) {
+      return IoStatus::kFailed;  // RMW read failed: nothing was written
+    }
     ++stats_.rmw_reads;
     stats_.bytes_transferred_read += kFsBlockSize;
     std::memcpy(staging.data() + (block_count - 1) * kFsBlockSize, old.data(), kFsBlockSize);
   }
 
   std::memcpy(staging.data() + skip, data.data(), data.size());
-  TransferBlocks(f, first_block, block_count, nullptr, staging.data());
+  const IoStatus status = TransferBlocks(f, first_block, block_count, nullptr, staging.data());
+  if (status != IoStatus::kOk) {
+    return status;
+  }
   stats_.bytes_transferred_written += staging.size();
 
   f.size = std::max(f.size, offset + data.size());
+  return IoStatus::kOk;
 }
 
 void FileSystem::BindMetrics(MetricRegistry* registry) {

@@ -59,8 +59,11 @@ class FileSystem {
   // Direct (uncached) I/O with whole-block semantics. Offsets and lengths are
   // arbitrary; the implementation rounds transfers to block boundaries as the
   // semantics above require. This is the path the VM backing store uses.
-  void Read(FileId file, uint64_t offset, std::span<uint8_t> out);
-  void Write(FileId file, uint64_t offset, std::span<const uint8_t> data);
+  // A device failure (retries exhausted under fault injection) surfaces as
+  // kFailed: `out` is unspecified for a failed read; a failed write leaves the
+  // file size unchanged and may have stored only a prefix of the request.
+  IoStatus Read(FileId file, uint64_t offset, std::span<uint8_t> out);
+  IoStatus Write(FileId file, uint64_t offset, std::span<const uint8_t> data);
 
   uint64_t FileSize(FileId file) const;
 
@@ -89,9 +92,9 @@ class FileSystem {
   uint64_t AllocateDiskBlock(File& f);
 
   // Reads/writes a run of file blocks, coalescing disk-contiguous runs into single
-  // device requests.
-  void TransferBlocks(File& f, uint64_t first_block, uint64_t block_count, uint8_t* read_into,
-                      const uint8_t* write_from);
+  // device requests. Stops at the first failed run and returns its status.
+  IoStatus TransferBlocks(File& f, uint64_t first_block, uint64_t block_count,
+                          uint8_t* read_into, const uint8_t* write_from);
 
   DiskDevice* disk_;
   Options options_;

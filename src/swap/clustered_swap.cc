@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/assert.h"
+#include "util/checksum.h"
 
 namespace compcache {
 
@@ -88,9 +89,9 @@ void ClusteredSwapLayout::ReleaseLocation(const Location& loc) {
   }
 }
 
-void ClusteredSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
+IoStatus ClusteredSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
   if (pages.empty()) {
-    return;
+    return IoStatus::kOk;
   }
   // Lay out fragments within the batch. With spanning disallowed, a page whose
   // fragments would straddle a block boundary is pushed to the next block and the
@@ -129,7 +130,17 @@ void ClusteredSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
     std::memcpy(staging.data() + p.rel_frag * kSwapFragmentSize, p.image->bytes.data(),
                 p.image->bytes.size());
   }
-  fs_->Write(file_, start_block * kFsBlockSize, staging);
+  const IoStatus status = fs_->Write(file_, start_block * kFsBlockSize, staging);
+  if (status != IoStatus::kOk) {
+    // Nothing landed durably: leave the location map alone so prior copies of
+    // these pages stay valid, and return the freshly allocated blocks to the
+    // free pool.
+    ++io_failures_;
+    for (uint64_t b = start_block; b < start_block + total_blocks; ++b) {
+      free_blocks_.insert(b);
+    }
+    return status;
+  }
   ++stats_.batches_written;
   stats_.fragment_bytes_written += staging.size();
   if (tracer_ != nullptr) {
@@ -151,6 +162,7 @@ void ClusteredSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
     loc.byte_size = static_cast<uint32_t>(img.bytes.size());
     loc.is_compressed = img.is_compressed;
     loc.original_size = img.original_size;
+    loc.checksum = img.checksum;
     AddLiveFrags(loc);
     const bool loc_ok = locations_.emplace(img.key, loc).second;
     const bool frag_ok = by_frag_start_.emplace(loc.frag_start, img.key).second;
@@ -158,6 +170,7 @@ void ClusteredSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
     ++stats_.pages_written;
     stats_.payload_bytes_written += img.bytes.size();
   }
+  return IoStatus::kOk;
 }
 
 ClusteredSwapLayout::ReadResult ClusteredSwapLayout::ReadPage(PageKey key,
@@ -173,15 +186,27 @@ ClusteredSwapLayout::ReadResult ClusteredSwapLayout::ReadPage(PageKey key,
   // Whole-block read (the restriction the paper laments: "there is no way to avoid
   // reading a minimum of 4 Kbytes to satisfy a page fault").
   std::vector<uint8_t> staging(blocks * kFsBlockSize);
-  fs_->Read(file_, first_block * kFsBlockSize, staging);
-
   ReadResult result;
   result.blocks_read = blocks;
   result.is_compressed = loc.is_compressed;
   result.original_size = loc.original_size;
+  result.checksum = loc.checksum;
+  if (fs_->Read(file_, first_block * kFsBlockSize, staging) != IoStatus::kOk) {
+    ++io_failures_;
+    result.status = IoStatus::kFailed;
+    return result;
+  }
   const uint64_t skip = (loc.frag_start - first_block * kFragsPerBlock) * kSwapFragmentSize;
   result.bytes.assign(staging.begin() + static_cast<ptrdiff_t>(skip),
                       staging.begin() + static_cast<ptrdiff_t>(skip + loc.byte_size));
+  if (verify_checksums_ && loc.checksum != 0 && Crc32(result.bytes) != loc.checksum) {
+    ++checksum_mismatches_;
+    result.status = IoStatus::kCorrupt;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventKind::kChecksumMismatch, fs_->disk()->clock()->Now(), key,
+                      loc.checksum, Crc32(result.bytes));
+    }
+  }
   ++stats_.pages_read;
   if (tracer_ != nullptr) {
     tracer_->Record(TraceEventKind::kSwapReadPage, fs_->disk()->clock()->Now(), key,
@@ -206,8 +231,16 @@ ClusteredSwapLayout::ReadResult ClusteredSwapLayout::ReadPage(PageKey key,
       img.key = pos->second;
       img.is_compressed = other.is_compressed;
       img.original_size = other.original_size;
+      img.checksum = other.checksum;
       img.bytes.assign(staging.begin() + static_cast<ptrdiff_t>(off),
                        staging.begin() + static_cast<ptrdiff_t>(off + other.byte_size));
+      // A coresident is a free bonus; a corrupt one is worse than none (it
+      // would seed the ccache with a bad image), so drop it. Its on-disk copy
+      // stays and a direct fault on it goes through the full recovery path.
+      if (verify_checksums_ && img.checksum != 0 && Crc32(img.bytes) != img.checksum) {
+        ++coresidents_dropped_;
+        continue;
+      }
       result.coresidents.push_back(std::move(img));
       ++stats_.coresident_pages_returned;
     }

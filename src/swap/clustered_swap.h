@@ -55,8 +55,9 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
   explicit ClusteredSwapLayout(FileSystem* fs) : ClusteredSwapLayout(fs, Options{}) {}
 
   // Writes a batch of page images in one clustered operation. Any previous
-  // location of the same pages becomes garbage.
-  void WriteBatch(std::span<const SwapPageImage> pages) override;
+  // location of the same pages becomes garbage. On kFailed the location map is
+  // untouched: prior copies stay valid.
+  IoStatus WriteBatch(std::span<const SwapPageImage> pages) override;
 
   bool Contains(PageKey key) const override { return locations_.contains(key); }
 
@@ -86,6 +87,7 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
     uint32_t byte_size = 0;
     bool is_compressed = true;
     uint32_t original_size = kPageSize;
+    uint32_t checksum = 0;  // fragment metadata; 0 = none recorded
   };
 
   // Allocates `blocks` contiguous file blocks, preferring garbage-collected ones.

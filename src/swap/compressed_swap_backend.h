@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "util/io_status.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 #include "util/units.h"
@@ -26,6 +27,9 @@ struct SwapPageImage {
   std::vector<uint8_t> bytes;  // compressed bitstream, or raw page if !is_compressed
   bool is_compressed = true;
   uint32_t original_size = kPageSize;
+  // CRC-32C of `bytes`, carried in fragment metadata and verified at read time.
+  // 0 means "not recorded": readers skip verification for such images.
+  uint32_t checksum = 0;
 };
 
 class CompressedSwapBackend {
@@ -33,17 +37,23 @@ class CompressedSwapBackend {
   virtual ~CompressedSwapBackend() = default;
 
   // Writes a batch of page images. Any previous copy of the same pages becomes
-  // obsolete.
-  virtual void WriteBatch(std::span<const SwapPageImage> pages) = 0;
+  // obsolete. On kFailed nothing is recorded: prior copies of the same pages
+  // stay valid and readable.
+  virtual IoStatus WriteBatch(std::span<const SwapPageImage> pages) = 0;
 
   virtual bool Contains(PageKey key) const = 0;
 
   struct ReadResult {
+    // kFailed: the device gave up and `bytes` is empty. kCorrupt: `bytes` was
+    // read but failed checksum verification (returned anyway, for forensics).
+    IoStatus status = IoStatus::kOk;
     std::vector<uint8_t> bytes;
     bool is_compressed = true;
     uint32_t original_size = kPageSize;
+    uint32_t checksum = 0;  // as stored; 0 when the image carried none
     // Other whole pages that happened to live in the blocks read (only the
-    // clustered layout produces these).
+    // clustered layouts produce these). Corrupt coresidents are dropped, never
+    // returned.
     std::vector<SwapPageImage> coresidents;
     uint64_t blocks_read = 0;
   };
@@ -54,11 +64,26 @@ class CompressedSwapBackend {
   // Marks a page's copy obsolete (rewritten in memory or dropped).
   virtual void Invalidate(PageKey key) = 0;
 
+  // --- integrity ---
+  // Verification is on by default; turning it off removes the checksum compare
+  // from the fault path (the configuration knob the acceptance criteria allow
+  // for hot-path experiments). Stored checksums are unaffected.
+  void SetVerifyChecksums(bool verify) { verify_checksums_ = verify; }
+  uint64_t checksum_mismatches() const { return checksum_mismatches_; }
+  uint64_t io_failures() const { return io_failures_; }
+  uint64_t coresidents_dropped() const { return coresidents_dropped_; }
+
   // --- observability ---
   // Publishes the layout's counters as "swap.<layout>.*" gauges.
   virtual void BindMetrics(MetricRegistry* registry) = 0;
   // Records write-batch/read events; the default keeps tracing off.
   virtual void SetTracer(EventTracer* tracer) { (void)tracer; }
+
+ protected:
+  bool verify_checksums_ = true;
+  uint64_t checksum_mismatches_ = 0;
+  uint64_t io_failures_ = 0;
+  uint64_t coresidents_dropped_ = 0;
 };
 
 }  // namespace compcache

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "util/assert.h"
+#include "util/checksum.h"
 
 namespace compcache {
 
@@ -20,18 +21,27 @@ FileId FixedCompressedSwapLayout::SwapFileFor(uint32_t segment) {
   return id;
 }
 
-void FixedCompressedSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
+IoStatus FixedCompressedSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
   // No clustering is possible: each page lives at its own fixed offset, so every
   // page is its own (usually partial-block) write — the design's whole problem.
+  IoStatus status = IoStatus::kOk;
   for (const SwapPageImage& img : pages) {
     CC_EXPECTS(!img.bytes.empty());
     CC_EXPECTS(img.bytes.size() <= kPageSize);  // one fixed page-sized slot each
-    fs_->Write(SwapFileFor(img.key.segment), OffsetOf(img.key), img.bytes);
+    if (fs_->Write(SwapFileFor(img.key.segment), OffsetOf(img.key), img.bytes) !=
+        IoStatus::kOk) {
+      // This page's slot is unchanged (or partially stale — the checksum would
+      // catch that at read time); the old StoredSize entry stays authoritative.
+      ++io_failures_;
+      status = IoStatus::kFailed;
+      continue;
+    }
     sizes_[img.key] = StoredSize{static_cast<uint32_t>(img.bytes.size()), img.is_compressed,
-                                 img.original_size};
+                                 img.original_size, img.checksum};
     ++stats_.pages_written;
     stats_.payload_bytes_written += img.bytes.size();
   }
+  return status;
 }
 
 CompressedSwapBackend::ReadResult FixedCompressedSwapLayout::ReadPage(
@@ -41,10 +51,20 @@ CompressedSwapBackend::ReadResult FixedCompressedSwapLayout::ReadPage(
   ReadResult result;
   result.is_compressed = it->second.is_compressed;
   result.original_size = it->second.original_size;
+  result.checksum = it->second.checksum;
   result.bytes.resize(it->second.byte_size);
   // The request is for just the compressed bytes; the file system still moves
   // whole blocks underneath. No coresidents ever: each block holds one page.
-  fs_->Read(SwapFileFor(key.segment), OffsetOf(key), result.bytes);
+  if (fs_->Read(SwapFileFor(key.segment), OffsetOf(key), result.bytes) != IoStatus::kOk) {
+    ++io_failures_;
+    result.status = IoStatus::kFailed;
+    result.bytes.clear();
+    return result;
+  }
+  if (verify_checksums_ && result.checksum != 0 && Crc32(result.bytes) != result.checksum) {
+    ++checksum_mismatches_;
+    result.status = IoStatus::kCorrupt;
+  }
   result.blocks_read = 1;
   ++stats_.pages_read;
   return result;

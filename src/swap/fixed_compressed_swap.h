@@ -33,7 +33,7 @@ class FixedCompressedSwapLayout : public CompressedSwapBackend {
  public:
   explicit FixedCompressedSwapLayout(FileSystem* fs);
 
-  void WriteBatch(std::span<const SwapPageImage> pages) override;
+  IoStatus WriteBatch(std::span<const SwapPageImage> pages) override;
   bool Contains(PageKey key) const override { return sizes_.contains(key); }
   ReadResult ReadPage(PageKey key, bool collect_coresidents) override;
   void Invalidate(PageKey key) override;
@@ -48,6 +48,7 @@ class FixedCompressedSwapLayout : public CompressedSwapBackend {
     uint32_t byte_size = 0;
     bool is_compressed = true;
     uint32_t original_size = kPageSize;
+    uint32_t checksum = 0;  // 0 = none recorded
   };
 
   FileId SwapFileFor(uint32_t segment);

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "util/assert.h"
+#include "util/checksum.h"
 #include "util/units.h"
 
 namespace compcache {
@@ -19,18 +20,33 @@ FileId FixedSwapLayout::SwapFileFor(uint32_t segment) {
   return id;
 }
 
-void FixedSwapLayout::WritePage(PageKey key, std::span<const uint8_t> page) {
+IoStatus FixedSwapLayout::WritePage(PageKey key, std::span<const uint8_t> page) {
   CC_EXPECTS(page.size() == kPageSize);
-  fs_->Write(SwapFileFor(key.segment), static_cast<uint64_t>(key.page) * kPageSize, page);
-  written_.insert(key);
+  if (fs_->Write(SwapFileFor(key.segment), static_cast<uint64_t>(key.page) * kPageSize,
+                 page) != IoStatus::kOk) {
+    ++io_failures_;
+    return IoStatus::kFailed;
+  }
+  written_[key] = Crc32(page);
   ++pages_written_;
+  return IoStatus::kOk;
 }
 
-void FixedSwapLayout::ReadPage(PageKey key, std::span<uint8_t> out) {
+IoStatus FixedSwapLayout::ReadPage(PageKey key, std::span<uint8_t> out) {
   CC_EXPECTS(out.size() == kPageSize);
-  CC_EXPECTS(written_.contains(key));
-  fs_->Read(SwapFileFor(key.segment), static_cast<uint64_t>(key.page) * kPageSize, out);
+  const auto it = written_.find(key);
+  CC_EXPECTS(it != written_.end());
+  if (fs_->Read(SwapFileFor(key.segment), static_cast<uint64_t>(key.page) * kPageSize, out) !=
+      IoStatus::kOk) {
+    ++io_failures_;
+    return IoStatus::kFailed;
+  }
   ++pages_read_;
+  if (verify_checksums_ && it->second != 0 && Crc32(out) != it->second) {
+    ++checksum_mismatches_;
+    return IoStatus::kCorrupt;
+  }
+  return IoStatus::kOk;
 }
 
 void FixedSwapLayout::BindMetrics(MetricRegistry* registry) {

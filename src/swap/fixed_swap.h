@@ -8,9 +8,9 @@
 
 #include <span>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "fs/file_system.h"
+#include "util/io_status.h"
 #include "util/metrics.h"
 #include "vm/page_key.h"
 
@@ -20,16 +20,25 @@ class FixedSwapLayout {
  public:
   explicit FixedSwapLayout(FileSystem* fs);
 
-  // Writes one whole page at its fixed offset in the segment's swap file.
-  void WritePage(PageKey key, std::span<const uint8_t> page);
+  // Writes one whole page at its fixed offset in the segment's swap file,
+  // recording its checksum. On kFailed a previously written copy (if any)
+  // stays authoritative.
+  IoStatus WritePage(PageKey key, std::span<const uint8_t> page);
 
-  // Reads one whole page. The page must have been written before.
-  void ReadPage(PageKey key, std::span<uint8_t> out);
+  // Reads one whole page. The page must have been written before. Returns
+  // kCorrupt when the stored bytes no longer match the recorded checksum
+  // (the bytes are returned anyway).
+  IoStatus ReadPage(PageKey key, std::span<uint8_t> out);
 
   bool Contains(PageKey key) const { return written_.contains(key); }
 
   uint64_t pages_written() const { return pages_written_; }
   uint64_t pages_read() const { return pages_read_; }
+
+  // Same knob and counters as CompressedSwapBackend.
+  void SetVerifyChecksums(bool verify) { verify_checksums_ = verify; }
+  uint64_t checksum_mismatches() const { return checksum_mismatches_; }
+  uint64_t io_failures() const { return io_failures_; }
 
   // Publishes counters as "swap.fixed.*" gauges.
   void BindMetrics(MetricRegistry* registry);
@@ -39,9 +48,13 @@ class FixedSwapLayout {
 
   FileSystem* fs_;
   std::unordered_map<uint32_t, FileId> swap_files_;
-  std::unordered_set<PageKey, PageKeyHash> written_;
+  // Written pages and the CRC-32C recorded at write time.
+  std::unordered_map<PageKey, uint32_t, PageKeyHash> written_;
   uint64_t pages_written_ = 0;
   uint64_t pages_read_ = 0;
+  bool verify_checksums_ = true;
+  uint64_t checksum_mismatches_ = 0;
+  uint64_t io_failures_ = 0;
 };
 
 }  // namespace compcache

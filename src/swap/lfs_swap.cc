@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/assert.h"
+#include "util/checksum.h"
 
 namespace compcache {
 
@@ -52,15 +53,22 @@ void LfsSwapLayout::ReleaseLocation(PageKey key) {
   locations_.erase(it);
 }
 
-void LfsSwapLayout::FlushOpenSegment() {
+IoStatus LfsSwapLayout::FlushOpenSegment() {
   if (open_fill_ == 0) {
-    return;
+    return IoStatus::kOk;
   }
   // One large sequential write — the LFS bandwidth win the paper cites.
   const uint64_t disk_offset = static_cast<uint64_t>(open_segment_) * SegmentBytes();
   const uint64_t blocks = (open_fill_ + kFsBlockSize - 1) / kFsBlockSize;
-  fs_->Write(file_, disk_offset,
-             std::span<const uint8_t>(open_buffer_.data(), blocks * kFsBlockSize));
+  const IoStatus status =
+      fs_->Write(file_, disk_offset,
+                 std::span<const uint8_t>(open_buffer_.data(), blocks * kFsBlockSize));
+  if (status != IoStatus::kOk) {
+    // Keep the open segment as it is: its pages remain readable from the
+    // buffer, and the next append retries the flush.
+    ++io_failures_;
+    return status;
+  }
   ++stats_.segments_written;
 
   // Start a new segment.
@@ -69,13 +77,16 @@ void LfsSwapLayout::FlushOpenSegment() {
   free_segments_.pop_back();
   open_fill_ = 0;
   std::fill(open_buffer_.begin(), open_buffer_.end(), uint8_t{0});
+  return IoStatus::kOk;
 }
 
-void LfsSwapLayout::AppendImage(const SwapPageImage& img, bool count_as_write) {
+IoStatus LfsSwapLayout::AppendImage(const SwapPageImage& img, bool count_as_write) {
   CC_EXPECTS(!img.bytes.empty());
   CC_EXPECTS(img.bytes.size() <= SegmentBytes());
   if (open_fill_ + img.bytes.size() > SegmentBytes()) {
-    FlushOpenSegment();
+    if (FlushOpenSegment() != IoStatus::kOk) {
+      return IoStatus::kFailed;  // no room and no flush: the old copy stays valid
+    }
   }
   ReleaseLocation(img.key);  // the old copy (if any) becomes segment garbage
 
@@ -85,6 +96,7 @@ void LfsSwapLayout::AppendImage(const SwapPageImage& img, bool count_as_write) {
   loc.byte_size = static_cast<uint32_t>(img.bytes.size());
   loc.is_compressed = img.is_compressed;
   loc.original_size = img.original_size;
+  loc.checksum = img.checksum;
   std::memcpy(open_buffer_.data() + open_fill_, img.bytes.data(), img.bytes.size());
   open_fill_ += static_cast<uint32_t>(img.bytes.size());
   live_bytes_[loc.segment] += loc.byte_size;
@@ -94,11 +106,14 @@ void LfsSwapLayout::AppendImage(const SwapPageImage& img, bool count_as_write) {
     ++stats_.pages_written;
   }
   if (open_fill_ == SegmentBytes()) {
-    FlushOpenSegment();  // exactly full: write it out now
+    // Exactly full: write it out now. A failure here is not the append's
+    // problem — the image is safely in the buffer and the flush is retried.
+    (void)FlushOpenSegment();
   }
+  return IoStatus::kOk;
 }
 
-void LfsSwapLayout::CleanOneSegment() {
+bool LfsSwapLayout::CleanOneSegment() {
   // Pick the closed segment with the least live data (greedy, as LFS does).
   uint32_t victim = UINT32_MAX;
   uint64_t victim_live = UINT64_MAX;
@@ -122,7 +137,11 @@ void LfsSwapLayout::CleanOneSegment() {
     // Read the whole victim segment and re-append its live pages — the copying
     // cost the paper warns swap data inflicts on LFS cleaning.
     std::vector<uint8_t> segment(SegmentBytes());
-    fs_->Read(file_, static_cast<uint64_t>(victim) * SegmentBytes(), segment);
+    if (fs_->Read(file_, static_cast<uint64_t>(victim) * SegmentBytes(), segment) !=
+        IoStatus::kOk) {
+      ++io_failures_;
+      return false;  // victim untouched; try again on the next write
+    }
     // Members mutate as we re-append; snapshot first.
     std::vector<std::pair<uint32_t, PageKey>> live(members_[victim].begin(),
                                                    members_[victim].end());
@@ -132,8 +151,13 @@ void LfsSwapLayout::CleanOneSegment() {
       img.key = key;
       img.is_compressed = loc.is_compressed;
       img.original_size = loc.original_size;
+      img.checksum = loc.checksum;
       img.bytes.assign(segment.begin() + offset, segment.begin() + offset + loc.byte_size);
-      AppendImage(img, /*count_as_write=*/false);
+      if (AppendImage(img, /*count_as_write=*/false) != IoStatus::kOk) {
+        // The copy stalled mid-segment; pages already moved are fine, the rest
+        // stay live in the victim, which therefore cannot be freed yet.
+        return false;
+      }
       ++stats_.live_pages_copied;
     }
   }
@@ -141,6 +165,7 @@ void LfsSwapLayout::CleanOneSegment() {
   CC_ASSERT(members_[victim].empty());
   free_segments_.push_back(victim);
   ++stats_.segments_cleaned;
+  return true;
 }
 
 void LfsSwapLayout::MaybeClean() {
@@ -149,16 +174,22 @@ void LfsSwapLayout::MaybeClean() {
   }
   cleaning_ = true;
   while (free_segments_.size() < options_.clean_threshold) {
-    CleanOneSegment();
+    if (!CleanOneSegment()) {
+      break;  // device trouble: postpone cleaning rather than wedge
+    }
   }
   cleaning_ = false;
 }
 
-void LfsSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
+IoStatus LfsSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
+  IoStatus status = IoStatus::kOk;
   for (const SwapPageImage& img : pages) {
-    AppendImage(img, /*count_as_write=*/true);
+    if (AppendImage(img, /*count_as_write=*/true) != IoStatus::kOk) {
+      status = IoStatus::kFailed;  // this image kept its old copy (if any)
+    }
   }
   MaybeClean();
+  return status;
 }
 
 CompressedSwapBackend::ReadResult LfsSwapLayout::ReadPage(PageKey key,
@@ -169,13 +200,22 @@ CompressedSwapBackend::ReadResult LfsSwapLayout::ReadPage(PageKey key,
   ReadResult result;
   result.is_compressed = loc.is_compressed;
   result.original_size = loc.original_size;
+  result.checksum = loc.checksum;
   result.bytes.resize(loc.byte_size);
   ++stats_.pages_read;
+
+  const auto verify = [&] {
+    if (verify_checksums_ && loc.checksum != 0 && Crc32(result.bytes) != loc.checksum) {
+      ++checksum_mismatches_;
+      result.status = IoStatus::kCorrupt;
+    }
+  };
 
   if (loc.segment == open_segment_) {
     // Still in the write buffer: no I/O at all.
     std::memcpy(result.bytes.data(), open_buffer_.data() + loc.offset, loc.byte_size);
     ++stats_.reads_from_buffer;
+    verify();
     return result;
   }
 
@@ -184,10 +224,16 @@ CompressedSwapBackend::ReadResult LfsSwapLayout::ReadPage(PageKey key,
   const uint64_t first_block = loc.offset / kFsBlockSize;
   const uint64_t last_block = (loc.offset + loc.byte_size - 1) / kFsBlockSize;
   std::vector<uint8_t> staging((last_block - first_block + 1) * kFsBlockSize);
-  fs_->Read(file_, seg_base + first_block * kFsBlockSize, staging);
+  if (fs_->Read(file_, seg_base + first_block * kFsBlockSize, staging) != IoStatus::kOk) {
+    ++io_failures_;
+    result.status = IoStatus::kFailed;
+    result.bytes.clear();
+    return result;
+  }
   result.blocks_read = last_block - first_block + 1;
   std::memcpy(result.bytes.data(), staging.data() + (loc.offset - first_block * kFsBlockSize),
               loc.byte_size);
+  verify();
 
   if (collect_coresidents) {
     const uint64_t range_start = first_block * kFsBlockSize;
@@ -205,8 +251,13 @@ CompressedSwapBackend::ReadResult LfsSwapLayout::ReadPage(PageKey key,
       img.key = pos->second;
       img.is_compressed = other.is_compressed;
       img.original_size = other.original_size;
+      img.checksum = other.checksum;
       img.bytes.assign(staging.begin() + (other.offset - range_start),
                        staging.begin() + (other.offset - range_start) + other.byte_size);
+      if (verify_checksums_ && img.checksum != 0 && Crc32(img.bytes) != img.checksum) {
+        ++coresidents_dropped_;  // never seed the ccache with a bad image
+        continue;
+      }
       result.coresidents.push_back(std::move(img));
     }
   }

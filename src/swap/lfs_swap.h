@@ -58,7 +58,7 @@ class LfsSwapLayout : public CompressedSwapBackend {
       : LfsSwapLayout(fs, frames, Options{}) {}
   ~LfsSwapLayout() override;
 
-  void WriteBatch(std::span<const SwapPageImage> pages) override;
+  IoStatus WriteBatch(std::span<const SwapPageImage> pages) override;
   bool Contains(PageKey key) const override { return locations_.contains(key); }
   ReadResult ReadPage(PageKey key, bool collect_coresidents) override;
   void Invalidate(PageKey key) override;
@@ -76,15 +76,20 @@ class LfsSwapLayout : public CompressedSwapBackend {
     uint32_t byte_size = 0;
     bool is_compressed = true;
     uint32_t original_size = kPageSize;
+    uint32_t checksum = 0;  // 0 = none recorded
   };
 
   uint64_t SegmentBytes() const {
     return static_cast<uint64_t>(options_.segment_blocks) * kFsBlockSize;
   }
 
-  void AppendImage(const SwapPageImage& img, bool count_as_write);
-  void FlushOpenSegment();
-  void CleanOneSegment();
+  // Returns kFailed when a required segment flush could not complete; the
+  // image's previous copy (if any) is left valid in that case.
+  IoStatus AppendImage(const SwapPageImage& img, bool count_as_write);
+  IoStatus FlushOpenSegment();
+  // False when the victim segment could not be cleaned (a device failure
+  // interrupted the live-page copy); the victim stays intact.
+  bool CleanOneSegment();
   void MaybeClean();
   void ReleaseLocation(PageKey key);
 

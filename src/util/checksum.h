@@ -1,0 +1,52 @@
+// CRC-32C (Castagnoli) over byte spans — the 32-bit checksum carried by every
+// compressed page image (stored in the ring entry header and in the swap
+// backends' fragment metadata) so that corruption anywhere on the
+// compress -> ring -> fragment -> disk -> decompress round-trip is caught at
+// read time instead of surfacing as silently wrong application data.
+//
+// Software table implementation (no SSE4.2 dependency): the simulator charges
+// checksum work zero virtual time, so only determinism and portability matter.
+// By convention a stored checksum of 0 means "no checksum recorded" and readers
+// skip verification; Crc32() therefore never returns 0 for any input.
+#ifndef COMPCACHE_UTIL_CHECKSUM_H_
+#define COMPCACHE_UTIL_CHECKSUM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace compcache {
+
+namespace internal {
+
+inline constexpr std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);  // reflected CRC-32C poly
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32cTable = MakeCrc32cTable();
+
+}  // namespace internal
+
+// CRC-32C of `data`. Never returns 0 (0 is reserved for "absent"): the rare
+// input whose true CRC is 0 maps to 1, a one-in-four-billion detection loss.
+inline uint32_t Crc32(std::span<const uint8_t> data) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const uint8_t byte : data) {
+    crc = (crc >> 8) ^ internal::kCrc32cTable[(crc ^ byte) & 0xFFu];
+  }
+  crc ^= 0xFFFFFFFFu;
+  return crc == 0 ? 1u : crc;
+}
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_UTIL_CHECKSUM_H_

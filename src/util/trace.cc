@@ -52,6 +52,18 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "buffer_writeback";
     case TraceEventKind::kArbiterReclaim:
       return "arbiter_reclaim";
+    case TraceEventKind::kDiskRetry:
+      return "disk_retry";
+    case TraceEventKind::kDiskRetryExhausted:
+      return "disk_retry_exhausted";
+    case TraceEventKind::kFaultInjected:
+      return "fault_injected";
+    case TraceEventKind::kChecksumMismatch:
+      return "checksum_mismatch";
+    case TraceEventKind::kPageRecovered:
+      return "page_recovered";
+    case TraceEventKind::kPageLost:
+      return "page_lost";
     case TraceEventKind::kCount:
       break;
   }

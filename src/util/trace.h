@@ -53,6 +53,19 @@ enum class TraceEventKind : uint8_t {
   // Memory arbiter; key unused, a = consumer index, b = 1 when the consumer
   // refused and the arbiter fell through to another.
   kArbiterReclaim,
+  // Fault injection and recovery. kDiskRetry: key unused, a = attempt number,
+  // b = backoff charged in virtual ns. kDiskRetryExhausted: key unused,
+  // a = attempts made. kFaultInjected: key unused, a = FaultSite ordinal,
+  // b = the site's 1-based op ordinal. kChecksumMismatch: a = stored checksum,
+  // b = computed checksum. kPageRecovered: the ccache copy was corrupt but the
+  // backing-store copy served the fault. kPageLost: no valid copy remained;
+  // the owning segment is aborted.
+  kDiskRetry,
+  kDiskRetryExhausted,
+  kFaultInjected,
+  kChecksumMismatch,
+  kPageRecovered,
+  kPageLost,
   kCount,
 };
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/assert.h"
+#include "util/checksum.h"
 #include "util/units.h"
 
 namespace compcache {
@@ -94,6 +95,10 @@ void Pager::BindMetrics(MetricRegistry* registry) {
   gauge("vm.evictions_compressed", &VmStats::evictions_compressed);
   gauge("vm.evictions_raw_swap", &VmStats::evictions_raw_swap);
   gauge("vm.evictions_std_write", &VmStats::evictions_std_write);
+  gauge("vm.evictions_failed", &VmStats::evictions_failed);
+  gauge("vm.pages_recovered", &VmStats::pages_recovered);
+  gauge("vm.pages_lost", &VmStats::pages_lost);
+  gauge("vm.segments_aborted", &VmStats::segments_aborted);
   registry->RegisterGauge("vm.resident_pages",
                           [this] { return static_cast<double>(lru_.size()); });
   fault_latency_ = &registry->GetHistogram("vm.fault_ns");
@@ -111,49 +116,79 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
   auto frame_data = frames_->FrameData(frame);
 
   // Allocation can have reclaimed this page's own compressed copy (clean entries
-  // at the ring head are fair game), so re-read the state now.
+  // at the ring head are fair game), so re-read the state now. The ladder below
+  // walks the copies from fastest to slowest: ccache, then backing store; when a
+  // rung turns out corrupt or unreadable it drops to the next, and only when no
+  // valid copy survives anywhere is the page declared lost.
   TraceEventKind fault_kind = TraceEventKind::kFaultZeroFill;
-  switch (entry.state) {
-    case PageState::kResident:
-      CC_ASSERT(false && "fault on resident page");
-      break;
+  PageState source = entry.state;
+  bool lost = false;
+  CC_ASSERT(source != PageState::kResident && "fault on resident page");
 
-    case PageState::kUntouched:
-      // Zero-fill. No copy exists anywhere, so the page is born dirty: eviction
-      // must preserve it.
-      ++stats_.faults_zero_fill;
-      entry.dirty = true;
-      break;
+  if (source == PageState::kUntouched) {
+    // Zero-fill. No copy exists anywhere, so the page is born dirty: eviction
+    // must preserve it.
+    ++stats_.faults_zero_fill;
+    entry.dirty = true;
+  }
 
-    case PageState::kCompressed: {
-      CC_ASSERT(ccache_ != nullptr);
-      const bool hit = ccache_->FaultIn(entry.key, frame_data);
-      CC_ASSERT(hit);  // state said compressed; events keep it coherent
+  if (source == PageState::kCompressed) {
+    CC_ASSERT(ccache_ != nullptr);
+    const CcacheFaultResult hit = ccache_->FaultIn(entry.key, frame_data);
+    CC_ASSERT(hit != CcacheFaultResult::kMiss);  // events keep state coherent
+    if (hit == CcacheFaultResult::kHit) {
       ++stats_.faults_from_ccache;
       fault_kind = TraceEventKind::kFaultFromCcache;
       // The compressed copy stays in the cache ("retained ... in the expectation
       // that they will be accessed again soon"); it dies on the first write.
       entry.dirty = false;
-      break;
-    }
-
-    case PageState::kSwapped: {
-      if (cswap_ != nullptr) {
-        auto result = cswap_->ReadPage(entry.key, options_.insert_coresidents);
-        if (result.is_compressed) {
-          // Store the compressed image in the cache first (paper 4.1), then
-          // decompress for the faulting process.
-          if (!ccache_->Contains(entry.key)) {
-            ccache_->InsertCompressedClean(entry.key, result.bytes, result.original_size);
-            entry.has_ccache_copy = ccache_->Contains(entry.key);
-          }
-          ccache_->DecompressImage(result.bytes, frame_data);
-        } else {
-          CC_ASSERT(result.bytes.size() == frame_data.size());
-          std::memcpy(frame_data.data(), result.bytes.data(), result.bytes.size());
-          clock_->Advance(costs_->CopyCost(result.bytes.size()), TimeCategory::kCopy);
+    } else {
+      // Corrupt in-memory copy: discard it and drop to the backing store.
+      ccache_->Invalidate(entry.key);
+      entry.has_ccache_copy = false;
+      if (entry.has_backing_copy) {
+        ++stats_.pages_recovered;
+        if (tracer_ != nullptr) {
+          tracer_->Record(TraceEventKind::kPageRecovered, clock_->Now(), entry.key);
         }
-        // Pages that came along for free in the same blocks join the cache too.
+        source = PageState::kSwapped;
+      } else {
+        lost = true;
+      }
+    }
+  }
+
+  if (source == PageState::kSwapped && !lost) {
+    if (cswap_ != nullptr) {
+      auto result = cswap_->ReadPage(entry.key, options_.insert_coresidents);
+      if (result.status != IoStatus::kOk) {
+        // Unreadable (retries exhausted) or failed its stored checksum; there
+        // is no rung left below the backing store.
+        lost = true;
+      } else if (result.is_compressed) {
+        // Store the compressed image in the cache first (paper 4.1), then
+        // decompress for the faulting process.
+        if (!ccache_->Contains(entry.key)) {
+          ccache_->InsertCompressedClean(entry.key, result.bytes, result.original_size);
+          entry.has_ccache_copy = ccache_->Contains(entry.key);
+        }
+        if (!ccache_->DecompressImage(result.bytes, frame_data)) {
+          // Undecodable despite a matching (or absent) checksum; never keep a
+          // cache entry seeded from a bad image.
+          if (entry.has_ccache_copy) {
+            ccache_->Invalidate(entry.key);
+            entry.has_ccache_copy = false;
+          }
+          lost = true;
+        }
+      } else {
+        CC_ASSERT(result.bytes.size() == frame_data.size());
+        std::memcpy(frame_data.data(), result.bytes.data(), result.bytes.size());
+        clock_->Advance(costs_->CopyCost(result.bytes.size()), TimeCategory::kCopy);
+      }
+      if (!lost) {
+        // Pages that came along for free in the same blocks join the cache too
+        // (backends have already dropped any coresident that failed its CRC).
         for (const SwapPageImage& co : result.coresidents) {
           PageEntry& other = EntryFor(co.key);
           if (other.state == PageState::kSwapped && co.is_compressed &&
@@ -164,16 +199,23 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
             ++stats_.coresidents_inserted;
           }
         }
-      } else {
-        CC_ASSERT(fixed_swap_ != nullptr);
-        fixed_swap_->ReadPage(entry.key, frame_data);
       }
+    } else {
+      CC_ASSERT(fixed_swap_ != nullptr);
+      if (fixed_swap_->ReadPage(entry.key, frame_data) != IoStatus::kOk) {
+        lost = true;
+      }
+    }
+    if (!lost) {
       ++stats_.faults_from_swap;
       fault_kind = TraceEventKind::kFaultFromSwap;
       entry.has_backing_copy = true;
       entry.dirty = false;
-      break;
     }
+  }
+
+  if (lost) {
+    MarkPageLost(entry, frame_data);
   }
 
   entry.state = PageState::kResident;
@@ -198,7 +240,36 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
   }
 }
 
-void Pager::EvictResident(PageEntry& entry) {
+void Pager::MarkPageLost(PageEntry& entry, std::span<uint8_t> frame_data) {
+  // Surface deterministic zeros, never garbage, and drop every dead copy so the
+  // bookkeeping matches reality. The page is "born again" dirty so eviction
+  // preserves the zeros. Only the owning segment is poisoned; the machine and
+  // every other segment keep running.
+  std::memset(frame_data.data(), 0, frame_data.size());
+  if (entry.has_ccache_copy) {
+    CC_ASSERT(ccache_ != nullptr);
+    ccache_->Invalidate(entry.key);
+    entry.has_ccache_copy = false;
+  }
+  if (entry.has_backing_copy) {
+    if (cswap_ != nullptr) {
+      cswap_->Invalidate(entry.key);
+    }
+    entry.has_backing_copy = false;
+  }
+  entry.dirty = true;
+  ++stats_.pages_lost;
+  Segment& segment = *segments_[entry.key.segment];
+  if (!segment.aborted()) {
+    segment.MarkAborted();
+    ++stats_.segments_aborted;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventKind::kPageLost, clock_->Now(), entry.key);
+  }
+}
+
+bool Pager::EvictResident(PageEntry& entry) {
   CC_ASSERT(entry.state == PageState::kResident);
   CC_ASSERT(!entry.pinned);
   ++stats_.evictions;
@@ -241,7 +312,7 @@ void Pager::EvictResident(PageEntry& entry) {
         }
         entry.dirty = false;
         entry.pinned = false;
-        return;  // frame already freed
+        return true;  // frame already freed
       }
       // Below the 4:3 threshold: store uncompressed on the backing store.
       SwapPageImage img;
@@ -249,8 +320,17 @@ void Pager::EvictResident(PageEntry& entry) {
       img.is_compressed = false;
       img.original_size = static_cast<uint32_t>(frame_data.size());
       img.bytes.assign(frame_data.begin(), frame_data.end());
+      img.checksum = Crc32(img.bytes);
       clock_->Advance(costs_->CopyCost(img.bytes.size()), TimeCategory::kCopy);
-      cswap_->WriteBatch(std::span<const SwapPageImage>(&img, 1));
+      if (cswap_->WriteBatch(std::span<const SwapPageImage>(&img, 1)) != IoStatus::kOk) {
+        // Pageout failed after retries: the only valid copy is the resident
+        // one, so the page cannot leave memory. Re-admit it and let the
+        // arbiter pick a different victim.
+        ++stats_.evictions_failed;
+        lru_.PushMru(entry);
+        entry.pinned = false;
+        return false;
+      }
       entry.has_backing_copy = true;
       entry.state = PageState::kSwapped;
       ++stats_.evictions_raw_swap;
@@ -261,7 +341,12 @@ void Pager::EvictResident(PageEntry& entry) {
   } else {
     // Unmodified system: synchronous pageout of dirty pages to the fixed layout.
     if (entry.dirty || !entry.has_backing_copy) {
-      fixed_swap_->WritePage(entry.key, frame_data);
+      if (fixed_swap_->WritePage(entry.key, frame_data) != IoStatus::kOk) {
+        ++stats_.evictions_failed;
+        lru_.PushMru(entry);
+        entry.pinned = false;
+        return false;
+      }
       entry.has_backing_copy = true;
       ++stats_.evictions_std_write;
       if (tracer_ != nullptr) {
@@ -280,6 +365,7 @@ void Pager::EvictResident(PageEntry& entry) {
   frames_->FreeFrame(entry.frame);
   entry.frame = FrameId{};
   entry.pinned = false;
+  return true;
 }
 
 void Pager::Advise(Segment& segment, uint32_t first_page, uint32_t page_count, bool pin) {
@@ -325,9 +411,9 @@ bool Pager::ReleaseOldest() {
     return false;
   }
   ++eviction_depth_;
-  EvictResident(*victim);
+  const bool evicted = EvictResident(*victim);
   --eviction_depth_;
-  return true;
+  return evicted;
 }
 
 void Pager::OnEntryCleaned(PageKey key) {
@@ -344,6 +430,31 @@ void Pager::OnEntryDropped(PageKey key) {
   if (entry.state == PageState::kCompressed) {
     CC_ASSERT(entry.has_backing_copy);
     entry.state = PageState::kSwapped;
+  }
+}
+
+void Pager::OnEntryLost(PageKey key) {
+  // A dirty compressed copy was reclaimed after its write-out failed; no valid
+  // copy exists outside memory (the stale backing copy died when the page was
+  // dirtied). The ccache already traced the loss.
+  PageEntry& entry = EntryFor(key);
+  CC_ASSERT(entry.has_ccache_copy);
+  CC_ASSERT(!entry.has_backing_copy);
+  entry.has_ccache_copy = false;
+  if (entry.state == PageState::kResident) {
+    // The resident copy is intact and now the only one; keep it evictable but
+    // make sure eviction preserves it.
+    entry.dirty = true;
+    return;
+  }
+  CC_ASSERT(entry.state == PageState::kCompressed);
+  entry.state = PageState::kUntouched;
+  entry.dirty = false;
+  ++stats_.pages_lost;
+  Segment& segment = *segments_[key.segment];
+  if (!segment.aborted()) {
+    segment.MarkAborted();
+    ++stats_.segments_aborted;
   }
 }
 

@@ -66,6 +66,12 @@ class Segment {
   size_t num_pages() const { return pages_.size(); }
   uint64_t size_bytes() const { return pages_.size() * kPageSize; }
 
+  // An unrecoverable page loss poisons only the owning segment: the pager keeps
+  // servicing it (lost pages read as zeros) but flags it so the application
+  // layer can abort that computation instead of trusting silent garbage.
+  bool aborted() const { return aborted_; }
+  void MarkAborted() { aborted_ = true; }
+
   PageEntry& page(uint32_t index) {
     CC_EXPECTS(index < pages_.size());
     return pages_[index];
@@ -78,6 +84,7 @@ class Segment {
  private:
   uint32_t id_;
   std::vector<PageEntry> pages_;
+  bool aborted_ = false;
 };
 
 struct VmOptions {
@@ -103,6 +110,10 @@ struct VmStats {
   uint64_t evictions_compressed = 0;  // kept in the compression cache
   uint64_t evictions_raw_swap = 0;    // failed threshold, written uncompressed
   uint64_t evictions_std_write = 0;   // unmodified-system synchronous pageout
+  uint64_t evictions_failed = 0;      // pageout write failed; page re-admitted
+  uint64_t pages_recovered = 0;       // corrupt copy replaced from another copy
+  uint64_t pages_lost = 0;            // no valid copy anywhere; reads as zeros
+  uint64_t segments_aborted = 0;      // segments holding at least one lost page
 };
 
 class Pager : public CcacheEvents {
@@ -139,6 +150,7 @@ class Pager : public CcacheEvents {
   // --- CcacheEvents ---
   void OnEntryCleaned(PageKey key) override;
   void OnEntryDropped(PageKey key) override;
+  void OnEntryLost(PageKey key) override;
 
   size_t resident_pages() const { return lru_.size(); }
   const VmStats& stats() const { return stats_; }
@@ -159,7 +171,12 @@ class Pager : public CcacheEvents {
   PageEntry& EntryFor(PageKey key);
   void ServiceFault(Segment& segment, PageEntry& entry, bool write);
   void DropStaleCopies(PageEntry& entry);
-  void EvictResident(PageEntry& entry);
+  // Evicts one resident page. Returns false when the required pageout write
+  // failed — the page is re-admitted to the LRU and stays resident.
+  bool EvictResident(PageEntry& entry);
+  // Last rung of the degradation ladder: no valid copy of the page survives.
+  // Zero-fills the frame, drops dead copies, and aborts the owning segment.
+  void MarkPageLost(PageEntry& entry, std::span<uint8_t> frame_data);
 
   Clock* clock_;
   const CostModel* costs_;

@@ -18,9 +18,11 @@ class EventRecorder : public CcacheEvents {
  public:
   void OnEntryCleaned(PageKey key) override { cleaned.push_back(key); }
   void OnEntryDropped(PageKey key) override { dropped.push_back(key); }
+  void OnEntryLost(PageKey key) override { lost.push_back(key); }
 
   std::vector<PageKey> cleaned;
   std::vector<PageKey> dropped;
+  std::vector<PageKey> lost;
 };
 
 class CcacheTest : public ::testing::Test {
@@ -62,7 +64,7 @@ TEST_F(CcacheTest, InsertAndFaultInRoundTrip) {
   cache_->CheckInvariants();
 
   std::vector<uint8_t> out(kPageSize);
-  EXPECT_TRUE(cache_->FaultIn(key, out));
+  EXPECT_EQ(cache_->FaultIn(key, out), CcacheFaultResult::kHit);
   EXPECT_EQ(out, page);
   EXPECT_EQ(cache_->stats().fault_hits, 1u);
 }
@@ -83,9 +85,9 @@ TEST_F(CcacheTest, CompressionChargesTime) {
   EXPECT_GE(spent.nanos(), costs_.CompressCost(kPageSize).nanos());
 }
 
-TEST_F(CcacheTest, FaultInMissingReturnsFalse) {
+TEST_F(CcacheTest, FaultInMissingReturnsMiss) {
   std::vector<uint8_t> out(kPageSize);
-  EXPECT_FALSE(cache_->FaultIn(PageKey{9, 9}, out));
+  EXPECT_EQ(cache_->FaultIn(PageKey{9, 9}, out), CcacheFaultResult::kMiss);
 }
 
 TEST_F(CcacheTest, InvalidateRemovesFromIndex) {
@@ -95,7 +97,7 @@ TEST_F(CcacheTest, InvalidateRemovesFromIndex) {
   cache_->Invalidate(key);
   EXPECT_FALSE(cache_->Contains(key));
   std::vector<uint8_t> out(kPageSize);
-  EXPECT_FALSE(cache_->FaultIn(key, out));
+  EXPECT_EQ(cache_->FaultIn(key, out), CcacheFaultResult::kMiss);
   cache_->CheckInvariants();
 }
 
@@ -126,7 +128,7 @@ TEST_F(CcacheTest, ManyInsertsWrapTheRing) {
   std::vector<uint8_t> out(kPageSize);
   for (const auto& [page_index, page] : shadow) {
     const PageKey key{0, page_index};
-    if (cache_->FaultIn(key, out)) {
+    if (cache_->FaultIn(key, out) == CcacheFaultResult::kHit) {
       EXPECT_EQ(out, page) << page_index;
     } else {
       ASSERT_TRUE(swap_.Contains(key)) << page_index;
@@ -229,7 +231,7 @@ TEST_F(CcacheTest, InsertCompressedCleanFromSwapImage) {
   EXPECT_EQ(cache_->stats().inserted_from_swap, 1u);
 
   std::vector<uint8_t> out(kPageSize);
-  EXPECT_TRUE(cache_->FaultIn(key, out));
+  EXPECT_EQ(cache_->FaultIn(key, out), CcacheFaultResult::kHit);
   EXPECT_EQ(out, page);
 
   // Clean entries are dropped on reclamation without any swap write.
@@ -246,7 +248,7 @@ TEST_F(CcacheTest, DecompressImageChargesTime) {
   compressed.resize(c);
   const SimTime before = clock_.Now();
   std::vector<uint8_t> out(kPageSize);
-  cache_->DecompressImage(compressed, out);
+  EXPECT_TRUE(cache_->DecompressImage(compressed, out));
   EXPECT_EQ(out, page);
   EXPECT_GE((clock_.Now() - before).nanos(), costs_.DecompressCost(kPageSize).nanos());
 }
@@ -335,7 +337,7 @@ TEST_F(CcacheTest, RandomOperationsKeepInvariants) {
       }
     } else if (action < 0.7) {
       std::vector<uint8_t> out(kPageSize);
-      if (cache_->FaultIn(key, out)) {
+      if (cache_->FaultIn(key, out) == CcacheFaultResult::kHit) {
         ASSERT_TRUE(latest.contains(page_index));
         EXPECT_EQ(out, latest.at(page_index));
       }
@@ -354,7 +356,7 @@ TEST_F(CcacheTest, RandomOperationsKeepInvariants) {
   std::vector<uint8_t> out(kPageSize);
   for (const uint32_t page_index : in_cache_or_swap) {
     const PageKey key{0, page_index};
-    if (cache_->FaultIn(key, out)) {
+    if (cache_->FaultIn(key, out) == CcacheFaultResult::kHit) {
       EXPECT_EQ(out, latest.at(page_index));
     } else {
       ASSERT_TRUE(swap_.Contains(key)) << page_index;

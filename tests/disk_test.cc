@@ -179,5 +179,26 @@ TEST_F(DiskDeviceTest, ResetStats) {
   EXPECT_EQ(device_.stats().write_ops, 0u);
 }
 
+TEST_F(DiskDeviceTest, ResetStatsClearsBoundLatencyHistogram) {
+  MetricRegistry registry;
+  device_.BindMetrics(&registry);
+  std::vector<uint8_t> data(4096, 1);
+  device_.Write(0, data);
+  device_.Read(0, data);
+
+  LatencyHistogram* hist = registry.FindHistogram("disk.access_ns");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->count(), 2u);
+
+  // A bench warm-up reset must leave no stale observability state: the counters
+  // AND the latency histogram both start over.
+  device_.ResetStats();
+  EXPECT_EQ(device_.stats().read_ops, 0u);
+  EXPECT_EQ(hist->count(), 0u);
+
+  device_.Read(0, data);
+  EXPECT_EQ(hist->count(), 1u);
+}
+
 }  // namespace
 }  // namespace compcache

@@ -1,0 +1,453 @@
+// Fault injection and graceful degradation: the injector replays
+// deterministically, the disk's retry policy absorbs transient errors, and the
+// paging stack recovers from (or contains) corruption — a lost page aborts the
+// owning segment, never the machine.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/gold.h"
+#include "apps/sort.h"
+#include "apps/thrasher.h"
+#include "compress/pagegen.h"
+#include "core/machine.h"
+#include "disk/disk_device.h"
+#include "disk/disk_model.h"
+#include "tests/test_util.h"
+#include "util/fault.h"
+#include "util/rng.h"
+#include "vm/heap.h"
+
+namespace compcache {
+namespace {
+
+// ---------- FaultInjector ----------
+
+TEST(FaultInjectorTest, SameSeedReplaysIdentically) {
+  FaultInjector a(7);
+  FaultInjector b(7);
+  FaultSchedule schedule;
+  schedule.probability = 0.3;
+  a.SetSchedule(FaultSite::kDiskRead, schedule);
+  b.SetSchedule(FaultSite::kDiskRead, schedule);
+
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.ShouldFault(FaultSite::kDiskRead), b.ShouldFault(FaultSite::kDiskRead))
+        << "op " << i;
+  }
+  EXPECT_EQ(a.injected(FaultSite::kDiskRead), b.injected(FaultSite::kDiskRead));
+  EXPECT_GT(a.injected(FaultSite::kDiskRead), 100u);  // ~300 expected
+  EXPECT_LT(a.injected(FaultSite::kDiskRead), 500u);
+}
+
+TEST(FaultInjectorTest, NthOpSchedulesFireExactlyOnNamedOps) {
+  FaultInjector injector(1);
+  FaultSchedule schedule;
+  schedule.fail_ops = {10, 3, 5};  // unsorted on purpose; SetSchedule sorts
+  injector.SetSchedule(FaultSite::kDiskWrite, schedule);
+
+  std::vector<uint64_t> fired;
+  for (uint64_t op = 1; op <= 12; ++op) {
+    if (injector.ShouldFault(FaultSite::kDiskWrite)) {
+      fired.push_back(op);
+    }
+  }
+  EXPECT_EQ(fired, (std::vector<uint64_t>{3, 5, 10}));
+  EXPECT_EQ(injector.ops(FaultSite::kDiskWrite), 12u);
+  EXPECT_EQ(injector.injected(FaultSite::kDiskWrite), 3u);
+  EXPECT_EQ(injector.total_injected(), 3u);
+}
+
+TEST(FaultInjectorTest, SitesHaveIndependentStreams) {
+  // Enabling a schedule at one site must not perturb another site's sequence.
+  FaultSchedule write_schedule;
+  write_schedule.probability = 0.5;
+
+  FaultInjector lone(42);
+  lone.SetSchedule(FaultSite::kDiskWrite, write_schedule);
+
+  FaultInjector busy(42);
+  busy.SetSchedule(FaultSite::kDiskWrite, write_schedule);
+  FaultSchedule read_schedule;
+  read_schedule.probability = 0.5;
+  busy.SetSchedule(FaultSite::kDiskRead, read_schedule);
+
+  for (int i = 0; i < 500; ++i) {
+    busy.ShouldFault(FaultSite::kDiskRead);  // interleaved draws on another site
+    ASSERT_EQ(lone.ShouldFault(FaultSite::kDiskWrite),
+              busy.ShouldFault(FaultSite::kDiskWrite))
+        << "op " << i;
+  }
+}
+
+TEST(FaultInjectorTest, EmptyScheduleNeverFaults) {
+  FaultInjector injector(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFault(FaultSite::kSectorCorruption));
+  }
+  EXPECT_EQ(injector.total_injected(), 0u);
+  EXPECT_EQ(injector.ops(FaultSite::kSectorCorruption), 100u);
+}
+
+// ---------- DiskDevice retry policy ----------
+
+class DiskRetryTest : public ::testing::Test {
+ protected:
+  DiskRetryTest() : disk_(&clock_, std::make_unique<SeekDiskModel>(), SimDuration::Micros(500)) {}
+
+  Clock clock_;
+  DiskDevice disk_;
+  FaultInjector injector_{17};
+};
+
+TEST_F(DiskRetryTest, TransientReadErrorIsRetriedAndSucceeds) {
+  std::vector<uint8_t> data(kPageSize);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31);
+  }
+  ASSERT_EQ(disk_.Write(0, data), IoStatus::kOk);
+
+  FaultSchedule schedule;
+  schedule.fail_ops = {1};
+  injector_.SetSchedule(FaultSite::kDiskRead, schedule);
+  disk_.SetFaultInjector(&injector_);
+
+  std::vector<uint8_t> out(kPageSize, 0);
+  EXPECT_EQ(disk_.Read(0, out), IoStatus::kOk);
+  EXPECT_EQ(0, std::memcmp(out.data(), data.data(), data.size()));
+  EXPECT_EQ(disk_.stats().read_retries, 1u);
+  EXPECT_EQ(disk_.stats().reads_exhausted, 0u);
+  EXPECT_GT(disk_.stats().retry_backoff_time.nanos(), 0);
+}
+
+TEST_F(DiskRetryTest, PersistentReadErrorExhaustsRetries) {
+  std::vector<uint8_t> data(kPageSize, 0xAB);
+  ASSERT_EQ(disk_.Write(0, data), IoStatus::kOk);
+
+  FaultSchedule schedule;
+  schedule.probability = 1.0;
+  injector_.SetSchedule(FaultSite::kDiskRead, schedule);
+  disk_.SetFaultInjector(&injector_);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  disk_.SetRetryPolicy(policy);
+
+  std::vector<uint8_t> out(kPageSize, 0xCD);
+  EXPECT_EQ(disk_.Read(0, out), IoStatus::kFailed);
+  // Nothing is copied on failure: the caller's buffer is untouched.
+  EXPECT_EQ(out[0], 0xCD);
+  EXPECT_EQ(disk_.stats().reads_exhausted, 1u);
+  EXPECT_EQ(disk_.stats().read_retries, 3u);  // max_attempts - 1 backoffs
+}
+
+TEST_F(DiskRetryTest, TransientWriteErrorIsRetriedAndSucceeds) {
+  FaultSchedule schedule;
+  schedule.fail_ops = {1};
+  injector_.SetSchedule(FaultSite::kDiskWrite, schedule);
+  disk_.SetFaultInjector(&injector_);
+
+  std::vector<uint8_t> data(kPageSize, 0x5A);
+  EXPECT_EQ(disk_.Write(0, data), IoStatus::kOk);
+  EXPECT_EQ(disk_.stats().write_retries, 1u);
+  EXPECT_EQ(disk_.stats().writes_exhausted, 0u);
+
+  std::vector<uint8_t> out(kPageSize, 0);
+  ASSERT_EQ(disk_.Read(0, out), IoStatus::kOk);
+  EXPECT_EQ(0, std::memcmp(out.data(), data.data(), data.size()));
+}
+
+TEST_F(DiskRetryTest, SectorCorruptionSilentlyFlipsOneStoredBit) {
+  FaultSchedule schedule;
+  schedule.fail_ops = {1};
+  injector_.SetSchedule(FaultSite::kSectorCorruption, schedule);
+  disk_.SetFaultInjector(&injector_);
+
+  std::vector<uint8_t> data(kPageSize, 0xFF);
+  ASSERT_EQ(disk_.Write(0, data), IoStatus::kOk);
+
+  // The device has no checksums by design: the read "succeeds" with bad bytes.
+  std::vector<uint8_t> out(kPageSize, 0);
+  ASSERT_EQ(disk_.Read(0, out), IoStatus::kOk);
+  size_t flipped_bits = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    flipped_bits += static_cast<size_t>(__builtin_popcount(out[i] ^ data[i]));
+  }
+  EXPECT_EQ(flipped_bits, 1u);
+}
+
+// ---------- Machine-level recovery ----------
+
+TEST(MachineFaultTest, CorruptCleanEntryIsRecoveredFromBackingStore) {
+  MachineConfig config = MachineConfig::WithCompressionCache(2 * kMiB);
+  config.trace_capacity = 64 * 1024;  // large enough to keep the recovery events
+  Machine machine(config);
+  const uint64_t heap_bytes = 4 * kMiB;
+  Heap heap = machine.NewHeap(heap_bytes);
+  const uint64_t pages = heap_bytes / kPageSize;
+
+  Rng rng(11);
+  std::vector<uint8_t> page(kPageSize);
+  std::vector<std::vector<uint8_t>> reference(pages);
+  for (uint64_t p = 0; p < pages; ++p) {
+    FillPage(page, ContentClass::kRepetitiveText, rng);
+    heap.WriteBytes(p * kPageSize, page);
+    reference[p] = page;
+  }
+  // Every compressed entry becomes clean — a valid copy now exists on the
+  // backing store, so any in-memory corruption is recoverable.
+  machine.ccache()->FlushDirty();
+
+  Segment* segment = heap.segment();
+  size_t corrupted = 0;
+  for (uint64_t p = 0; p < pages; ++p) {
+    const PageKey key{segment->id(), static_cast<uint32_t>(p)};
+    const auto info = machine.ccache()->EntryInfoFor(key);
+    if (info.has_value()) {
+      machine.ccache()->CorruptPayloadBitForTest(key, (p * 131) % (info->payload_size * 8));
+      ++corrupted;
+    }
+  }
+  ASSERT_GT(corrupted, 0u);
+
+  std::vector<uint8_t> out(kPageSize);
+  for (uint64_t p = 0; p < pages; ++p) {
+    heap.ReadBytes(p * kPageSize, out);
+    ASSERT_EQ(0, std::memcmp(out.data(), reference[p].data(), kPageSize)) << "page " << p;
+  }
+
+  const VmStats& vm = machine.pager().stats();
+  EXPECT_GT(vm.pages_recovered, 0u);
+  EXPECT_EQ(vm.pages_lost, 0u);
+  EXPECT_EQ(vm.segments_aborted, 0u);
+  EXPECT_FALSE(segment->aborted());
+  EXPECT_GT(machine.ccache()->stats().checksum_mismatches, 0u);
+  EXPECT_EQ(machine.metrics().GaugeValue("fault.pages_recovered"),
+            static_cast<double>(vm.pages_recovered));
+  machine.pager().CheckInvariants();
+  machine.ccache()->CheckInvariants();
+
+  // Recovery left a trace: at least one checksum_mismatch then page_recovered.
+  const std::string jsonl = machine.tracer()->ToJsonl();
+  EXPECT_NE(jsonl.find("checksum_mismatch"), std::string::npos);
+  EXPECT_NE(jsonl.find("page_recovered"), std::string::npos);
+}
+
+TEST(MachineFaultTest, CorruptDirtyEntryAbortsOnlyTheOwningSegment) {
+  Machine machine(MachineConfig::WithCompressionCache(2 * kMiB));
+  Heap victim = machine.NewHeap(4 * kMiB);
+  Heap bystander = machine.NewHeap(512 * kKiB);
+  const uint64_t victim_pages = victim.size_bytes() / kPageSize;
+  const uint64_t bystander_pages = bystander.size_bytes() / kPageSize;
+
+  Rng rng(23);
+  std::vector<uint8_t> page(kPageSize);
+  std::vector<std::vector<uint8_t>> bystander_ref(bystander_pages);
+  for (uint64_t p = 0; p < bystander_pages; ++p) {
+    FillPage(page, ContentClass::kSparseNumeric, rng);
+    bystander.WriteBytes(p * kPageSize, page);
+    bystander_ref[p] = page;
+  }
+  std::vector<std::vector<uint8_t>> victim_ref(victim_pages);
+  for (uint64_t p = 0; p < victim_pages; ++p) {
+    FillPage(page, ContentClass::kRepetitiveText, rng);
+    victim.WriteBytes(p * kPageSize, page);
+    victim_ref[p] = page;
+  }
+
+  // Corrupt dirty compressed entries: their only copy is the damaged one, so
+  // faulting them in must lose the page — and poison only the victim segment.
+  size_t corrupted = 0;
+  for (uint64_t p = 0; p < victim_pages && corrupted < 8; ++p) {
+    const PageKey key{victim.segment()->id(), static_cast<uint32_t>(p)};
+    const auto info = machine.ccache()->EntryInfoFor(key);
+    if (info.has_value() && info->dirty) {
+      machine.ccache()->CorruptPayloadBitForTest(key, (p * 17) % (info->payload_size * 8));
+      ++corrupted;
+    }
+  }
+  ASSERT_GT(corrupted, 0u);
+
+  std::vector<uint8_t> out(kPageSize);
+  const std::vector<uint8_t> zeros(kPageSize, 0);
+  uint64_t zero_pages = 0;
+  for (uint64_t p = 0; p < victim_pages; ++p) {
+    victim.ReadBytes(p * kPageSize, out);
+    if (std::memcmp(out.data(), zeros.data(), kPageSize) == 0) {
+      ++zero_pages;
+    } else {
+      ASSERT_EQ(0, std::memcmp(out.data(), victim_ref[p].data(), kPageSize))
+          << "page " << p << " is neither intact nor zeroed";
+    }
+  }
+
+  const VmStats& vm = machine.pager().stats();
+  EXPECT_GT(vm.pages_lost, 0u);
+  EXPECT_LE(vm.pages_lost, corrupted);
+  EXPECT_EQ(vm.segments_aborted, 1u);
+  EXPECT_TRUE(victim.segment()->aborted());
+  EXPECT_FALSE(bystander.segment()->aborted());
+  EXPECT_GE(zero_pages, vm.pages_lost);  // lost pages read as zeros, never garbage
+
+  // The machine keeps servicing the unaffected segment with correct data.
+  for (uint64_t p = 0; p < bystander_pages; ++p) {
+    bystander.ReadBytes(p * kPageSize, out);
+    ASSERT_EQ(0, std::memcmp(out.data(), bystander_ref[p].data(), kPageSize)) << "page " << p;
+  }
+  machine.pager().CheckInvariants();
+  machine.ccache()->CheckInvariants();
+}
+
+TEST(MachineFaultTest, GoldResultsIdenticalUnderTransientDiskFaults) {
+  GoldOptions options;
+  options.num_messages = 256;
+  options.message_bytes = 512;
+  options.dictionary_words = 2000;
+  options.term_table_slots = 1 << 12;
+  options.postings_bytes = 2 * kMiB;
+  options.num_queries = 64;
+
+  Machine clean(SmallConfig(true, 2 * kMiB));
+  const GoldRunResult clean_result = RunGoldBenchmarks(clean, options);
+
+  MachineConfig faulty_config = SmallConfig(true, 2 * kMiB);
+  faulty_config.fault_injection.enabled = true;
+  faulty_config.fault_injection.seed = 77;
+  faulty_config.fault_injection.disk_read_error_rate = 0.02;
+  faulty_config.fault_injection.disk_write_error_rate = 0.02;
+  Machine faulty(faulty_config);
+  const GoldRunResult faulty_result = RunGoldBenchmarks(faulty, options);
+
+  // Transient errors are absorbed by the retry policy: identical answers.
+  EXPECT_EQ(clean_result.create.tokens_indexed, faulty_result.create.tokens_indexed);
+  EXPECT_EQ(clean_result.create.postings_touched, faulty_result.create.postings_touched);
+  EXPECT_EQ(clean_result.cold.query_hits, faulty_result.cold.query_hits);
+  EXPECT_EQ(clean_result.warm.query_hits, faulty_result.warm.query_hits);
+
+  const DiskStats& ds = faulty.disk().stats();
+  EXPECT_GT(ds.read_retries + ds.write_retries, 0u);
+  EXPECT_EQ(ds.reads_exhausted, 0u);  // 0.02^4 per op: exhaustion is astronomical
+  EXPECT_EQ(faulty.pager().stats().pages_lost, 0u);
+  EXPECT_GT(faulty.fault_injector()->total_injected(), 0u);
+  EXPECT_GT(faulty.metrics().GaugeValue("retry.read_retries") +
+                faulty.metrics().GaugeValue("retry.write_retries"),
+            0.0);
+  // Retries cost real (virtual) time — degradation is gradual, not wrong.
+  EXPECT_GT(faulty.clock().Now().nanos(), clean.clock().Now().nanos());
+}
+
+TEST(MachineFaultTest, SortSurvivesLatentCorruption) {
+  MachineConfig config = SmallConfig(true, 1 * kMiB);  // starved: heavy ccache traffic
+  config.fault_injection.enabled = true;
+  config.fault_injection.seed = 5;
+  config.fault_injection.codec_corruption_rate = 0.02;
+  Machine machine(config);
+
+  SortOptions options;
+  options.text_bytes = 1 * kMiB;
+  options.dictionary_words = 2000;
+  TextSort app(options);
+  app.Run(machine);
+
+  const VmStats& vm = machine.pager().stats();
+  // Every detected corruption was either recovered from the backing store or
+  // accounted as a loss that aborted the owning segment — never silent garbage.
+  EXPECT_GT(machine.ccache()->stats().checksum_mismatches, 0u);
+  if (vm.pages_lost == 0) {
+    EXPECT_TRUE(app.result().verified_sorted);
+  } else {
+    EXPECT_GE(vm.segments_aborted, 1u);
+  }
+  machine.pager().CheckInvariants();
+  machine.ccache()->CheckInvariants();
+}
+
+TEST(MachineFaultTest, ThrasherDegradesGraduallyAsErrorRateRises) {
+  const auto run = [](double rate) {
+    MachineConfig config = SmallConfig(true, 2 * kMiB);
+    if (rate > 0.0) {
+      config.fault_injection.enabled = true;
+      config.fault_injection.seed = 13;
+      config.fault_injection.disk_read_error_rate = rate;
+      config.fault_injection.disk_write_error_rate = rate;
+    }
+    Machine machine(config);
+    ThrasherOptions options;
+    options.address_space_bytes = 3 * kMiB;
+    options.write = true;
+    options.passes = 2;
+    Thrasher app(options);
+    app.Run(machine);
+    EXPECT_EQ(machine.pager().stats().pages_lost, 0u) << "rate " << rate;
+    machine.pager().CheckInvariants();
+    return app.result().elapsed.nanos();
+  };
+
+  const int64_t base = run(0.0);
+  const int64_t light = run(1e-4);
+  const int64_t heavy = run(1e-3);
+  // No cliff: a 1e-3 error rate costs retries, not an order of magnitude.
+  EXPECT_GE(light, base);
+  EXPECT_GE(heavy, base);
+  EXPECT_LT(heavy, base * 3 / 2);
+}
+
+TEST(MachineFaultTest, SeededScheduleReplaysIdenticalTraces) {
+  const auto run = [] {
+    MachineConfig config = SmallConfig(true, 2 * kMiB);
+    config.trace_capacity = 16384;
+    config.fault_injection.enabled = true;
+    config.fault_injection.seed = 9;
+    config.fault_injection.disk_read_error_rate = 0.01;
+    config.fault_injection.disk_write_error_rate = 0.01;
+    config.fault_injection.codec_corruption_rate = 0.01;
+    // Guarantee at least one injection regardless of how many ops the workload
+    // issues: the first disk write and the first codec fault-in always fault.
+    config.fault_injection.fail_nth_disk_writes = {1};
+    config.fault_injection.corrupt_nth_codec_ops = {1};
+    Machine machine(config);
+    Heap heap = machine.NewHeap(4 * kMiB);
+    Rng rng(3);
+    std::vector<uint8_t> page(kPageSize);
+    for (int op = 0; op < 800; ++op) {
+      const uint64_t p = rng.Below(heap.size_bytes() / kPageSize);
+      if (rng.Chance(0.6)) {
+        // A mix of compressible and threshold-failing pages keeps both the
+        // ccache and the raw-swap disk path busy.
+        FillPage(page, op % 3 == 0 ? ContentClass::kRandom : ContentClass::kSparseNumeric,
+                 rng);
+        heap.WriteBytes(p * kPageSize, page);
+      } else {
+        heap.ReadBytes(p * kPageSize, page);
+      }
+    }
+    return machine.tracer()->ToJsonl();
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_NE(first.find("fault_injected"), std::string::npos);
+}
+
+TEST(MachineFaultTest, DisabledByDefaultWithZeroFaultMetrics) {
+  Machine machine(SmallConfig(true, 2 * kMiB));
+  EXPECT_EQ(machine.fault_injector(), nullptr);
+  Heap heap = machine.NewHeap(3 * kMiB);
+  Rng rng(1);
+  std::vector<uint8_t> page(kPageSize);
+  for (int op = 0; op < 300; ++op) {
+    FillPage(page, ContentClass::kRepetitiveText, rng);
+    heap.WriteBytes(rng.Below(heap.size_bytes() / kPageSize) * kPageSize, page);
+  }
+  // The fault/retry schema is always published (stable bench JSON), all zero.
+  EXPECT_EQ(machine.metrics().GaugeValue("fault.checksum_mismatches"), 0.0);
+  EXPECT_EQ(machine.metrics().GaugeValue("fault.pages_recovered"), 0.0);
+  EXPECT_EQ(machine.metrics().GaugeValue("fault.pages_lost"), 0.0);
+  EXPECT_EQ(machine.metrics().GaugeValue("fault.segments_aborted"), 0.0);
+  EXPECT_EQ(machine.metrics().GaugeValue("retry.read_retries"), 0.0);
+  EXPECT_EQ(machine.metrics().GaugeValue("retry.reads_exhausted"), 0.0);
+  EXPECT_EQ(machine.disk().stats().read_retries, 0u);
+}
+
+}  // namespace
+}  // namespace compcache
