@@ -10,9 +10,13 @@
 //     system" alternative (no read-modify-write);
 //   * coresident insertion (the free pages that arrive in a block read) on vs off.
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "apps/thrasher.h"
 #include "core/machine.h"
+#include "sweep_runner.h"
 
 using namespace compcache;
 
@@ -36,78 +40,85 @@ MachineConfig Base() { return MachineConfig::WithCompressionCache(kUserMemory); 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Ablation: backing-store interface (4 MB machine, 24 MB rw working set)\n\n");
 
+  // Every variant is one independent machine; collect them all, fan out once,
+  // and print from the results in variant order.
+  std::vector<std::string> labels;
+  std::vector<std::function<SimDuration()>> jobs;
+  const auto add = [&](std::string label, MachineConfig config) {
+    labels.push_back(std::move(label));
+    jobs.push_back([config = std::move(config)] { return Run(config); });
+  };
+
+  for (const uint32_t kb : {4u, 8u, 32u, 128u}) {
+    MachineConfig config = Base();
+    config.write_batch_bytes = kb * 1024;
+    char label[32];
+    std::snprintf(label, sizeof(label), "  %4u KB: ", kb);
+    add(label, std::move(config));
+  }
+  for (const bool spanning : {true, false}) {
+    MachineConfig config = Base();
+    config.allow_block_spanning = spanning;
+    add(spanning ? "  allowed:   " : "  forbidden: ", std::move(config));
+  }
   {
-    std::printf("write batch size (clustered fragments written per operation):\n");
-    for (const uint32_t kb : {4u, 8u, 32u, 128u}) {
-      MachineConfig config = Base();
-      config.write_batch_bytes = kb * 1024;
-      std::printf("  %4u KB: %s\n", kb, Run(std::move(config)).ToMinSec().c_str());
-      std::fflush(stdout);
-    }
+    MachineConfig config = Base();
+    add("  clustered fragments:               ", std::move(config));
+  }
+  {
+    MachineConfig config = Base();
+    config.compressed_swap = CompressedSwapKind::kFixedOffset;
+    add("  fixed offsets, Sprite fs (RMW):    ", std::move(config));
+  }
+  {
+    MachineConfig config = Base();
+    config.compressed_swap = CompressedSwapKind::kFixedOffset;
+    config.fs_options.allow_partial_block_write = true;
+    add("  fixed offsets, modified fs:        ", std::move(config));
+  }
+  {
+    // Paper 4.3/5.1: paging into an LFS-style log gets the big sequential
+    // writes but pays segment-cleaning copies and buffer memory.
+    MachineConfig config = Base();
+    config.compressed_swap = CompressedSwapKind::kLfs;
+    add("  LFS-style log:                     ", std::move(config));
+  }
+  for (const bool insert : {true, false}) {
+    MachineConfig config = Base();
+    config.insert_coresidents = insert;
+    add(insert ? "  on:        " : "  off:       ", std::move(config));
   }
 
-  {
-    std::printf("\nblock spanning of compressed pages:\n");
-    for (const bool spanning : {true, false}) {
-      MachineConfig config = Base();
-      config.allow_block_spanning = spanning;
-      std::printf("  %-10s %s\n", spanning ? "allowed:" : "forbidden:",
-                  Run(std::move(config)).ToMinSec().c_str());
-      std::fflush(stdout);
-    }
-  }
+  const std::vector<SimDuration> results = RunSweep(jobs, SweepThreadsFromArgs(argc, argv));
 
-  {
-    std::printf(
-        "\nswap layout (paper section 4.3's design alternatives):\n"
-        "  clustered fragments is the paper's design; fixed-offset transfers just\n"
-        "  the compressed bytes at the page's old location, which the Sprite file\n"
-        "  system turns into a 4 KB read + 4 KB write per page (RMW); the\n"
-        "  'modified fs' variant writes partial blocks without the read.\n");
-    {
-      MachineConfig config = Base();
-      std::printf("  %-34s %s\n", "clustered fragments:",
-                  Run(std::move(config)).ToMinSec().c_str());
-      std::fflush(stdout);
-    }
-    {
-      MachineConfig config = Base();
-      config.compressed_swap = CompressedSwapKind::kFixedOffset;
-      std::printf("  %-34s %s\n", "fixed offsets, Sprite fs (RMW):",
-                  Run(std::move(config)).ToMinSec().c_str());
-      std::fflush(stdout);
-    }
-    {
-      MachineConfig config = Base();
-      config.compressed_swap = CompressedSwapKind::kFixedOffset;
-      config.fs_options.allow_partial_block_write = true;
-      std::printf("  %-34s %s\n", "fixed offsets, modified fs:",
-                  Run(std::move(config)).ToMinSec().c_str());
-      std::fflush(stdout);
-    }
-    {
-      // Paper 4.3/5.1: paging into an LFS-style log gets the big sequential
-      // writes but pays segment-cleaning copies and buffer memory.
-      MachineConfig config = Base();
-      config.compressed_swap = CompressedSwapKind::kLfs;
-      std::printf("  %-34s %s\n", "LFS-style log:",
-                  Run(std::move(config)).ToMinSec().c_str());
-      std::fflush(stdout);
-    }
+  size_t i = 0;
+  const auto print_next = [&] {
+    std::printf("%s%s\n", labels[i].c_str(), results[i].ToMinSec().c_str());
+    ++i;
+  };
+  std::printf("write batch size (clustered fragments written per operation):\n");
+  for (int n = 0; n < 4; ++n) {
+    print_next();
   }
-
-  {
-    std::printf("\ncoresident insertion (free pages in a fetched block):\n");
-    for (const bool insert : {true, false}) {
-      MachineConfig config = Base();
-      config.insert_coresidents = insert;
-      std::printf("  %-10s %s\n", insert ? "on:" : "off:",
-                  Run(std::move(config)).ToMinSec().c_str());
-      std::fflush(stdout);
-    }
+  std::printf("\nblock spanning of compressed pages:\n");
+  for (int n = 0; n < 2; ++n) {
+    print_next();
+  }
+  std::printf(
+      "\nswap layout (paper section 4.3's design alternatives):\n"
+      "  clustered fragments is the paper's design; fixed-offset transfers just\n"
+      "  the compressed bytes at the page's old location, which the Sprite file\n"
+      "  system turns into a 4 KB read + 4 KB write per page (RMW); the\n"
+      "  'modified fs' variant writes partial blocks without the read.\n");
+  for (int n = 0; n < 4; ++n) {
+    print_next();
+  }
+  std::printf("\ncoresident insertion (free pages in a fetched block):\n");
+  for (int n = 0; n < 2; ++n) {
+    print_next();
   }
   return 0;
 }

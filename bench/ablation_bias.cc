@@ -12,9 +12,12 @@
 //   * a cyclic re-reader (thrasher ro) that wants the cache as large as possible;
 //   * a high-locality random-walk workload that wants uncompressed pages favored.
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "apps/thrasher.h"
 #include "core/machine.h"
+#include "sweep_runner.h"
 #include "util/rng.h"
 #include "vm/heap.h"
 
@@ -68,17 +71,25 @@ SimDuration RunLocalWalk(SimDuration bias) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Ablation: compression-cache age bias (%llu MB machine, 7 MB data)\n\n",
               static_cast<unsigned long long>(kUserMemory / kMiB));
   const double biases_s[] = {0, 1, 5, 30, 120};
 
-  std::printf("%-12s %16s %18s\n", "bias (s)", "cyclic re-read", "local random walk");
+  // Both workloads for every bias point run as one fan-out (ten machines).
+  std::vector<std::function<SimDuration()>> jobs;
   for (const double b : biases_s) {
-    const SimDuration cyclic = RunCyclic(SimDuration::Seconds(b));
-    const SimDuration walk = RunLocalWalk(SimDuration::Seconds(b));
+    jobs.push_back([b] { return RunCyclic(SimDuration::Seconds(b)); });
+    jobs.push_back([b] { return RunLocalWalk(SimDuration::Seconds(b)); });
+  }
+  const std::vector<SimDuration> results = RunSweep(jobs, SweepThreadsFromArgs(argc, argv));
+
+  std::printf("%-12s %16s %18s\n", "bias (s)", "cyclic re-read", "local random walk");
+  size_t i = 0;
+  for (const double b : biases_s) {
+    const SimDuration cyclic = results[i++];
+    const SimDuration walk = results[i++];
     std::printf("%-12.0f %16s %18s\n", b, cyclic.ToMinSec().c_str(), walk.ToMinSec().c_str());
-    std::fflush(stdout);
   }
   std::printf("\n(The best bias differs per workload — the paper's point.)\n");
   return 0;

@@ -7,10 +7,13 @@
 // pointer-array pages — where the byte-oriented LZRW1 fails the 4:3 threshold but
 // the word-oriented WK codec keeps the pages in memory.
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "apps/thrasher.h"
 #include "compress/registry.h"
 #include "core/machine.h"
+#include "sweep_runner.h"
 
 using namespace compcache;
 
@@ -34,23 +37,35 @@ SimDuration Run(const std::string& codec, ContentClass content) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Ablation: codec choice (4 MB machine, 8 MB rw working set)\n\n");
   const std::pair<ContentClass, const char*> contents[] = {
       {ContentClass::kSparseNumeric, "sparse numeric"},
       {ContentClass::kText, "text"},
       {ContentClass::kPointerArray, "pointer array"},
   };
+  const char* codecs[] = {"lzrw1", "lzrw1a", "wk", "rle"};
+
+  // One independent machine per (codec, content) cell, fanned across the pool;
+  // the table prints from the results afterwards, in cell order.
+  std::vector<std::function<SimDuration()>> jobs;
+  for (const char* codec : codecs) {
+    for (const auto& cell : contents) {
+      jobs.push_back([codec, content = cell.first] { return Run(codec, content); });
+    }
+  }
+  const std::vector<SimDuration> cells = RunSweep(jobs, SweepThreadsFromArgs(argc, argv));
+
   std::printf("%-16s", "codec");
   for (const auto& [content, name] : contents) {
     std::printf(" %16s", name);
   }
   std::printf("\n");
-  for (const auto& codec : {"lzrw1", "lzrw1a", "wk", "rle"}) {
+  size_t cell = 0;
+  for (const char* codec : codecs) {
     std::printf("%-16s", codec);
-    for (const auto& [content, name] : contents) {
-      std::printf(" %16s", Run(codec, content).ToMinSec().c_str());
-      std::fflush(stdout);
+    for (size_t c = 0; c < std::size(contents); ++c) {
+      std::printf(" %16s", cells[cell++].ToMinSec().c_str());
     }
     std::printf("\n");
   }

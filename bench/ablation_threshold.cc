@@ -9,11 +9,14 @@
 //     keeps useless 90+% "compressed" pages in memory and a strict threshold
 //     degenerates gracefully toward the unmodified system.
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "apps/thrasher.h"
 #include "bench_json.h"
 #include "core/machine.h"
+#include "sweep_runner.h"
 
 using namespace compcache;
 
@@ -39,28 +42,47 @@ SimDuration RunOne(ContentClass content, bool use_ccache, CompressionThreshold t
   return app.result().elapsed;
 }
 
-void Sweep(BenchReport& report, const char* label, ContentClass content, BackingKind backing) {
-  const SimDuration std_time = RunOne(content, false, CompressionThreshold(4, 3), backing);
+struct Point {
+  const char* name;
+  CompressionThreshold threshold;
+};
+
+constexpr Point kPoints[] = {
+    {"1:1 (keep all)", CompressionThreshold(1, 1)},
+    {"4:3 (paper)", CompressionThreshold(4, 3)},
+    {"2:1", CompressionThreshold(2, 1)},
+    {"4:1", CompressionThreshold(4, 1)},
+    {"16:1 (~disable)", CompressionThreshold(16, 1)},
+};
+constexpr size_t kPointCount = sizeof(kPoints) / sizeof(kPoints[0]);
+
+// Appends this sweep's jobs (one std baseline, then the threshold points) to
+// the shared job list; all three sweeps run in one fan-out.
+void AddJobs(std::vector<std::function<SimDuration()>>& jobs, ContentClass content,
+             BackingKind backing) {
+  jobs.push_back(
+      [content, backing] { return RunOne(content, false, CompressionThreshold(4, 3), backing); });
+  for (const Point& p : kPoints) {
+    jobs.push_back([content, backing, threshold = p.threshold] {
+      return RunOne(content, true, threshold, backing);
+    });
+  }
+}
+
+// Formats one sweep's results (the std baseline followed by the points, as
+// AddJobs laid them out starting at `base`).
+void PrintSweep(BenchReport& report, const char* label, const std::vector<SimDuration>& results,
+                size_t base) {
+  const SimDuration std_time = results[base];
   std::printf("%s workload, unmodified system: %s (%.1f s)\n", label,
               std_time.ToMinSec().c_str(), std_time.seconds());
-  struct Point {
-    const char* name;
-    CompressionThreshold threshold;
-  };
-  const Point points[] = {
-      {"1:1 (keep all)", CompressionThreshold(1, 1)},
-      {"4:3 (paper)", CompressionThreshold(4, 3)},
-      {"2:1", CompressionThreshold(2, 1)},
-      {"4:1", CompressionThreshold(4, 1)},
-      {"16:1 (~disable)", CompressionThreshold(16, 1)},
-  };
-  for (const Point& p : points) {
-    const SimDuration cc_time = RunOne(content, true, p.threshold, backing);
+  for (size_t i = 0; i < kPointCount; ++i) {
+    const Point& p = kPoints[i];
+    const SimDuration cc_time = results[base + 1 + i];
     const double speedup =
         static_cast<double>(std_time.nanos()) / static_cast<double>(cc_time.nanos());
     std::printf("  threshold %-16s cc: %8s (%.1f s)  speedup vs std: %5.2f\n", p.name,
                 cc_time.ToMinSec().c_str(), cc_time.seconds(), speedup);
-    std::fflush(stdout);
     report.AddRow()
         .Set("workload", std::string(label))
         .Set("threshold", std::string(p.name))
@@ -81,15 +103,21 @@ int main(int argc, char** argv) {
 
   std::printf("Ablation: keep-compressed threshold (%llu MB machine, 7 MB working set)\n\n",
               static_cast<unsigned long long>(kUserMemory / kMiB));
-  Sweep(report, "compressible (~4:1), local disk", ContentClass::kSparseNumeric,
-        BackingKind::kLocalDisk);
-  Sweep(report, "incompressible, local disk", ContentClass::kRandom, BackingKind::kLocalDisk);
+
+  std::vector<std::function<SimDuration()>> jobs;
+  AddJobs(jobs, ContentClass::kSparseNumeric, BackingKind::kLocalDisk);
+  AddJobs(jobs, ContentClass::kRandom, BackingKind::kLocalDisk);
+  AddJobs(jobs, ContentClass::kRandom, BackingKind::kNetworkLink);
+  const std::vector<SimDuration> results = RunSweep(jobs, SweepThreadsFromArgs(argc, argv));
+
+  constexpr size_t kPerSweep = 1 + kPointCount;
+  PrintSweep(report, "compressible (~4:1), local disk", results, 0 * kPerSweep);
+  PrintSweep(report, "incompressible, local disk", results, 1 * kPerSweep);
   std::printf(
       "(On the rotational disk the wasted compression effort hides inside the\n"
       " positioning delay -- the CPU compresses while the platter turns -- which\n"
       " is part of why the paper's sort random lost only ~10%%. A latency/bandwidth\n"
       " backing store has no such slack:)\n\n");
-  Sweep(report, "incompressible, wireless link", ContentClass::kRandom,
-        BackingKind::kNetworkLink);
+  PrintSweep(report, "incompressible, wireless link", results, 2 * kPerSweep);
   return report.WriteIfEnabled() ? 0 : 1;
 }

@@ -51,7 +51,12 @@ void BenchReport::Config(std::string key, bool value) {
 BenchReport::Row& BenchReport::AddRow() { return rows_.emplace_back(); }
 
 void BenchReport::MergeMetrics(const MetricRegistry& registry, const std::string& prefix) {
-  for (const auto& [name, value] : registry.Snapshot()) {
+  MergeMetrics(registry.Snapshot(), prefix);
+}
+
+void BenchReport::MergeMetrics(const std::vector<std::pair<std::string, double>>& snapshot,
+                               const std::string& prefix) {
+  for (const auto& [name, value] : snapshot) {
     metrics_[prefix + name] = value;
   }
 }

@@ -19,6 +19,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/metrics.h"
@@ -68,6 +69,10 @@ class BenchReport {
   // Folds a registry snapshot into "metrics", each name prefixed with `prefix`
   // (use a prefix when one bench runs several machines).
   void MergeMetrics(const MetricRegistry& registry, const std::string& prefix = "");
+  // Same, from an already-taken MetricRegistry::Snapshot() — for sweep jobs
+  // whose Machine is gone by the time the report is assembled.
+  void MergeMetrics(const std::vector<std::pair<std::string, double>>& snapshot,
+                    const std::string& prefix = "");
 
   std::string ToJson() const;
 

@@ -19,6 +19,12 @@ Schema (schema_version 1):
     fault.* / retry.*   injection and retry counters; must be non-negative
                         (present whenever a machine publishes its registry,
                         zero when fault injection is disabled)
+    wall_clock.*        real (host) time measurements; must be strictly
+                        positive -- a zero throughput means the bench's timed
+                        section collapsed (dead-code-eliminated or mis-timed)
+    perf_hotpath        must publish the full wall_clock metric set and its
+                        zero-page fast path must actually be faster than the
+                        codec path (wall_clock.zero_speedup_vs_codec > 1)
 """
 
 import json
@@ -30,6 +36,15 @@ METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 TOP_KEYS = {"bench", "schema_version", "config", "results", "metrics"}
 # Monotonic counter families: a negative value can only be a bug.
 COUNTER_PREFIXES = ("fault.", "retry.")
+# Wall-clock metrics perf_hotpath must publish (see bench/perf_hotpath.cc).
+PERF_HOTPATH_METRICS = (
+    "wall_clock.zero_pages_per_sec",
+    "wall_clock.codec_pages_per_sec",
+    "wall_clock.zero_speedup_vs_codec",
+    "wall_clock.faults_per_sec",
+    "wall_clock.sweep_speedup",
+    "wall_clock.sweep_threads",
+)
 
 
 def is_number(v):
@@ -111,6 +126,18 @@ def validate(path):
                 err(f'metrics["{k}"] must be finite, got {v}')
             elif v < 0 and is_counter_metric(k):
                 err(f'metrics["{k}"] is a counter and must be non-negative, got {v}')
+            elif k.startswith("wall_clock.") and v <= 0:
+                err(f'metrics["{k}"] is a wall-clock measurement and must be '
+                    f"positive, got {v}")
+
+    if bench == "perf_hotpath" and isinstance(metrics, dict):
+        for name in PERF_HOTPATH_METRICS:
+            if name not in metrics:
+                err(f'perf_hotpath must publish metrics["{name}"]')
+        speedup = metrics.get("wall_clock.zero_speedup_vs_codec")
+        if is_number(speedup) and speedup <= 1:
+            err(f"perf_hotpath zero-page fast path must beat the codec path, "
+                f"got speedup {speedup}")
 
     return errors
 

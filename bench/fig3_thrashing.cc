@@ -21,12 +21,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/thrasher.h"
 #include "bench_json.h"
 #include "core/machine.h"
+#include "sweep_runner.h"
 
 using namespace compcache;
 
@@ -38,12 +41,13 @@ struct RunResult {
   double avg_access_ms = 0.0;
   uint64_t disk_retries = 0;
   uint64_t pages_lost = 0;
+  // Full metric snapshot, taken for one representative run only (the machine
+  // is gone by the time the report is assembled).
+  std::vector<std::pair<std::string, double>> metrics;
 };
 
-// When `report` is non-null the machine's full metric snapshot is folded into
-// it under `metrics_prefix` — done for one representative run, not all of them.
 RunResult RunOne(uint64_t address_space, bool use_ccache, bool write, double fault_rate,
-                 BenchReport* report = nullptr, const std::string& metrics_prefix = "") {
+                 bool snapshot_metrics) {
   MachineConfig config = use_ccache ? MachineConfig::WithCompressionCache(kUserMemory)
                                     : MachineConfig::Unmodified(kUserMemory);
   if (fault_rate > 0.0) {
@@ -61,13 +65,13 @@ RunResult RunOne(uint64_t address_space, bool use_ccache, bool write, double fau
   options.content = ContentClass::kSparseNumeric;  // ~4:1 under LZRW1, like the paper
   Thrasher app(options);
   app.Run(machine);
-  if (report != nullptr) {
-    report->MergeMetrics(machine.metrics(), metrics_prefix);
-  }
   RunResult result;
   result.avg_access_ms = app.result().AvgAccessMillis();
   result.disk_retries = machine.disk().stats().read_retries + machine.disk().stats().write_retries;
   result.pages_lost = machine.pager().stats().pages_lost;
+  if (snapshot_metrics) {
+    result.metrics = machine.metrics().Snapshot();
+  }
   return result;
 }
 
@@ -106,17 +110,33 @@ int main(int argc, char** argv) {
   std::printf("%8s %10s %10s %10s %10s %11s %11s %9s %6s\n", "size(MB)", "std_rw", "cc_rw",
               "std_ro", "cc_ro", "speedup_rw", "speedup_ro", "retries", "lost");
 
-  std::string csv = "size_mb,std_rw_ms,cc_rw_ms,std_ro_ms,cc_ro_ms,retries,pages_lost\n";
+  // Fan the whole sweep (four machines per size) across the pool; the table is
+  // formatted afterwards in sweep order, so stdout and JSON are byte-identical
+  // to a single-threaded run.
+  std::vector<std::function<RunResult()>> jobs;
   for (const uint64_t mb : sizes_mb) {
     const uint64_t bytes = mb * kMiB;
     // The last size's cc_rw machine contributes the metric snapshot: the most
     // memory-pressured configuration, so every subsystem has non-zero counters.
     const bool snapshot = mb == sizes_mb.back() && report.enabled();
-    const RunResult std_rw = RunOne(bytes, false, true, fault_rate);
-    const RunResult cc_rw =
-        RunOne(bytes, true, true, fault_rate, snapshot ? &report : nullptr);
-    const RunResult std_ro = RunOne(bytes, false, false, fault_rate);
-    const RunResult cc_ro = RunOne(bytes, true, false, fault_rate);
+    jobs.push_back([bytes, fault_rate] { return RunOne(bytes, false, true, fault_rate, false); });
+    jobs.push_back(
+        [bytes, fault_rate, snapshot] { return RunOne(bytes, true, true, fault_rate, snapshot); });
+    jobs.push_back([bytes, fault_rate] { return RunOne(bytes, false, false, fault_rate, false); });
+    jobs.push_back([bytes, fault_rate] { return RunOne(bytes, true, false, fault_rate, false); });
+  }
+  const std::vector<RunResult> results = RunSweep(jobs, SweepThreadsFromArgs(argc, argv));
+
+  std::string csv = "size_mb,std_rw_ms,cc_rw_ms,std_ro_ms,cc_ro_ms,retries,pages_lost\n";
+  for (size_t s = 0; s < sizes_mb.size(); ++s) {
+    const uint64_t mb = sizes_mb[s];
+    const RunResult& std_rw = results[s * 4 + 0];
+    const RunResult& cc_rw = results[s * 4 + 1];
+    const RunResult& std_ro = results[s * 4 + 2];
+    const RunResult& cc_ro = results[s * 4 + 3];
+    if (!cc_rw.metrics.empty()) {
+      report.MergeMetrics(cc_rw.metrics);
+    }
     const uint64_t retries = std_rw.disk_retries + cc_rw.disk_retries + std_ro.disk_retries +
                              cc_ro.disk_retries;
     const uint64_t lost =

@@ -1,0 +1,164 @@
+// Real (host) wall-clock throughput of the simulator's hot paths.
+//
+// Unlike every other bench, which reports *virtual* time from the simulated
+// clock, this one times the simulator itself with std::chrono::steady_clock.
+// It exists to keep the hot-path optimizations honest: the zero-page fast
+// path, the scratch-arena compress/decompress path, and the parallel sweep
+// runner all claim real-time wins, and this bench turns each claim into a
+// number CI can check (bench/check_bench_json.py requires every wall_clock.*
+// metric to be positive and zero_speedup_vs_codec to beat 1).
+//
+// Reported metrics (all under "metrics" in the JSON report):
+//   wall_clock.zero_pages_per_sec    CompressPage on all-zero pages
+//   wall_clock.codec_pages_per_sec   CompressPage through the codec (text)
+//   wall_clock.zero_speedup_vs_codec ratio of the two
+//   wall_clock.faults_per_sec        end-to-end thrashing faults serviced
+//   wall_clock.sweep_speedup         parallel sweep vs the same sweep serial
+//   wall_clock.sweep_threads         worker count the parallel sweep used
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apps/thrasher.h"
+#include "bench_json.h"
+#include "core/machine.h"
+#include "sweep_runner.h"
+#include "util/rng.h"
+
+using namespace compcache;
+
+namespace {
+
+constexpr uint64_t kUserMemory = 4 * kMiB;
+
+using WallClock = std::chrono::steady_clock;
+
+double SecondsSince(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+// Wall-clock rate of CompressPage over `iters` repetitions of one page image.
+double CompressRate(Machine& machine, std::span<const uint8_t> page, int iters) {
+  CompressionCache* cc = machine.ccache();
+  // Warm up so one-time arena growth is not on the clock.
+  for (int i = 0; i < 64; ++i) {
+    ScratchArena::Scope scope(cc->arena());
+    (void)cc->CompressPage(page);
+  }
+  const WallClock::time_point start = WallClock::now();
+  for (int i = 0; i < iters; ++i) {
+    ScratchArena::Scope scope(cc->arena());
+    (void)cc->CompressPage(page);
+  }
+  return iters / SecondsSince(start);
+}
+
+// One small thrashing machine; the unit of the sweep-speedup measurement.
+SimDuration SweepJob() {
+  Machine machine(MachineConfig::WithCompressionCache(2 * kMiB));
+  ThrasherOptions options;
+  options.address_space_bytes = 4 * kMiB;
+  options.write = true;
+  options.passes = 1;
+  options.content = ContentClass::kSparseNumeric;
+  Thrasher app(options);
+  app.Run(machine);
+  return app.result().elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchReport report("perf_hotpath", argc, argv);
+  report.Config("user_memory_mb", kUserMemory / kMiB);
+
+  std::printf("perf_hotpath: host wall-clock throughput of the simulator hot paths\n\n");
+
+  // --- compress-path throughput: zero fast path vs codec path ---
+  Machine machine(MachineConfig::WithCompressionCache(kUserMemory));
+  std::vector<uint8_t> zero_page(kPageSize, 0);
+  std::vector<uint8_t> text_page(kPageSize);
+  Rng rng(7);
+  FillPage(text_page, ContentClass::kText, rng);
+
+  constexpr int kZeroIters = 200'000;
+  constexpr int kCodecIters = 50'000;
+  const double zero_rate = CompressRate(machine, zero_page, kZeroIters);
+  const double codec_rate = CompressRate(machine, text_page, kCodecIters);
+  const double zero_speedup = zero_rate / codec_rate;
+  std::printf("compress throughput (one 4 KB page, %s codec):\n",
+              machine.config().codec.c_str());
+  std::printf("  zero-page fast path: %12.0f pages/s\n", zero_rate);
+  std::printf("  codec path (text):   %12.0f pages/s\n", codec_rate);
+  std::printf("  zero-path speedup:   %12.2fx\n\n", zero_speedup);
+
+  // --- end-to-end fault throughput under thrashing ---
+  const WallClock::time_point fault_start = WallClock::now();
+  Machine thrash_machine(MachineConfig::WithCompressionCache(kUserMemory));
+  ThrasherOptions options;
+  options.address_space_bytes = 2 * kUserMemory;
+  options.write = true;
+  options.passes = 2;
+  options.content = ContentClass::kSparseNumeric;
+  Thrasher app(options);
+  app.Run(thrash_machine);
+  const double fault_seconds = SecondsSince(fault_start);
+  const uint64_t faults = thrash_machine.pager().stats().faults;
+  const double faults_per_sec = static_cast<double>(faults) / fault_seconds;
+  std::printf("end-to-end thrashing (8 MB rw working set, 4 MB machine):\n");
+  std::printf("  %llu faults in %.2f s host time: %12.0f faults/s\n\n",
+              static_cast<unsigned long long>(faults), fault_seconds, faults_per_sec);
+
+  // --- parallel sweep speedup, byte-identical results required ---
+  constexpr size_t kSweepJobs = 8;
+  const std::vector<std::function<SimDuration()>> jobs(kSweepJobs, SweepJob);
+  const WallClock::time_point serial_start = WallClock::now();
+  const std::vector<SimDuration> serial = RunSweep(jobs, /*threads=*/1);
+  const double serial_seconds = SecondsSince(serial_start);
+
+  unsigned threads = SweepThreadsFromArgs(argc, argv);
+  if (threads <= 1) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  const WallClock::time_point parallel_start = WallClock::now();
+  const std::vector<SimDuration> parallel = RunSweep(jobs, threads);
+  const double parallel_seconds = SecondsSince(parallel_start);
+
+  bool identical = true;
+  for (size_t i = 0; i < kSweepJobs; ++i) {
+    identical = identical && serial[i].nanos() == parallel[i].nanos();
+  }
+  const double sweep_speedup = serial_seconds / parallel_seconds;
+  std::printf("sweep runner (%zu thrashing machines, %u threads):\n", kSweepJobs, threads);
+  std::printf("  serial:   %.2f s\n  parallel: %.2f s\n  speedup:  %.2fx\n  results: %s\n",
+              serial_seconds, parallel_seconds, sweep_speedup,
+              identical ? "byte-identical" : "MISMATCH");
+  if (!identical) {
+    std::fprintf(stderr, "perf_hotpath: parallel sweep results differ from serial\n");
+    return 1;
+  }
+
+  report.AddRow()
+      .Set("zero_pages_per_sec", zero_rate)
+      .Set("codec_pages_per_sec", codec_rate)
+      .Set("zero_speedup_vs_codec", zero_speedup)
+      .Set("faults_per_sec", faults_per_sec)
+      .Set("sweep_speedup", sweep_speedup)
+      .Set("sweep_threads", static_cast<uint64_t>(threads));
+  const std::vector<std::pair<std::string, double>> wall = {
+      {"wall_clock.zero_pages_per_sec", zero_rate},
+      {"wall_clock.codec_pages_per_sec", codec_rate},
+      {"wall_clock.zero_speedup_vs_codec", zero_speedup},
+      {"wall_clock.faults_per_sec", faults_per_sec},
+      {"wall_clock.sweep_speedup", sweep_speedup},
+      {"wall_clock.sweep_threads", static_cast<double>(threads)},
+  };
+  report.MergeMetrics(wall);
+  report.MergeMetrics(thrash_machine.metrics(), "thrash.");
+  return report.WriteIfEnabled() ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+#include "sweep_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace compcache {
+
+unsigned SweepThreadsFromArgs(int argc, char** argv) {
+  constexpr const char kFlag[] = "--threads=";
+  constexpr size_t kFlagLen = sizeof(kFlag) - 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, kFlagLen) == 0) {
+      return static_cast<unsigned>(std::strtoul(argv[i] + kFlagLen, nullptr, 10));
+    }
+  }
+  if (const char* env = std::getenv("CC_SWEEP_THREADS")) {
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  return 0;
+}
+
+void RunIndexed(size_t count, unsigned threads, const std::function<void(size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  if (threads > count) {
+    threads = static_cast<unsigned>(count);
+  }
+  if (threads <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  const auto worker = [&] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace compcache

@@ -1,0 +1,45 @@
+// Parallel sweep execution for the bench suite.
+//
+// The ablation and figure benches all have the same shape: a list of
+// independent simulated machines (one per sweep point), each fully
+// self-contained — its own Machine, clock, disk image, RNG state — followed by
+// a report built from the per-point results. The simulation itself is
+// deterministic, so the only requirement for parallel execution is that no two
+// points share mutable state (they don't; verified: src/ has no mutable
+// globals) and that output is assembled in sweep order, not completion order.
+//
+// RunSweep() fans the points across a thread pool and hands back results
+// indexed by sweep point, so a bench that formats its table *after* the sweep
+// produces byte-identical stdout and JSON whether it ran on 1 thread or 16.
+#ifndef COMPCACHE_BENCH_SWEEP_RUNNER_H_
+#define COMPCACHE_BENCH_SWEEP_RUNNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace compcache {
+
+// Worker-thread count for a sweep: --threads=N beats CC_SWEEP_THREADS beats
+// one-per-core (0 also means one-per-core, so "--threads=0" restores auto).
+unsigned SweepThreadsFromArgs(int argc, char** argv);
+
+// Runs fn(0), fn(1), ... fn(count-1), each exactly once, across `threads`
+// workers (0 = one per core). With threads <= 1 the calls run inline on the
+// calling thread in index order. Dispatch is an atomic counter, so workers
+// stay busy even when point costs are skewed. Blocks until every call returns.
+void RunIndexed(size_t count, unsigned threads, const std::function<void(size_t)>& fn);
+
+// Runs every job and returns their results in job order. Each job must be
+// self-contained: build its own Machine and touch nothing shared. Jobs must
+// not print — return what to print and let the caller format it in order.
+template <typename R>
+std::vector<R> RunSweep(const std::vector<std::function<R()>>& jobs, unsigned threads) {
+  std::vector<R> results(jobs.size());
+  RunIndexed(jobs.size(), threads, [&](size_t i) { results[i] = jobs[i](); });
+  return results;
+}
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_BENCH_SWEEP_RUNNER_H_

@@ -157,8 +157,9 @@ void CompressionCache::EnsureMappedForAppend(uint64_t need) {
 }
 
 void CompressionCache::AppendEntry(PageKey key, std::span<const uint8_t> payload,
-                                   uint32_t original_size, bool dirty) {
+                                   uint32_t original_size, bool dirty, bool zero_page) {
   CC_EXPECTS(!Contains(key));
+  CC_EXPECTS(!zero_page || payload.empty());
   const uint64_t need = kEntryHeaderBytes + payload.size();
   const uint64_t capacity = static_cast<uint64_t>(options_.max_slots) * kPageSize;
   const uint64_t effective_capacity = capacity - kPageSize;  // head/tail anti-alias slack
@@ -186,11 +187,12 @@ void CompressionCache::AppendEntry(PageKey key, std::span<const uint8_t> payload
   e.header_off = tail_off_;
   e.payload_size = static_cast<uint32_t>(payload.size());
   e.original_size = original_size;
+  e.zero_page = zero_page;
   e.dirty = dirty;
   e.valid = true;
   e.age_ns = static_cast<uint64_t>(clock_->Now().nanos());
 
-  if (options_.checksums) {
+  if (options_.checksums && !payload.empty()) {
     // The paper's 36-byte per-page header carries the payload CRC-32C in its
     // first word; the Entry keeps a copy so verification needs no header read.
     e.checksum = Crc32(payload);
@@ -226,6 +228,8 @@ void CompressionCache::BindMetrics(MetricRegistry* registry) {
   gauge("ccache.adaptive_probes", &CcacheStats::adaptive_probes);
   gauge("ccache.adaptive_disables", &CcacheStats::adaptive_disables);
   gauge("ccache.adaptive_reenables", &CcacheStats::adaptive_reenables);
+  gauge("ccache.zero_pages", &CcacheStats::zero_pages);
+  gauge("ccache.zero_fault_hits", &CcacheStats::zero_fault_hits);
   gauge("ccache.original_bytes_kept", &CcacheStats::original_bytes_kept);
   gauge("ccache.compressed_bytes_kept", &CcacheStats::compressed_bytes_kept);
   gauge("ccache.checksum_mismatches", &CcacheStats::checksum_mismatches);
@@ -237,7 +241,7 @@ void CompressionCache::BindMetrics(MetricRegistry* registry) {
                           [this] { return static_cast<double>(index_.size()); });
   registry->RegisterGauge("ccache.used_bytes",
                           [this] { return static_cast<double>(used_bytes()); });
-  kept_ratio_hist_ = &registry->GetHistogram("ccache.kept_ratio_pct");
+  kept_ratio_hist_ = registry->BindHistogram("ccache.kept_ratio_pct");
 }
 
 CompressionCache::Entry* CompressionCache::Find(PageKey key) {
@@ -261,6 +265,20 @@ CompressionCache::CompressOutcome CompressionCache::CompressPage(
   CC_EXPECTS(page.size() == kPageSize);
   CompressOutcome outcome;
 
+  // Zero-page fast path (after Pekhimenko/ZipCache: same-value pages dominate
+  // real compressed-memory traffic): a word-wise scan is an order of magnitude
+  // cheaper than any codec, and an all-zero page needs no codec, no CRC, and no
+  // ring payload — just a marker entry. Runs even while compression is
+  // adaptively disabled, since the scan costs almost nothing.
+  clock_->Advance(costs_->ZeroScanCost(page.size()), TimeCategory::kCompression);
+  if (IsZeroPage(page)) {
+    // The kCompressKept trace event is recorded at insertion, as usual.
+    ++stats_.zero_pages;
+    outcome.keep = true;
+    outcome.zero = true;
+    return outcome;
+  }
+
   // Adaptive disable (paper section 6): when recent pages have been almost all
   // uncompressible, skip the attempt entirely — no effort wasted — probing one in
   // every probe_interval evictions to notice a change of workload.
@@ -275,9 +293,11 @@ CompressionCache::CompressOutcome CompressionCache::CompressPage(
   }
 
   // Compression time is charged unconditionally: for pages that fail the
-  // threshold it is the paper's "wasted effort". The buffer is per-call because
-  // insertion can recurse into another compression via frame reclamation.
-  std::vector<uint8_t> buf(codec_->MaxCompressedSize(page.size()));
+  // threshold it is the paper's "wasted effort". The buffer comes from the
+  // caller's open arena Scope: insertion can recurse into another compression
+  // via frame reclamation, and the arena's stack discipline keeps this buffer
+  // valid across any nested scope — with zero heap traffic in steady state.
+  std::span<uint8_t> buf = arena_->Alloc(codec_->MaxCompressedSize(page.size()));
   clock_->Advance(costs_->CompressCost(page.size()), TimeCategory::kCompression);
   const size_t compressed_size = codec_->Compress(page, buf);
   ++stats_.pages_compressed;
@@ -318,14 +338,13 @@ CompressionCache::CompressOutcome CompressionCache::CompressPage(
     return outcome;
   }
   outcome.keep = true;
-  buf.resize(compressed_size);
-  outcome.bytes = std::move(buf);
+  outcome.bytes = buf.first(compressed_size);
   return outcome;
 }
 
 void CompressionCache::InsertCompressed(PageKey key, std::span<const uint8_t> compressed,
-                                        uint32_t original_size, bool dirty) {
-  AppendEntry(key, compressed, original_size, dirty);
+                                        uint32_t original_size, bool dirty, bool zero_page) {
+  AppendEntry(key, compressed, original_size, dirty, zero_page);
   ++stats_.pages_kept;
   stats_.original_bytes_kept += original_size;
   stats_.compressed_bytes_kept += compressed.size();
@@ -344,20 +363,28 @@ void CompressionCache::InsertCompressed(PageKey key, std::span<const uint8_t> co
 bool CompressionCache::CompressAndInsert(PageKey key, std::span<const uint8_t> page,
                                          bool dirty) {
   CC_EXPECTS(!Contains(key));
+  ScratchArena::Scope scope(*arena_);
   CompressOutcome outcome = CompressPage(page);
   if (!outcome.keep) {
     return false;
   }
-  InsertCompressed(key, outcome.bytes, static_cast<uint32_t>(page.size()), dirty);
+  InsertCompressed(key, outcome.bytes, static_cast<uint32_t>(page.size()), dirty,
+                   outcome.zero);
   return true;
 }
 
 void CompressionCache::InsertCompressedClean(PageKey key, std::span<const uint8_t> compressed,
-                                             uint32_t original_size) {
+                                             uint32_t original_size, bool zero_page) {
   CC_EXPECTS(!Contains(key));
   // Staging the bits into the cache region is a copy, not a compression.
   clock_->Advance(costs_->CopyCost(compressed.size()), TimeCategory::kCopy);
-  AppendEntry(key, compressed, original_size, /*dirty=*/false);
+  // A zero-page marker read back from the backing store normalizes into the
+  // same payload-free entry the eviction fast path creates.
+  if (zero_page || IsZeroPageMarker(compressed)) {
+    AppendEntry(key, {}, original_size, /*dirty=*/false, /*zero_page=*/true);
+  } else {
+    AppendEntry(key, compressed, original_size, /*dirty=*/false, /*zero_page=*/false);
+  }
   ++stats_.inserted_from_swap;
   if (tracer_ != nullptr) {
     tracer_->Record(TraceEventKind::kCcacheInsertClean, clock_->Now(), key, original_size,
@@ -371,7 +398,17 @@ CcacheFaultResult CompressionCache::FaultIn(PageKey key, std::span<uint8_t> out)
     return CcacheFaultResult::kMiss;
   }
   CC_EXPECTS(out.size() == e->original_size);
-  std::vector<uint8_t> buf(e->payload_size);
+  if (e->zero_page) {
+    // Zero-fill fast path: no ring read, no checksum, no codec.
+    std::memset(out.data(), 0, out.size());
+    clock_->Advance(costs_->ZeroScanCost(out.size()), TimeCategory::kDecompression);
+    e->age_ns = static_cast<uint64_t>(clock_->Now().nanos());
+    ++stats_.fault_hits;
+    ++stats_.zero_fault_hits;
+    return CcacheFaultResult::kHit;
+  }
+  ScratchArena::Scope scope(*arena_);
+  std::span<uint8_t> buf = arena_->Alloc(e->payload_size);
   CopyOut(e->payload_off(), buf);
   if (injector_ != nullptr && !buf.empty() &&
       injector_->ShouldFault(FaultSite::kCodecCorruption)) {
@@ -410,6 +447,11 @@ CcacheFaultResult CompressionCache::FaultIn(PageKey key, std::span<uint8_t> out)
 
 bool CompressionCache::DecompressImage(std::span<const uint8_t> compressed,
                                        std::span<uint8_t> out) {
+  if (IsZeroPageMarker(compressed)) {
+    std::memset(out.data(), 0, out.size());
+    clock_->Advance(costs_->ZeroScanCost(out.size()), TimeCategory::kDecompression);
+    return true;
+  }
   if (!codec_->TryDecompress(compressed, out)) {
     return false;
   }
@@ -483,9 +525,16 @@ void CompressionCache::ReclaimHeadFrame() {
       img.key = e.key;
       img.is_compressed = true;
       img.original_size = e.original_size;
-      img.checksum = e.checksum;
-      img.bytes.resize(e.payload_size);
-      CopyOut(e.payload_off(), img.bytes);
+      if (e.zero_page) {
+        // Zero entries have no ring payload; the backing store gets a one-byte
+        // marker image (backends require non-empty bytes).
+        img.bytes.assign(1, kContainerZeroPage);
+        img.checksum = Crc32(img.bytes);
+      } else {
+        img.checksum = e.checksum;
+        img.bytes.resize(e.payload_size);
+        CopyOut(e.payload_off(), img.bytes);
+      }
       batch.push_back(std::move(img));
     }
   }
@@ -596,10 +645,15 @@ bool CompressionCache::WriteOldestDirtyBatch() {
     img.key = e.key;
     img.is_compressed = true;
     img.original_size = e.original_size;
-    img.checksum = e.checksum;
-    img.bytes.resize(e.payload_size);
-    CopyOut(e.payload_off(), img.bytes);
-    payload += e.payload_size;
+    if (e.zero_page) {
+      img.bytes.assign(1, kContainerZeroPage);
+      img.checksum = Crc32(img.bytes);
+    } else {
+      img.checksum = e.checksum;
+      img.bytes.resize(e.payload_size);
+      CopyOut(e.payload_off(), img.bytes);
+    }
+    payload += img.bytes.size();
     batch.push_back(std::move(img));
     if (payload >= options_.write_batch_bytes) {
       break;

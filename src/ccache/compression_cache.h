@@ -33,6 +33,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "swap/compressed_swap_backend.h"
+#include "util/arena.h"
 #include "util/fault.h"
 #include "util/metrics.h"
 #include "util/stats.h"
@@ -113,6 +114,8 @@ struct CcacheStats {
   uint64_t adaptive_probes = 0;    // compressions attempted while disabled
   uint64_t adaptive_disables = 0;  // off transitions
   uint64_t adaptive_reenables = 0; // on transitions
+  uint64_t zero_pages = 0;         // evictions caught by the zero-page scan
+  uint64_t zero_fault_hits = 0;    // fault hits served by zero-fill (no codec)
   uint64_t original_bytes_kept = 0;
   uint64_t compressed_bytes_kept = 0;
   uint64_t checksum_mismatches = 0;    // fault-ins whose payload failed its CRC
@@ -148,18 +151,26 @@ class CompressionCache {
   // Two-phase form of CompressAndInsert, used by the evictor to break the
   // frame-allocation cycle: compress out of the victim's frame into a kernel
   // buffer, free the frame, then insert — so the ring can always find a frame.
+  //
+  // `bytes` points into the scratch arena: the caller must hold an open
+  // ScratchArena::Scope on arena() across CompressPage and the matching
+  // InsertCompressed. Zero pages take a fast path — `zero` is set, `bytes`
+  // stays empty, and no codec, CRC, or ring payload is involved.
   struct CompressOutcome {
     bool keep = false;
-    std::vector<uint8_t> bytes;  // compressed image when keep is true
+    bool zero = false;               // page was all zeros (implies keep)
+    std::span<const uint8_t> bytes;  // compressed image; valid until the Scope closes
   };
   CompressOutcome CompressPage(std::span<const uint8_t> page);
   void InsertCompressed(PageKey key, std::span<const uint8_t> compressed,
-                        uint32_t original_size, bool dirty);
+                        uint32_t original_size, bool dirty, bool zero_page = false);
 
   // Inserts an already-compressed image read from the backing store, as a clean
-  // entry. No compression charge (the bits are already compressed).
+  // entry. No compression charge (the bits are already compressed). A one-byte
+  // zero-page marker image (or zero_page=true from a CompressOutcome) becomes a
+  // payload-free zero entry.
   void InsertCompressedClean(PageKey key, std::span<const uint8_t> compressed,
-                             uint32_t original_size);
+                             uint32_t original_size, bool zero_page = false);
 
   bool Contains(PageKey key) const { return index_.contains(key); }
 
@@ -214,6 +225,16 @@ class CompressionCache {
   // the transient decode buffer, never the ring, so recovery can re-read.
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
+  // Scratch arena used by the compress/decompress hot path. The cache owns a
+  // private one by default; the Machine replaces it with the per-machine arena
+  // so every subsystem shares the same steady-state blocks. Callers of
+  // CompressPage open their Scope on arena().
+  void SetArena(ScratchArena* arena) {
+    CC_EXPECTS(arena != nullptr);
+    arena_ = arena;
+  }
+  ScratchArena& arena() { return *arena_; }
+
   // The paper's per-compressed-page header size (section 4.4).
   static constexpr uint32_t kEntryHeaderBytes = 36;
 
@@ -243,6 +264,7 @@ class CompressionCache {
     uint32_t payload_size = 0;
     uint32_t original_size = 0;
     uint32_t checksum = 0;  // CRC-32C of the payload; 0 = not recorded
+    bool zero_page = false;  // all-zero page: no payload, faults zero-fill
     bool dirty = false;
     bool valid = true;
     uint64_t age_ns = 0;
@@ -263,7 +285,7 @@ class CompressionCache {
   void EnsureMappedForAppend(uint64_t need);
 
   void AppendEntry(PageKey key, std::span<const uint8_t> payload, uint32_t original_size,
-                   bool dirty);
+                   bool dirty, bool zero_page);
 
   Entry* Find(PageKey key);
   const Entry* Find(PageKey key) const;
@@ -320,6 +342,9 @@ class CompressionCache {
   LatencyHistogram* kept_ratio_hist_ = nullptr;  // owned by the bound registry
   EventTracer* tracer_ = nullptr;
   FaultInjector* injector_ = nullptr;
+
+  ScratchArena default_arena_;
+  ScratchArena* arena_ = &default_arena_;
 };
 
 }  // namespace compcache

@@ -50,6 +50,41 @@ class Codec {
 // Container flags shared by the codecs in this library.
 inline constexpr uint8_t kContainerRaw = 0x00;        // payload is stored verbatim
 inline constexpr uint8_t kContainerCompressed = 0x01;  // payload is codec bitstream
+// Zero-page marker: the image is this single byte and the original page was
+// all zeros. Produced by the compression cache's zero-page fast path (the
+// codec, CRC, and ring payload are all bypassed); every codec's TryDecompress
+// accepts it so a marker read back from any backing store decodes uniformly.
+inline constexpr uint8_t kContainerZeroPage = 0x02;
+
+// Word-wise all-zero scan; the compression cache runs this on every evicted
+// page before any codec work. Unaligned heads/tails are handled bytewise.
+inline bool IsZeroPage(std::span<const uint8_t> page) {
+  const uint8_t* p = page.data();
+  size_t n = page.size();
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & (sizeof(uint64_t) - 1)) != 0) {
+    if (*p++ != 0) {
+      return false;
+    }
+    --n;
+  }
+  for (; n >= sizeof(uint64_t); n -= sizeof(uint64_t), p += sizeof(uint64_t)) {
+    uint64_t w;
+    __builtin_memcpy(&w, p, sizeof(w));
+    if (w != 0) {
+      return false;
+    }
+  }
+  for (; n > 0; --n) {
+    if (*p++ != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool IsZeroPageMarker(std::span<const uint8_t> image) {
+  return image.size() == 1 && image[0] == kContainerZeroPage;
+}
 
 }  // namespace compcache
 

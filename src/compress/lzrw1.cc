@@ -44,12 +44,18 @@ size_t Lzrw1::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
   }
 
   // Positions are stored +1 so that 0 means "empty slot"; the table persists
-  // across calls, so stale entries from a previous buffer must never be trusted —
-  // we reset it per call, which for a 16 KB table is cheap relative to scanning a
-  // 4 KB page. (The in-kernel original used a static table the same way, treating
-  // mismatching prefixes as ordinary hash misses; resetting keeps us deterministic
-  // without per-call heap allocation.)
-  std::memset(table_.data(), 0, table_.size() * sizeof(uint32_t));
+  // across calls, so stale entries from a previous buffer must never be trusted.
+  // Entries carry the call epoch in their high bits: bumping the epoch
+  // invalidates the whole table in O(1) instead of a 16 KB memset per page.
+  // A full clear is only needed when the epoch counter wraps, or for inputs too
+  // large for the packed position field (never the 4 KB page case).
+  if (n > kPosMask - 1 || epoch_ == kMaxEpoch) {
+    std::memset(table_.data(), 0, table_.size() * sizeof(uint32_t));
+    epoch_ = 0;
+  } else {
+    ++epoch_;
+  }
+  const uint32_t epoch_tag = epoch_ << kPosBits;
 
   uint8_t* const out_begin = dst.data();
   uint8_t* out = out_begin + 1;  // container flag goes in byte 0
@@ -66,8 +72,9 @@ size_t Lzrw1::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
       bool emitted_copy = false;
       if (pos + kLzrwMinMatch <= n) {
         const uint32_t h = Hash(in + pos);
-        const uint32_t prev_plus1 = table_[h];
-        table_[h] = static_cast<uint32_t>(pos) + 1;
+        const uint32_t entry = table_[h];
+        const uint32_t prev_plus1 = (entry & ~kPosMask) == epoch_tag ? (entry & kPosMask) : 0;
+        table_[h] = epoch_tag | (static_cast<uint32_t>(pos) + 1);
         if (prev_plus1 != 0) {
           const size_t prev = prev_plus1 - 1;
           const size_t offset = pos - prev;
@@ -119,6 +126,12 @@ bool Lzrw1::TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) 
 bool LzrwTryDecode(std::span<const uint8_t> src, std::span<uint8_t> dst) {
   if (src.empty()) {
     return false;
+  }
+  if (IsZeroPageMarker(src)) {
+    if (!dst.empty()) {
+      std::memset(dst.data(), 0, dst.size());
+    }
+    return true;
   }
   const size_t n = dst.size();
   const uint8_t* in = src.data() + 1;

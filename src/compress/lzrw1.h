@@ -46,7 +46,16 @@ class Lzrw1 : public Codec {
   uint32_t Hash(const uint8_t* p) const;
 
   unsigned hash_bits_;
+  // Each entry packs (epoch << kPosBits) | (pos + 1). Tagging entries with the
+  // call epoch lets the table persist across calls without a per-call memset
+  // (16 KB at the default size — 4x the page being compressed): an entry from
+  // an older epoch reads exactly like an empty slot, so output is
+  // byte-identical to the reset-every-call scheme.
+  static constexpr uint32_t kPosBits = 20;  // inputs up to 2^20 - 1 bytes
+  static constexpr uint32_t kPosMask = (1u << kPosBits) - 1;
+  static constexpr uint32_t kMaxEpoch = (1u << (32 - kPosBits)) - 1;
   std::vector<uint32_t> table_;
+  uint32_t epoch_ = 0;
 };
 
 // Shared by lzrw1 and lzrw1a: copy items reach back at most 4095 bytes and cover

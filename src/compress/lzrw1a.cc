@@ -35,7 +35,13 @@ size_t Lzrw1a::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
     dst[0] = kContainerRaw;
     return 1;
   }
-  std::fill(table_.begin(), table_.end(), Bucket{});
+  // Epoch-tagged buckets: a bucket from an older epoch reads as empty, so the
+  // table never needs a full per-call clear (only on counter wrap).
+  if (epoch_ == UINT32_MAX) {
+    std::fill(table_.begin(), table_.end(), Bucket{});
+    epoch_ = 0;
+  }
+  ++epoch_;
 
   uint8_t* const out_begin = dst.data();
   uint8_t* out = out_begin + 1;
@@ -52,6 +58,11 @@ size_t Lzrw1a::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
       size_t best_offset = 0;
       if (pos + kLzrwMinMatch <= n) {
         Bucket& bucket = table_[Hash(in + pos)];
+        if (bucket.epoch != epoch_) {
+          bucket.pos_plus1[0] = 0;
+          bucket.pos_plus1[1] = 0;
+          bucket.epoch = epoch_;
+        }
         for (const uint32_t cand_plus1 : bucket.pos_plus1) {
           if (cand_plus1 == 0) {
             continue;

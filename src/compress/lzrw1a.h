@@ -25,14 +25,19 @@ class Lzrw1a : public Codec {
   bool TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
 
  private:
+  // `epoch` tags the bucket with the Compress() call that last wrote it; a
+  // bucket from an older call reads as empty, which avoids clearing the whole
+  // table per call (only on epoch-counter wrap).
   struct Bucket {
     uint32_t pos_plus1[2] = {0, 0};
+    uint32_t epoch = 0;
   };
 
   uint32_t Hash(const uint8_t* p) const;
 
   unsigned hash_bits_;
   std::vector<Bucket> table_;
+  uint32_t epoch_ = 0;
 };
 
 }  // namespace compcache

@@ -104,11 +104,17 @@ size_t WkCodec::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
   const size_t tail = n % 4;
   const size_t tag_bytes = (words + 3) / 4;
 
-  // Scratch streams (worst-case sized).
-  std::vector<uint8_t> tags(tag_bytes, 0);
-  std::vector<uint8_t> indexes((words + 1) / 2, 0);
-  std::vector<uint8_t> lows(words * 2 + 8, 0);
-  std::vector<uint8_t> fulls(words * 4, 0);
+  // Scratch streams (worst-case sized). assign() zeroes the streams built with
+  // |=; the others are written sequentially and need no clearing. Capacity is
+  // retained across calls, so only the first page-sized call allocates.
+  tags_.assign(tag_bytes, 0);
+  indexes_.assign((words + 1) / 2, 0);
+  lows_.resize(words * 2 + 8);
+  fulls_.resize(words * 4);
+  auto& tags = tags_;
+  auto& indexes = indexes_;
+  auto& lows = lows_;
+  auto& fulls = fulls_;
   size_t index_count = 0;
   BitWriter low_writer(lows.data());
   size_t low_count = 0;
@@ -185,6 +191,12 @@ size_t WkCodec::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
 bool WkCodec::TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
   if (src.empty()) {
     return false;
+  }
+  if (IsZeroPageMarker(src)) {
+    if (!dst.empty()) {
+      std::memset(dst.data(), 0, dst.size());
+    }
+    return true;
   }
   const size_t n = dst.size();
   if (src[0] == kContainerRaw) {

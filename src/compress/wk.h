@@ -17,6 +17,9 @@
 #ifndef COMPCACHE_COMPRESS_WK_H_
 #define COMPCACHE_COMPRESS_WK_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "compress/codec.h"
 
 namespace compcache {
@@ -27,6 +30,14 @@ class WkCodec : public Codec {
   size_t MaxCompressedSize(size_t n) const override;
   size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
   bool TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+
+ private:
+  // Per-call scratch streams, kept as members so steady-state compression does
+  // no heap allocation: after the first page-sized call the capacity sticks.
+  std::vector<uint8_t> tags_;
+  std::vector<uint8_t> indexes_;
+  std::vector<uint8_t> lows_;
+  std::vector<uint8_t> fulls_;
 };
 
 }  // namespace compcache

@@ -74,6 +74,7 @@ Machine::Machine(MachineConfig config)
     cswap_->SetVerifyChecksums(config_.integrity.checksums);
     ccache_ = std::make_unique<CompressionCache>(&clock_, &config_.costs, this, codec_.get(),
                                                  cswap_.get(), &event_router_, cc_options);
+    ccache_->SetArena(&scratch_arena_);
     if (injector_ != nullptr) {
       ccache_->SetFaultInjector(injector_.get());
     }
@@ -163,6 +164,12 @@ void Machine::BindAllMetrics() {
                          [this] { return static_cast<double>(pool_.free_frames()); });
   metrics_.RegisterGauge("mem.metadata_frames",
                          [this] { return static_cast<double>(metadata_frames_); });
+  metrics_.RegisterGauge("mem.scratch_arena_blocks", [this] {
+    return static_cast<double>(scratch_arena_.heap_blocks());
+  });
+  metrics_.RegisterGauge("mem.scratch_arena_bytes", [this] {
+    return static_cast<double>(scratch_arena_.capacity());
+  });
 
   if (injector_ != nullptr) {
     injector_->BindMetrics(&metrics_);

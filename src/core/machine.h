@@ -158,6 +158,11 @@ class Machine : public FrameSource {
   FixedSwapLayout* fixed_swap() { return fixed_swap_.get(); }  // null in cc mode
   FramePool& frame_pool() { return pool_; }
   const MachineConfig& config() const { return config_; }
+  // Per-machine scratch arena backing the compress/decompress hot path (shared
+  // with the compression cache when one is configured). `heap_blocks()` is the
+  // allocation-counting hook: constant across a workload means the hot path ran
+  // heap-allocation-free in steady state.
+  ScratchArena& scratch_arena() { return scratch_arena_; }
 
   // --- observability ---
   // Every component's counters are registered here (as pull-mode gauges reading
@@ -218,6 +223,7 @@ class Machine : public FrameSource {
   MachineConfig config_;
   Clock clock_;
   MetricRegistry metrics_;
+  ScratchArena scratch_arena_;
   std::unique_ptr<EventTracer> tracer_;
   std::unique_ptr<FaultInjector> injector_;
   EventRouter event_router_{this};

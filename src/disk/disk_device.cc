@@ -76,7 +76,7 @@ void DiskDevice::BindMetrics(MetricRegistry* registry) {
   registry->RegisterGauge("retry.backoff_ns", [s] {
     return static_cast<double>(s->retry_backoff_time.nanos());
   });
-  access_latency_ = &registry->GetHistogram("disk.access_ns");
+  access_latency_ = registry->BindHistogram("disk.access_ns");
 }
 
 DiskDevice::Chunk& DiskDevice::ChunkFor(uint64_t index) {

@@ -98,11 +98,14 @@ void BufferCache::Evict(Block& block) {
     const PageKey ckey = FileBlockKey(block.key.file, block.key.index);
     ccache_->Invalidate(ckey);
     if (persisted) {
+      // The scratch scope keeps outcome.bytes alive across the frame free and
+      // the insertion (which may recurse into further compressions).
+      ScratchArena::Scope scratch(ccache_->arena());
       auto outcome = ccache_->CompressPage(frames_->FrameData(block.frame));
       lru_.Remove(block);
       frames_->FreeFrame(block.frame);
       if (outcome.keep) {
-        ccache_->InsertCompressedClean(ckey, outcome.bytes, kFsBlockSize);
+        ccache_->InsertCompressedClean(ckey, outcome.bytes, kFsBlockSize, outcome.zero);
         ++stats_.compressed_inserts;
       }
     } else {

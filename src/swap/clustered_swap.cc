@@ -1,6 +1,7 @@
 #include "swap/clustered_swap.h"
 
 #include <cstring>
+#include <iterator>
 
 #include "util/assert.h"
 #include "util/checksum.h"
@@ -39,28 +40,29 @@ void ClusteredSwapLayout::BindMetrics(MetricRegistry* registry) {
   registry->RegisterGauge("swap.clustered.live_pages",
                           [this] { return static_cast<double>(locations_.size()); });
   registry->RegisterGauge("swap.clustered.free_blocks",
-                          [this] { return static_cast<double>(free_blocks_.size()); });
+                          [this] { return static_cast<double>(free_block_count_); });
+  registry->RegisterGauge("swap.clustered.free_runs",
+                          [this] { return static_cast<double>(free_runs_.size()); });
 }
 
 uint64_t ClusteredSwapLayout::AllocateBlocks(uint64_t blocks) {
   CC_EXPECTS(blocks > 0);
-  // Look for a contiguous run of garbage-collected blocks (first fit).
-  uint64_t run_start = 0;
-  uint64_t run_len = 0;
-  for (const uint64_t b : free_blocks_) {
-    if (run_len > 0 && b == run_start + run_len) {
-      ++run_len;
-    } else {
-      run_start = b;
-      run_len = 1;
+  // First fit by address: the lowest-addressed run long enough. Taking the
+  // prefix of that run is exactly what the old per-block scan did when its
+  // running count first reached `blocks`.
+  for (auto it = free_runs_.begin(); it != free_runs_.end(); ++it) {
+    if (it->second < blocks) {
+      continue;
     }
-    if (run_len == blocks) {
-      for (uint64_t i = run_start; i < run_start + blocks; ++i) {
-        free_blocks_.erase(i);
-      }
-      stats_.blocks_reused += blocks;
-      return run_start;
+    const uint64_t run_start = it->first;
+    const uint64_t remainder = it->second - blocks;
+    free_runs_.erase(it);
+    if (remainder > 0) {
+      free_runs_.emplace(run_start + blocks, remainder);
     }
+    free_block_count_ -= blocks;
+    stats_.blocks_reused += blocks;
+    return run_start;
   }
   // Otherwise extend the swap file.
   const uint64_t start = end_block_;
@@ -68,6 +70,31 @@ uint64_t ClusteredSwapLayout::AllocateBlocks(uint64_t blocks) {
   stats_.blocks_appended += blocks;
   CC_ASSERT(end_block_ * kFsBlockSize <= fs_->disk()->capacity());
   return start;
+}
+
+void ClusteredSwapLayout::FreeBlockRun(uint64_t start, uint64_t len) {
+  CC_EXPECTS(len > 0);
+  free_block_count_ += len;  // only the newly freed blocks; merges below don't add
+  // Find the run after `start` and the one before it; merge with either side
+  // that touches so the map always holds maximal runs.
+  auto next = free_runs_.lower_bound(start);
+  if (next != free_runs_.begin()) {
+    auto prev = std::prev(next);
+    CC_ASSERT(prev->first + prev->second <= start && "double free of swap block");
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      len += prev->second;
+      free_runs_.erase(prev);
+    }
+  }
+  if (next != free_runs_.end()) {
+    CC_ASSERT(start + len <= next->first && "double free of swap block");
+    if (start + len == next->first) {
+      len += next->second;
+      free_runs_.erase(next);
+    }
+  }
+  free_runs_.emplace(start, len);
 }
 
 void ClusteredSwapLayout::AddLiveFrags(const Location& loc) {
@@ -84,7 +111,7 @@ void ClusteredSwapLayout::ReleaseLocation(const Location& loc) {
     CC_ASSERT(it != live_frags_per_block_.end() && it->second > 0);
     if (--it->second == 0) {
       live_frags_per_block_.erase(it);
-      free_blocks_.insert(block);
+      FreeBlockRun(block, 1);
     }
   }
 }
@@ -136,9 +163,7 @@ IoStatus ClusteredSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
     // these pages stay valid, and return the freshly allocated blocks to the
     // free pool.
     ++io_failures_;
-    for (uint64_t b = start_block; b < start_block + total_blocks; ++b) {
-      free_blocks_.insert(b);
-    }
+    FreeBlockRun(start_block, total_blocks);
     return status;
   }
   ++stats_.batches_written;
@@ -199,12 +224,17 @@ ClusteredSwapLayout::ReadResult ClusteredSwapLayout::ReadPage(PageKey key,
   const uint64_t skip = (loc.frag_start - first_block * kFragsPerBlock) * kSwapFragmentSize;
   result.bytes.assign(staging.begin() + static_cast<ptrdiff_t>(skip),
                       staging.begin() + static_cast<ptrdiff_t>(skip + loc.byte_size));
-  if (verify_checksums_ && loc.checksum != 0 && Crc32(result.bytes) != loc.checksum) {
-    ++checksum_mismatches_;
-    result.status = IoStatus::kCorrupt;
-    if (tracer_ != nullptr) {
-      tracer_->Record(TraceEventKind::kChecksumMismatch, fs_->disk()->clock()->Now(), key,
-                      loc.checksum, Crc32(result.bytes));
+  if (verify_checksums_ && loc.checksum != 0) {
+    // One CRC pass serves both the verdict and the trace record (the old code
+    // recomputed it while building the mismatch event's arguments).
+    const uint32_t actual = Crc32(result.bytes);
+    if (actual != loc.checksum) {
+      ++checksum_mismatches_;
+      result.status = IoStatus::kCorrupt;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kChecksumMismatch, fs_->disk()->clock()->Now(), key,
+                        loc.checksum, actual);
+      }
     }
   }
   ++stats_.pages_read;

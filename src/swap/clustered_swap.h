@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -75,7 +74,8 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
 
   // Introspection for tests.
   size_t live_pages() const { return locations_.size(); }
-  size_t free_blocks() const { return free_blocks_.size(); }
+  size_t free_blocks() const { return static_cast<size_t>(free_block_count_); }
+  size_t free_runs() const { return free_runs_.size(); }
   uint64_t end_block() const { return end_block_; }
 
  private:
@@ -91,7 +91,12 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
   };
 
   // Allocates `blocks` contiguous file blocks, preferring garbage-collected ones.
+  // First fit by address over the coalesced free runs — the same placement the
+  // old per-block scan over a std::set produced, but O(runs) instead of
+  // O(free blocks) per allocation.
   uint64_t AllocateBlocks(uint64_t blocks);
+  // Returns [start, start+len) to the free pool, merging with adjacent runs.
+  void FreeBlockRun(uint64_t start, uint64_t len);
   void ReleaseLocation(const Location& loc);
   void AddLiveFrags(const Location& loc);
 
@@ -101,7 +106,11 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
   std::unordered_map<PageKey, Location, PageKeyHash> locations_;
   std::map<uint64_t, PageKey> by_frag_start_;  // live locations ordered by position
   std::unordered_map<uint64_t, uint32_t> live_frags_per_block_;
-  std::set<uint64_t> free_blocks_;
+  // Garbage-collected blocks as coalesced runs: start block -> run length.
+  // Invariant: runs are disjoint and non-adjacent (adjacent runs are merged on
+  // insert), so free_runs_.size() is the true fragmentation of the free space.
+  std::map<uint64_t, uint64_t> free_runs_;
+  uint64_t free_block_count_ = 0;
   uint64_t end_block_ = 0;
   ClusteredSwapStats stats_;
   EventTracer* tracer_ = nullptr;

@@ -18,11 +18,11 @@ LfsSwapLayout::LfsSwapLayout(FileSystem* fs, FrameSource* frames, Options option
   live_bytes_.assign(options_.log_segments, 0);
   members_.resize(options_.log_segments);
   free_segments_.reserve(options_.log_segments);
+  segment_is_free_.assign(options_.log_segments, 1);
   for (uint32_t s = options_.log_segments; s > 0; --s) {
     free_segments_.push_back(s - 1);
   }
-  open_segment_ = free_segments_.back();
-  free_segments_.pop_back();
+  open_segment_ = TakeFreeSegment();
 
   // "LFS requires significant memory for buffers": the open segment's frames are
   // taken from the machine's pool for the lifetime of the backend.
@@ -73,8 +73,7 @@ IoStatus LfsSwapLayout::FlushOpenSegment() {
 
   // Start a new segment.
   CC_ASSERT(!free_segments_.empty());
-  open_segment_ = free_segments_.back();
-  free_segments_.pop_back();
+  open_segment_ = TakeFreeSegment();
   open_fill_ = 0;
   std::fill(open_buffer_.begin(), open_buffer_.end(), uint8_t{0});
   return IoStatus::kOk;
@@ -113,17 +112,20 @@ IoStatus LfsSwapLayout::AppendImage(const SwapPageImage& img, bool count_as_writ
   return IoStatus::kOk;
 }
 
-bool LfsSwapLayout::CleanOneSegment() {
+uint32_t LfsSwapLayout::TakeFreeSegment() {
+  CC_ASSERT(!free_segments_.empty());
+  const uint32_t s = free_segments_.back();
+  free_segments_.pop_back();
+  segment_is_free_[s] = 0;
+  return s;
+}
+
+uint32_t LfsSwapLayout::PickVictimSegment() const {
   // Pick the closed segment with the least live data (greedy, as LFS does).
   uint32_t victim = UINT32_MAX;
   uint64_t victim_live = UINT64_MAX;
   for (uint32_t s = 0; s < options_.log_segments; ++s) {
-    if (s == open_segment_) {
-      continue;
-    }
-    const bool is_free =
-        std::find(free_segments_.begin(), free_segments_.end(), s) != free_segments_.end();
-    if (is_free) {
+    if (s == open_segment_ || segment_is_free_[s]) {
       continue;
     }
     if (live_bytes_[s] < victim_live) {
@@ -131,7 +133,13 @@ bool LfsSwapLayout::CleanOneSegment() {
       victim = s;
     }
   }
+  return victim;
+}
+
+bool LfsSwapLayout::CleanOneSegment() {
+  const uint32_t victim = PickVictimSegment();
   CC_ASSERT(victim != UINT32_MAX && "LFS log full of live data");
+  const uint64_t victim_live = live_bytes_[victim];
 
   if (victim_live > 0) {
     // Read the whole victim segment and re-append its live pages — the copying
@@ -164,6 +172,7 @@ bool LfsSwapLayout::CleanOneSegment() {
   CC_ASSERT(live_bytes_[victim] == 0);
   CC_ASSERT(members_[victim].empty());
   free_segments_.push_back(victim);
+  segment_is_free_[victim] = 1;
   ++stats_.segments_cleaned;
   return true;
 }

@@ -87,11 +87,18 @@ class LfsSwapLayout : public CompressedSwapBackend {
   // image's previous copy (if any) is left valid in that case.
   IoStatus AppendImage(const SwapPageImage& img, bool count_as_write);
   IoStatus FlushOpenSegment();
+  // Greedy victim choice: the closed, non-free segment with the least live data.
+  // O(log_segments) with an O(1) bitmap membership test per segment (the old
+  // implementation ran std::find over free_segments_ per candidate, O(n^2)).
+  uint32_t PickVictimSegment() const;
   // False when the victim segment could not be cleaned (a device failure
   // interrupted the live-page copy); the victim stays intact.
   bool CleanOneSegment();
   void MaybeClean();
   void ReleaseLocation(PageKey key);
+  // Pops a free segment and clears its bitmap bit; the only way segments leave
+  // the free list, so the LIFO order of the old code is preserved exactly.
+  uint32_t TakeFreeSegment();
 
   FileSystem* fs_;
   FrameSource* frames_;
@@ -108,7 +115,11 @@ class LfsSwapLayout : public CompressedSwapBackend {
   // Per-segment live byte counts and the members of each segment (for cleaning).
   std::vector<uint64_t> live_bytes_;
   std::vector<std::map<uint32_t, PageKey>> members_;  // offset -> key, live only
+  // Free segments as a LIFO stack (allocation order) plus a parallel bitmap for
+  // O(1) "is segment s free?" during victim selection. The two are updated
+  // together and must never disagree.
   std::vector<uint32_t> free_segments_;
+  std::vector<uint8_t> segment_is_free_;
   bool cleaning_ = false;
 
   LfsSwapStats stats_;

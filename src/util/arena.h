@@ -1,0 +1,155 @@
+// Reusable scratch arena for the simulation hot path.
+//
+// Compress, decompress, and fragment staging used to allocate a fresh
+// std::vector per page; at millions of simulated faults that is a heap
+// round-trip per event. The arena replaces those with a stack-disciplined bump
+// allocator over a small set of persistent blocks: a Scope marks the current
+// position, allocations bump within the newest block, and the Scope's
+// destructor pops everything allocated after the mark. Blocks are never
+// returned to the heap, so in steady state the fault path performs zero heap
+// allocations — `heap_blocks()` counts block acquisitions and is the test hook
+// the no-allocation acceptance criterion checks.
+//
+// The discipline matters because the compression paths recurse (insert ->
+// frame allocation -> arbiter -> eviction -> another compress). Nested Scopes
+// allocate strictly above their parents and pop before the parent does, so an
+// outer compressed image stays valid across any nested reclamation. Blocks
+// are stable in memory (growing adds a block, never moves one), so spans
+// handed out stay valid until their Scope closes.
+//
+// Not thread-safe; one arena belongs to one Machine, like every other
+// simulator component.
+#ifndef COMPCACHE_UTIL_ARENA_H_
+#define COMPCACHE_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace compcache {
+
+class ScratchArena {
+ public:
+  // `block_bytes` is the minimum size of each backing block; allocations larger
+  // than it get a dedicated block of their exact size.
+  explicit ScratchArena(size_t block_bytes = 64 * 1024) : block_bytes_(block_bytes) {
+    CC_EXPECTS(block_bytes > 0);
+  }
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  // Marks the arena position on construction and pops back to it on
+  // destruction. Scopes must nest (stack order), which C++ object lifetime
+  // enforces for automatic-storage scopes.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena)
+        : arena_(arena), saved_block_(arena.active_), saved_used_(arena.CurrentUsed()) {
+      ++arena_.open_scopes_;
+    }
+    ~Scope() {
+      CC_ASSERT(arena_.open_scopes_ > 0);
+      --arena_.open_scopes_;
+      arena_.PopTo(saved_block_, saved_used_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena& arena_;
+    size_t saved_block_;
+    size_t saved_used_;
+  };
+
+  // Allocates `n` bytes (uninitialized). The span stays valid until the
+  // enclosing Scope closes. Allocation requires an open Scope — without one
+  // the memory could never be reclaimed.
+  std::span<uint8_t> Alloc(size_t n) {
+    CC_EXPECTS(open_scopes_ > 0 && "arena allocation outside any Scope");
+    if (n == 0) {
+      return {};
+    }
+    // Try the active block, then any later block left over from an earlier
+    // high-water mark, before going to the heap.
+    while (active_ < blocks_.size()) {
+      Block& b = blocks_[active_];
+      if (b.used + n <= b.size) {
+        uint8_t* p = b.data.get() + b.used;
+        b.used += n;
+        bytes_in_use_ += n;
+        return {p, n};
+      }
+      if (active_ + 1 == blocks_.size()) {
+        break;
+      }
+      ++active_;
+      CC_ASSERT(blocks_[active_].used == 0);
+    }
+    // Need a new block from the heap (counted: the no-allocation test hook).
+    Block b;
+    b.size = n > block_bytes_ ? n : block_bytes_;
+    b.data = std::make_unique<uint8_t[]>(b.size);
+    b.used = n;
+    blocks_.push_back(std::move(b));
+    active_ = blocks_.size() - 1;
+    ++heap_blocks_;
+    bytes_in_use_ += n;
+    return {blocks_.back().data.get(), n};
+  }
+
+  // Number of blocks ever acquired from the heap. Constant across a workload
+  // means the workload ran allocation-free in steady state.
+  uint64_t heap_blocks() const { return heap_blocks_; }
+  // Total bytes currently allocated inside open scopes.
+  size_t bytes_in_use() const { return bytes_in_use_; }
+  // Total bytes of backing capacity held.
+  size_t capacity() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) {
+      total += b.size;
+    }
+    return total;
+  }
+  int open_scopes() const { return open_scopes_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  size_t CurrentUsed() const {
+    return blocks_.empty() ? 0 : blocks_[active_].used;
+  }
+
+  void PopTo(size_t block, size_t used) {
+    if (blocks_.empty()) {
+      return;
+    }
+    for (size_t i = active_; i > block; --i) {
+      bytes_in_use_ -= blocks_[i].used;
+      blocks_[i].used = 0;
+    }
+    CC_ASSERT(blocks_[block].used >= used);
+    bytes_in_use_ -= blocks_[block].used - used;
+    blocks_[block].used = used;
+    active_ = block;
+  }
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t active_ = 0;  // index of the block currently being bumped
+  int open_scopes_ = 0;
+  uint64_t heap_blocks_ = 0;
+  size_t bytes_in_use_ = 0;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_UTIL_ARENA_H_

@@ -68,7 +68,7 @@ void MetricRegistry::CheckNameFree(const std::string& name, const void* exempt) 
   const auto g = gauges_.find(name);
   CC_EXPECTS(g == gauges_.end() || &g->second == exempt);
   const auto h = histograms_.find(name);
-  CC_EXPECTS(h == histograms_.end() || h->second.get() == exempt);
+  CC_EXPECTS(h == histograms_.end() || h->second.hist.get() == exempt);
 }
 
 Counter& MetricRegistry::GetCounter(const std::string& name) {
@@ -105,19 +105,23 @@ LatencyHistogram& MetricRegistry::GetHistogram(const std::string& name) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     CheckNameFree(name, nullptr);
-    it = histograms_.emplace(name, std::make_unique<LatencyHistogram>()).first;
+    HistogramEntry entry;
+    entry.hist = std::make_unique<LatencyHistogram>();
+    entry.field_names = {name + ".count", name + ".mean", name + ".min", name + ".max",
+                         name + ".p50",   name + ".p90",  name + ".p99"};
+    it = histograms_.emplace(name, std::move(entry)).first;
   }
-  return *it->second;
+  return *it->second.hist;
 }
 
 LatencyHistogram* MetricRegistry::FindHistogram(const std::string& name) {
   const auto it = histograms_.find(name);
-  return it == histograms_.end() ? nullptr : it->second.get();
+  return it == histograms_.end() ? nullptr : it->second.hist.get();
 }
 
 const LatencyHistogram* MetricRegistry::FindHistogram(const std::string& name) const {
   const auto it = histograms_.find(name);
-  return it == histograms_.end() ? nullptr : it->second.get();
+  return it == histograms_.end() ? nullptr : it->second.hist.get();
 }
 
 double MetricRegistry::GaugeValue(const std::string& name) const {
@@ -165,23 +169,28 @@ bool MetricRegistry::Lookup(const std::string& name, double* out) const {
   return true;
 }
 
-std::map<std::string, double> MetricRegistry::Snapshot() const {
-  std::map<std::string, double> out;
+std::vector<std::pair<std::string, double>> MetricRegistry::Snapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 7);
   for (const auto& [name, counter] : counters_) {
-    out[name] = static_cast<double>(counter->value());
+    out.emplace_back(name, static_cast<double>(counter->value()));
   }
   for (const auto& [name, fn] : gauges_) {
-    out[name] = fn();
+    out.emplace_back(name, fn());
   }
-  for (const auto& [name, hist] : histograms_) {
-    out[name + ".count"] = static_cast<double>(hist->count());
-    out[name + ".mean"] = hist->mean();
-    out[name + ".min"] = hist->min();
-    out[name + ".max"] = hist->max();
-    out[name + ".p50"] = hist->Percentile(50);
-    out[name + ".p90"] = hist->Percentile(90);
-    out[name + ".p99"] = hist->Percentile(99);
+  for (const auto& [name, entry] : histograms_) {
+    const LatencyHistogram& h = *entry.hist;
+    const auto& f = entry.field_names;
+    out.emplace_back(f[0], static_cast<double>(h.count()));
+    out.emplace_back(f[1], h.mean());
+    out.emplace_back(f[2], h.min());
+    out.emplace_back(f[3], h.max());
+    out.emplace_back(f[4], h.Percentile(50));
+    out.emplace_back(f[5], h.Percentile(90));
+    out.emplace_back(f[6], h.Percentile(99));
   }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 

@@ -24,6 +24,8 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/stats.h"
 
@@ -88,6 +90,14 @@ class MetricRegistry {
   // Creates the counter on first use; later calls return the same object.
   Counter& GetCounter(const std::string& name);
 
+  // Bound-handle API: resolve a metric by name ONCE (at subsystem
+  // construction) and keep the returned pointer for per-event use. Pointers
+  // are stable for the registry's lifetime. The string-keyed calls above are
+  // for registration and snapshots only — nothing on the hot path should be
+  // doing a by-name lookup per event.
+  Counter* BindCounter(const std::string& name) { return &GetCounter(name); }
+  LatencyHistogram* BindHistogram(const std::string& name) { return &GetHistogram(name); }
+
   // Registers a pull-mode gauge. Re-registering a name replaces its callback
   // (components may be re-bound after reconfiguration).
   void RegisterGauge(const std::string& name, GaugeFn fn);
@@ -112,8 +122,10 @@ class MetricRegistry {
   size_t num_histograms() const { return histograms_.size(); }
 
   // Flat name -> value view of everything, histograms expanded into
-  // .count/.mean/.min/.max/.p50/.p90/.p99. Deterministically ordered.
-  std::map<std::string, double> Snapshot() const;
+  // .count/.mean/.min/.max/.p50/.p90/.p99. Sorted by name (deterministic).
+  // Returned as a vector so the whole snapshot is one reserved allocation;
+  // histogram field names are built once at registration, not per snapshot.
+  std::vector<std::pair<std::string, double>> Snapshot() const;
 
   // Snapshot rendered as one JSON object.
   std::string ToJson() const;
@@ -121,9 +133,16 @@ class MetricRegistry {
  private:
   void CheckNameFree(const std::string& name, const void* exempt) const;
 
+  // Expanded snapshot field names ("<name>.count", ...) are precomputed here
+  // when the histogram is created so Snapshot() never rebuilds them.
+  struct HistogramEntry {
+    std::unique_ptr<LatencyHistogram> hist;
+    std::array<std::string, 7> field_names;
+  };
+
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, GaugeFn> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, HistogramEntry> histograms_;
 };
 
 }  // namespace compcache

@@ -101,7 +101,7 @@ void Pager::BindMetrics(MetricRegistry* registry) {
   gauge("vm.segments_aborted", &VmStats::segments_aborted);
   registry->RegisterGauge("vm.resident_pages",
                           [this] { return static_cast<double>(lru_.size()); });
-  fault_latency_ = &registry->GetHistogram("vm.fault_ns");
+  fault_latency_ = registry->BindHistogram("vm.fault_ns");
 }
 
 void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
@@ -291,8 +291,10 @@ bool Pager::EvictResident(PageEntry& entry) {
       }
     } else {
       // Dirty (or never-stored) page: stale copies were invalidated when it was
-      // dirtied, so compress it now.
+      // dirtied, so compress it now. The scratch scope keeps outcome.bytes
+      // alive until the insertion completes (including any nested reclaim).
       CC_ASSERT(!entry.has_ccache_copy && !entry.has_backing_copy);
+      ScratchArena::Scope scratch(ccache_->arena());
       auto outcome = ccache_->CompressPage(frame_data);
       if (outcome.keep) {
         // Free the victim's frame *before* inserting: the ring may need a frame
@@ -302,7 +304,7 @@ bool Pager::EvictResident(PageEntry& entry) {
         entry.frame = FrameId{};
         ccache_->InsertCompressed(entry.key, outcome.bytes,
                                   static_cast<uint32_t>(frame_data.size()),
-                                  /*dirty=*/true);
+                                  /*dirty=*/true, outcome.zero);
         entry.has_ccache_copy = true;
         entry.state = PageState::kCompressed;
         ++stats_.evictions_compressed;

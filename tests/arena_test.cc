@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "apps/thrasher.h"
+#include "core/machine.h"
+#include "util/arena.h"
+#include "util/units.h"
+
+namespace compcache {
+namespace {
+
+TEST(ScratchArenaTest, ScopeRestoresPosition) {
+  ScratchArena arena(256);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  {
+    ScratchArena::Scope scope(arena);
+    arena.Alloc(100);
+    arena.Alloc(50);
+    EXPECT_EQ(arena.bytes_in_use(), 150u);
+  }
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.open_scopes(), 0);
+}
+
+TEST(ScratchArenaTest, SteadyStateNeverTouchesTheHeapAgain) {
+  ScratchArena arena(1024);
+  // First pass acquires blocks; every later pass with the same (or smaller)
+  // demand must reuse them — this is the property the fault path relies on.
+  for (int pass = 0; pass < 100; ++pass) {
+    ScratchArena::Scope scope(arena);
+    arena.Alloc(800);
+    arena.Alloc(800);  // spills into a second block
+    arena.Alloc(100);
+    if (pass == 0) {
+      EXPECT_GT(arena.heap_blocks(), 0u);
+    }
+  }
+  const uint64_t after_first_passes = arena.heap_blocks();
+  for (int pass = 0; pass < 100; ++pass) {
+    ScratchArena::Scope scope(arena);
+    arena.Alloc(800);
+    arena.Alloc(800);
+    arena.Alloc(100);
+  }
+  EXPECT_EQ(arena.heap_blocks(), after_first_passes);
+}
+
+TEST(ScratchArenaTest, SpansStayValidWhileArenaGrows) {
+  ScratchArena arena(128);
+  ScratchArena::Scope scope(arena);
+  std::span<uint8_t> first = arena.Alloc(64);
+  std::memset(first.data(), 0x5A, first.size());
+  // Force many new blocks; existing blocks must not move.
+  for (int i = 0; i < 32; ++i) {
+    arena.Alloc(128);
+  }
+  for (const uint8_t b : first) {
+    ASSERT_EQ(b, 0x5A);
+  }
+}
+
+TEST(ScratchArenaTest, NestedScopesUnwindInStackOrder) {
+  ScratchArena arena(256);
+  ScratchArena::Scope outer(arena);
+  std::span<uint8_t> outer_span = arena.Alloc(200);
+  std::memset(outer_span.data(), 0x11, outer_span.size());
+  const size_t outer_bytes = arena.bytes_in_use();
+  {
+    // The nested scope mimics a recursive eviction: it allocates above the
+    // outer allocation (into fresh blocks) and pops without disturbing it.
+    ScratchArena::Scope inner(arena);
+    std::span<uint8_t> inner_span = arena.Alloc(200);
+    std::memset(inner_span.data(), 0x22, inner_span.size());
+    EXPECT_GT(arena.bytes_in_use(), outer_bytes);
+  }
+  EXPECT_EQ(arena.bytes_in_use(), outer_bytes);
+  for (const uint8_t b : outer_span) {
+    ASSERT_EQ(b, 0x11);
+  }
+}
+
+TEST(ScratchArenaTest, OversizedAllocationGetsDedicatedBlock) {
+  ScratchArena arena(64);
+  ScratchArena::Scope scope(arena);
+  std::span<uint8_t> big = arena.Alloc(10'000);
+  EXPECT_EQ(big.size(), 10'000u);
+  EXPECT_GE(arena.capacity(), 10'000u);
+}
+
+TEST(ScratchArenaTest, ZeroByteAllocationIsFree) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  EXPECT_TRUE(arena.Alloc(0).empty());
+  EXPECT_EQ(arena.heap_blocks(), 0u);
+}
+
+// The acceptance criterion for the hot-path overhaul: after warmup, a
+// thrashing workload (compress on evict, decompress on fault, write-out
+// batches) performs no per-page heap allocations through the scratch arena.
+TEST(MachineArenaTest, CompressFaultPathIsAllocationFreeInSteadyState) {
+  Machine machine(MachineConfig::WithCompressionCache(2 * kMiB));
+  ThrasherOptions options;
+  options.address_space_bytes = 4 * kMiB;
+  options.write = true;
+  options.passes = 1;
+  options.content = ContentClass::kSparseNumeric;
+
+  {
+    Thrasher warmup(options);
+    warmup.Run(machine);
+  }
+  const uint64_t warm_blocks = machine.scratch_arena().heap_blocks();
+  EXPECT_GT(warm_blocks, 0u);  // the hot path really went through the arena
+
+  {
+    Thrasher measured(options);
+    measured.Run(machine);
+  }
+  EXPECT_EQ(machine.scratch_arena().heap_blocks(), warm_blocks);
+  EXPECT_EQ(machine.scratch_arena().bytes_in_use(), 0u);
+  EXPECT_EQ(machine.scratch_arena().open_scopes(), 0);
+}
+
+}  // namespace
+}  // namespace compcache

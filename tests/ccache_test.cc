@@ -78,11 +78,33 @@ TEST_F(CcacheTest, ThresholdRejectsIncompressible) {
 }
 
 TEST_F(CcacheTest, CompressionChargesTime) {
-  const auto page = MakePage(ContentClass::kZero, 3);
+  const auto page = MakePage(ContentClass::kRepetitiveText, 3);
   const SimTime before = clock_.Now();
   cache_->CompressAndInsert(PageKey{0, 0}, page, true);
   const SimDuration spent = clock_.Now() - before;
   EXPECT_GE(spent.nanos(), costs_.CompressCost(kPageSize).nanos());
+}
+
+TEST_F(CcacheTest, ZeroPageFastPathSkipsCodecAndCrc) {
+  // An all-zero page is kept via the marker fast path: only the word-wise scan
+  // is charged (no codec time), no ring payload is stored, and fault-in
+  // zero-fills without decompression.
+  const std::vector<uint8_t> page(kPageSize, 0);
+  const PageKey key{0, 7};
+  const SimTime before = clock_.Now();
+  EXPECT_TRUE(cache_->CompressAndInsert(key, page, /*dirty=*/true));
+  EXPECT_EQ((clock_.Now() - before).nanos(), costs_.ZeroScanCost(kPageSize).nanos());
+  EXPECT_EQ(cache_->stats().zero_pages, 1u);
+  EXPECT_EQ(cache_->stats().pages_compressed, 0u);  // codec never ran
+  const auto info = cache_->EntryInfoFor(key);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->payload_size, 0u);
+  cache_->CheckInvariants();
+
+  std::vector<uint8_t> out(kPageSize, 0xAB);
+  EXPECT_EQ(cache_->FaultIn(key, out), CcacheFaultResult::kHit);
+  EXPECT_EQ(out, page);
+  EXPECT_EQ(cache_->stats().zero_fault_hits, 1u);
 }
 
 TEST_F(CcacheTest, FaultInMissingReturnsMiss) {
@@ -275,11 +297,12 @@ TEST_F(AdaptiveCcacheTest, DisablesAfterSustainedRejection) {
   }
   EXPECT_EQ(cache_->stats().adaptive_disables, 1u);
 
-  // Now compression attempts are skipped: no time charged, no effort wasted.
+  // Now compression attempts are skipped: only the (cheap) zero-page scan is
+  // charged — the codec, which is what "effort" means here, never runs.
   const SimTime before = clock_.Now();
   EXPECT_FALSE(cache_->CompressAndInsert(PageKey{0, 100},
                                          MakePage(ContentClass::kRandom, 800), true));
-  EXPECT_EQ(clock_.Now().nanos(), before.nanos());
+  EXPECT_EQ((clock_.Now() - before).nanos(), costs_.ZeroScanCost(kPageSize).nanos());
   EXPECT_GT(cache_->stats().adaptive_skips, 0u);
 }
 

@@ -109,6 +109,70 @@ std::string BoundParamName(const ::testing::TestParamInfo<std::string>& info) {
 INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecBoundTest, ::testing::ValuesIn(KnownCodecNames()),
                          BoundParamName);
 
+// ---------- zero-page fast-path properties ----------
+
+// Edge-content round trips the fast-path work leans on: all-zero pages (the
+// fast path itself), single-value pages (near-degenerate codec input), and
+// incompressible pages (raw-container fallback) across every codec.
+class CodecEdgeContentTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CodecEdgeContentTest, ZeroSingleValueAndIncompressiblePagesRoundTrip) {
+  auto codec = MakeCodec(GetParam());
+  std::vector<std::vector<uint8_t>> pages;
+  pages.emplace_back(kPageSize, uint8_t{0});
+  for (const uint8_t value : {uint8_t{0x01}, uint8_t{0xAB}, uint8_t{0xFF}}) {
+    pages.emplace_back(kPageSize, value);
+  }
+  Rng rng(2026);
+  std::vector<uint8_t> random_page(kPageSize);
+  FillPage(random_page, ContentClass::kRandom, rng);
+  pages.push_back(std::move(random_page));
+  for (const auto& page : pages) {
+    EXPECT_EQ(RoundTrip(*codec, page), page) << "first byte " << int(page[0]);
+  }
+}
+
+// Every codec must accept the one-byte zero-page marker, whatever backing
+// store it was read back from, and reproduce the all-zero page.
+TEST_P(CodecEdgeContentTest, AcceptsZeroPageMarker) {
+  auto codec = MakeCodec(GetParam());
+  const uint8_t marker[] = {kContainerZeroPage};
+  std::vector<uint8_t> out(kPageSize, 0xCD);  // poisoned: must be overwritten
+  ASSERT_TRUE(codec->TryDecompress(marker, out));
+  EXPECT_EQ(out, std::vector<uint8_t>(kPageSize, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecEdgeContentTest,
+                         ::testing::ValuesIn(KnownCodecNames()), BoundParamName);
+
+TEST(ZeroPageScanTest, DetectsZeroPagesAtAnyAlignment) {
+  std::vector<uint8_t> page(kPageSize, 0);
+  EXPECT_TRUE(IsZeroPage(page));
+  for (size_t head = 1; head <= 8; ++head) {
+    EXPECT_TRUE(IsZeroPage(std::span<const uint8_t>(page).subspan(head)));
+    EXPECT_TRUE(IsZeroPage(std::span<const uint8_t>(page).subspan(0, kPageSize - head)));
+  }
+  EXPECT_TRUE(IsZeroPage({}));
+}
+
+TEST(ZeroPageScanTest, AnySingleNonZeroByteIsDetected) {
+  std::vector<uint8_t> page(kPageSize);
+  const size_t positions[] = {0, 1, 7, 8, 63, kPageSize / 2, kPageSize - 9, kPageSize - 1};
+  for (const size_t pos : positions) {
+    page.assign(kPageSize, 0);
+    page[pos] = 1;
+    EXPECT_FALSE(IsZeroPage(page)) << pos;
+  }
+}
+
+TEST(ZeroPageScanTest, MarkerPredicate) {
+  const std::vector<uint8_t> marker = {kContainerZeroPage};
+  EXPECT_TRUE(IsZeroPageMarker(marker));
+  EXPECT_FALSE(IsZeroPageMarker(std::vector<uint8_t>{kContainerRaw}));
+  EXPECT_FALSE(IsZeroPageMarker(std::vector<uint8_t>{kContainerZeroPage, 0}));
+  EXPECT_FALSE(IsZeroPageMarker({}));
+}
+
 // ---------- compression-quality expectations ----------
 
 TEST(Lzrw1Test, ZeroPageCompressesExtremely) {

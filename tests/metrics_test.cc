@@ -60,15 +60,28 @@ TEST(MetricRegistryTest, SnapshotFlattensEverything) {
   h.Observe(20);
 
   const auto snap = registry.Snapshot();
-  EXPECT_EQ(snap.at("a.count"), 2.0);
-  EXPECT_EQ(snap.at("b.gauge"), 4.0);
-  EXPECT_EQ(snap.at("c.hist.count"), 2.0);
-  EXPECT_EQ(snap.at("c.hist.mean"), 15.0);
-  EXPECT_EQ(snap.at("c.hist.min"), 10.0);
-  EXPECT_EQ(snap.at("c.hist.max"), 20.0);
-  EXPECT_TRUE(snap.contains("c.hist.p50"));
-  EXPECT_TRUE(snap.contains("c.hist.p90"));
-  EXPECT_TRUE(snap.contains("c.hist.p99"));
+  // Sorted by name, no duplicates.
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+  const auto at = [&snap](const std::string& name) {
+    for (const auto& [k, v] : snap) {
+      if (k == name) {
+        return v;
+      }
+    }
+    ADD_FAILURE() << "missing snapshot key " << name;
+    return std::nan("");
+  };
+  EXPECT_EQ(at("a.count"), 2.0);
+  EXPECT_EQ(at("b.gauge"), 4.0);
+  EXPECT_EQ(at("c.hist.count"), 2.0);
+  EXPECT_EQ(at("c.hist.mean"), 15.0);
+  EXPECT_EQ(at("c.hist.min"), 10.0);
+  EXPECT_EQ(at("c.hist.max"), 20.0);
+  EXPECT_FALSE(std::isnan(at("c.hist.p50")));
+  EXPECT_FALSE(std::isnan(at("c.hist.p90")));
+  EXPECT_FALSE(std::isnan(at("c.hist.p99")));
 
   // Histogram sub-fields resolve through Lookup as well.
   double out = 0;
@@ -81,6 +94,39 @@ TEST(MetricRegistryTest, SnapshotFlattensEverything) {
   EXPECT_EQ(json.back(), '}');
   EXPECT_NE(json.find("\"a.count\""), std::string::npos);
   EXPECT_NE(json.find("\"c.hist.p50\""), std::string::npos);
+}
+
+// Satellite regression: the bound-handle path (resolve once, use the pointer
+// per event) must report identically to the string-keyed path.
+TEST(MetricRegistryTest, BoundHandlesReportIdenticallyToStringKeyedPath) {
+  MetricRegistry keyed;
+  MetricRegistry bound_reg;
+
+  // String-keyed: look the metric up by name on every event.
+  for (int i = 1; i <= 100; ++i) {
+    keyed.GetCounter("vm.faults").Inc(2);
+    keyed.GetHistogram("vm.fault_ns").Observe(static_cast<double>(i * 1000));
+  }
+
+  // Bound: resolve once "at construction", then use the handles.
+  Counter* faults = bound_reg.BindCounter("vm.faults");
+  LatencyHistogram* fault_ns = bound_reg.BindHistogram("vm.fault_ns");
+  for (int i = 1; i <= 100; ++i) {
+    faults->Inc(2);
+    fault_ns->Observe(static_cast<double>(i * 1000));
+  }
+
+  // Handles are stable: binding again yields the same objects.
+  EXPECT_EQ(bound_reg.BindCounter("vm.faults"), faults);
+  EXPECT_EQ(bound_reg.BindHistogram("vm.fault_ns"), fault_ns);
+
+  const auto a = keyed.Snapshot();
+  const auto b = bound_reg.Snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second, b[i].second) << a[i].first;
+  }
 }
 
 TEST(LatencyHistogramTest, MomentsAreExact) {

@@ -345,6 +345,60 @@ TEST_F(SwapTest, FixedCompressedInvalidate) {
 }
 
 
+// The free-space allocator keeps garbage-collected blocks as coalesced runs.
+// First fit by address over the runs must match the old per-block scan: lowest
+// starting address whose run is long enough, prefix taken.
+TEST_F(SwapTest, ClusteredFreeRunsCoalesceAndAllocateFirstFit) {
+  ClusteredSwapLayout swap(&fs_);
+  // 4096-byte images occupy exactly one block (4 fragments), so block-level
+  // layout is fully controlled by batch order.
+  const auto write_one_block_pages = [&](uint32_t first_key, uint32_t count) {
+    std::vector<SwapPageImage> batch;
+    for (uint32_t i = 0; i < count; ++i) {
+      batch.push_back(MakeImage(PageKey{0, first_key + i}, 4096, 3000 + first_key + i));
+    }
+    ASSERT_EQ(swap.WriteBatch(batch), IoStatus::kOk);
+  };
+
+  write_one_block_pages(0, 6);  // pages 0..5 at blocks 0..5
+  ASSERT_EQ(swap.end_block(), 6u);
+  ASSERT_EQ(swap.free_blocks(), 0u);
+
+  // Free blocks 1,2,3 (one run after coalescing) and block 5 (its own run).
+  for (const uint32_t p : {1u, 2u, 3u, 5u}) {
+    swap.Invalidate(PageKey{0, p});
+  }
+  EXPECT_EQ(swap.free_blocks(), 4u);
+  EXPECT_EQ(swap.free_runs(), 2u);
+
+  // Two blocks fit in the run at block 1: first fit takes its prefix.
+  const uint64_t reused_before = swap.stats().blocks_reused;
+  write_one_block_pages(10, 2);  // pages 10,11 at blocks 1,2
+  EXPECT_EQ(swap.stats().blocks_reused, reused_before + 2);
+  EXPECT_EQ(swap.end_block(), 6u);  // no append
+  EXPECT_EQ(swap.free_blocks(), 2u);  // block 3 and block 5 remain
+  EXPECT_EQ(swap.free_runs(), 2u);
+
+  // Three blocks fit in no remaining run: the file grows instead.
+  const uint64_t appended_before = swap.stats().blocks_appended;
+  write_one_block_pages(20, 3);  // pages 20..22 at blocks 6..8
+  EXPECT_EQ(swap.stats().blocks_appended, appended_before + 3);
+  EXPECT_EQ(swap.end_block(), 9u);
+
+  // Freeing blocks 1 then 2 merges left and right into one run {1,2,3}.
+  swap.Invalidate(PageKey{0, 10});
+  EXPECT_EQ(swap.free_runs(), 3u);  // {1}, {3}, {5}
+  swap.Invalidate(PageKey{0, 11});
+  EXPECT_EQ(swap.free_runs(), 2u);  // {1,2,3}, {5}
+  EXPECT_EQ(swap.free_blocks(), 4u);
+
+  // Everything still live reads back intact.
+  for (const uint32_t p : {0u, 4u, 20u, 21u, 22u}) {
+    auto r = swap.ReadPage(PageKey{0, p}, false);
+    EXPECT_EQ(r.bytes, MakeBytes(4096, 3000 + p)) << p;
+  }
+}
+
 // ---------- LfsSwapLayout ----------
 
 TEST_F(SwapTest, LfsRoundTripThroughBufferAndDisk) {
@@ -404,6 +458,58 @@ TEST_F(SwapTest, LfsCleanerCopiesLiveDataAndFreesSegments) {
   }
   EXPECT_GT(swap.stats().segments_cleaned, 0u);
   EXPECT_GE(swap.free_segments(), options.clean_threshold);
+  for (const auto& [page, bytes] : shadow) {
+    auto r = swap.ReadPage(PageKey{0, page}, false);
+    EXPECT_EQ(r.bytes, bytes) << page;
+  }
+}
+
+// Regression for the victim-selection rewrite (the O(n^2) std::find membership
+// test became an O(1) bitmap): the cleaner must still pick the closed segment
+// with the least live data. Segments 0..2 are filled and then thinned to
+// distinct live counts; segment 1 is left with exactly one live page, so a
+// correct greedy pick copies exactly one page.
+TEST_F(SwapTest, LfsCleanerStillPicksLeastLiveSegment) {
+  LfsSwapLayout::Options options;
+  options.segment_blocks = 2;  // 8 KB segments: 4 images of 2 KB each
+  options.log_segments = 8;
+  options.clean_threshold = 4;
+  LfsSwapLayout swap(&fs_, nullptr, options);
+
+  // Pages 0-3 fill segment 0, 4-7 segment 1, 8-11 segment 2 (each flush opens
+  // the next segment). After this, free segments = {7,6,5,4}: no cleaning yet.
+  std::unordered_map<uint32_t, std::vector<uint8_t>> shadow;
+  std::vector<SwapPageImage> batch;
+  for (uint32_t p = 0; p < 12; ++p) {
+    auto img = MakeImage(PageKey{0, p}, 2048, 1000 + p);
+    shadow[p] = img.bytes;
+    batch.push_back(std::move(img));
+  }
+  swap.WriteBatch(batch);
+  ASSERT_EQ(swap.free_segments(), 4u);
+  ASSERT_EQ(swap.stats().segments_cleaned, 0u);
+
+  // Thin the segments to distinct live byte counts:
+  //   segment 0: 4 live (8192), segment 1: 1 live (2048), segment 2: 3 (6144).
+  for (const uint32_t p : {4u, 5u, 6u, 8u}) {
+    swap.Invalidate(PageKey{0, p});
+    shadow.erase(p);
+  }
+
+  // Four more pages fill segment 3; its flush drops free segments to 3, below
+  // the threshold, and the cleaner runs once. The least-live closed segment is
+  // segment 1, whose single live page (page 7) is the only copy made.
+  batch.clear();
+  for (uint32_t p = 100; p < 104; ++p) {
+    auto img = MakeImage(PageKey{0, p}, 2048, 1100 + p);
+    shadow[p] = img.bytes;
+    batch.push_back(std::move(img));
+  }
+  swap.WriteBatch(batch);
+
+  EXPECT_EQ(swap.stats().segments_cleaned, 1u);
+  EXPECT_EQ(swap.stats().live_pages_copied, 1u);
+  EXPECT_EQ(swap.free_segments(), options.clean_threshold);
   for (const auto& [page, bytes] : shadow) {
     auto r = swap.ReadPage(PageKey{0, page}, false);
     EXPECT_EQ(r.bytes, bytes) << page;

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/thrasher.h"
+#include "bench/sweep_runner.h"
+#include "core/machine.h"
+#include "util/units.h"
+
+namespace compcache {
+namespace {
+
+TEST(RunIndexedTest, EveryIndexRunsExactlyOnce) {
+  constexpr size_t kCount = 257;
+  std::vector<std::atomic<int>> hits(kCount);
+  RunIndexed(kCount, /*threads=*/4, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(RunIndexedTest, SingleThreadRunsInlineInOrder) {
+  std::vector<size_t> order;
+  RunIndexed(5, /*threads=*/1, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RunIndexedTest, EmptyCountIsANoOp) {
+  RunIndexed(0, 4, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(SweepThreadsTest, FlagBeatsDefault) {
+  char prog[] = "bench";
+  char flag[] = "--threads=3";
+  char* argv[] = {prog, flag};
+  EXPECT_EQ(SweepThreadsFromArgs(2, argv), 3u);
+  EXPECT_EQ(SweepThreadsFromArgs(1, argv), 0u);  // no flag: auto
+}
+
+// One sweep point: a full simulated machine running a thrashing workload.
+// Returns the complete metric snapshot as JSON plus the virtual elapsed time —
+// if any state leaked between parallel machines, something here would differ.
+std::string SweepPoint(uint64_t memory_mb, const std::string& codec) {
+  MachineConfig config = MachineConfig::WithCompressionCache(memory_mb * kMiB);
+  config.codec = codec;
+  Machine machine(config);
+  ThrasherOptions options;
+  options.address_space_bytes = 2 * memory_mb * kMiB;
+  options.write = true;
+  options.passes = 1;
+  options.content = ContentClass::kSparseNumeric;
+  Thrasher app(options);
+  app.Run(machine);
+  return std::to_string(app.result().elapsed.nanos()) + "\n" + machine.MetricsJson();
+}
+
+// The determinism requirement on the sweep runner: fanning the same jobs
+// across 4 threads must produce byte-identical results to running them
+// serially, point for point.
+TEST(SweepDeterminismTest, ParallelResultsAreByteIdenticalToSerial) {
+  std::vector<std::function<std::string()>> jobs;
+  for (const uint64_t mb : {2u, 3u}) {
+    for (const char* codec : {"lzrw1", "wk"}) {
+      jobs.push_back([mb, codec] { return SweepPoint(mb, codec); });
+    }
+  }
+  const std::vector<std::string> serial = RunSweep(jobs, /*threads=*/1);
+  const std::vector<std::string> parallel = RunSweep(jobs, /*threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "sweep point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace compcache
