@@ -19,6 +19,10 @@ Schema (schema_version 1):
     fault.* / retry.*   injection and retry counters; must be non-negative
                         (present whenever a machine publishes its registry,
                         zero when fault injection is disabled)
+    audit.violations    invariant-auditor tally; must be exactly 0 -- any
+                        machine that published its registry ran with the
+                        auditor attached, so a non-zero count is a real
+                        cross-subsystem accounting bug, never noise
     wall_clock.*        real (host) time measurements; must be strictly
                         positive -- a zero throughput means the bench's timed
                         section collapsed (dead-code-eliminated or mis-timed)
@@ -129,6 +133,9 @@ def validate(path):
             elif k.startswith("wall_clock.") and v <= 0:
                 err(f'metrics["{k}"] is a wall-clock measurement and must be '
                     f"positive, got {v}")
+            elif (k == "audit.violations" or k.endswith(".audit.violations")) and v != 0:
+                err(f'metrics["{k}"] must be 0 -- the invariant auditor found '
+                    f"{v} violation(s)")
 
     if bench == "perf_hotpath" and isinstance(metrics, dict):
         for name in PERF_HOTPATH_METRICS:

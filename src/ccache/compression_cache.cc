@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include <string>
+
 #include "util/assert.h"
+#include "util/audit.h"
 #include "util/checksum.h"
 #include "util/units.h"
 
@@ -213,7 +216,8 @@ void CompressionCache::BindMetrics(MetricRegistry* registry) {
   CC_EXPECTS(registry != nullptr);
   const CcacheStats* s = &stats_;
   const auto gauge = [&](const char* name, const uint64_t CcacheStats::*field) {
-    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+    registry->RegisterCounterGauge(name,
+                                   [s, field] { return static_cast<double>(s->*field); });
   };
   gauge("ccache.pages_compressed", &CcacheStats::pages_compressed);
   gauge("ccache.pages_kept", &CcacheStats::pages_kept);
@@ -223,7 +227,11 @@ void CompressionCache::BindMetrics(MetricRegistry* registry) {
   gauge("ccache.entries_cleaned", &CcacheStats::entries_cleaned);
   gauge("ccache.entries_dropped", &CcacheStats::entries_dropped);
   gauge("ccache.invalidations", &CcacheStats::invalidations);
-  gauge("ccache.frames_mapped_peak", &CcacheStats::frames_mapped_peak);
+  // The peak is a state gauge, not an event counter: ResetStats re-baselines it
+  // to the current mapping, which may read lower than the previous peak.
+  registry->RegisterGauge("ccache.frames_mapped_peak", [s] {
+    return static_cast<double>(s->frames_mapped_peak);
+  });
   gauge("ccache.adaptive_skips", &CcacheStats::adaptive_skips);
   gauge("ccache.adaptive_probes", &CcacheStats::adaptive_probes);
   gauge("ccache.adaptive_disables", &CcacheStats::adaptive_disables);
@@ -551,7 +559,14 @@ void CompressionCache::ReclaimHeadFrame() {
     if (write_status != IoStatus::kOk) {
       // Retries were already exhausted below; which images persisted is backend-
       // dependent, so conservatively keep them all dirty. The drop pass below
-      // then reports them lost — reclamation must still make progress.
+      // then reports them lost — reclamation must still make progress. The
+      // backend may have persisted a prefix of the batch, though: those partial
+      // locations must be discarded, or the backend claims pages the page
+      // tables disclaim (and, for the clustered/LFS layouts, holds their blocks
+      // forever — a leak the auditor's orphan check turns into a hard failure).
+      for (const SwapPageImage& img : batch) {
+        swap_->Invalidate(img.key);
+      }
       ++stats_.write_batch_failures;
     } else {
       for (const SwapPageImage& img : batch) {
@@ -669,7 +684,13 @@ bool CompressionCache::WriteOldestDirtyBatch() {
   }
   if (write_status != IoStatus::kOk) {
     // Entries stay dirty; the cleaner (and FlushDirty) will stop rather than
-    // spin, and ReclaimHeadFrame handles the terminal case.
+    // spin, and ReclaimHeadFrame handles the terminal case. Partially persisted
+    // images are discarded from the backend (see ReclaimHeadFrame): the entries
+    // are still dirty, so claiming a backing copy would be a lie — and the
+    // stranded blocks would never return to the free pool.
+    for (const SwapPageImage& img : batch) {
+      swap_->Invalidate(img.key);
+    }
     ++stats_.write_batch_failures;
     return false;
   }
@@ -744,6 +765,114 @@ std::optional<std::vector<uint8_t>> CompressionCache::RawPayloadFor(PageKey key)
   std::vector<uint8_t> bytes(e->payload_size);
   CopyOut(e->payload_off(), bytes);
   return bytes;
+}
+
+void CompressionCache::ResetStats() {
+  stats_ = CcacheStats{};
+  stats_.frames_mapped_peak = mapped_count_;
+  if (kept_ratio_hist_ != nullptr) {
+    kept_ratio_hist_->Reset();
+  }
+}
+
+void CompressionCache::CorruptLiveBytesForTest(size_t slot, int64_t delta) {
+  CC_EXPECTS(slot < live_bytes_.size());
+  live_bytes_[slot] = static_cast<uint64_t>(static_cast<int64_t>(live_bytes_[slot]) + delta);
+}
+
+void CompressionCache::AliasIndexKeyForTest(PageKey existing, PageKey alias) {
+  const auto it = index_.find(existing);
+  CC_EXPECTS(it != index_.end());
+  CC_EXPECTS(!index_.contains(alias));
+  index_[alias] = it->second;  // two keys now map to one entry
+}
+
+void CompressionCache::RegisterAuditChecks(InvariantAuditor* auditor) {
+  CC_EXPECTS(auditor != nullptr);
+  // Ring occupancy: the entry chain is contiguous from head to tail (so the sum
+  // of entry footprints equals the used-bytes gauge by construction), and the
+  // per-slot live-byte accounting matches a recount over valid entries.
+  auditor->Register("ccache", "occupancy", [this]() -> std::optional<std::string> {
+    uint64_t expected_off = head_off_;
+    for (const Entry& e : entries_) {
+      if (e.header_off != expected_off) {
+        return "entry chain has a gap: expected offset " + std::to_string(expected_off) +
+               ", entry starts at " + std::to_string(e.header_off);
+      }
+      expected_off = e.end_off();
+    }
+    if (expected_off != tail_off_) {
+      return "entry footprints sum to offset " + std::to_string(expected_off) +
+             " but the tail gauge reads " + std::to_string(tail_off_);
+    }
+    std::vector<uint64_t> recount(options_.max_slots, 0);
+    for (const Entry& e : entries_) {
+      if (!e.valid) {
+        continue;
+      }
+      for (uint64_t ls = e.header_off / kPageSize; ls <= (e.end_off() - 1) / kPageSize;
+           ++ls) {
+        const uint64_t lo = std::max(e.header_off, ls * kPageSize);
+        const uint64_t hi = std::min(e.end_off(), (ls + 1) * kPageSize);
+        recount[static_cast<size_t>(ls % options_.max_slots)] += hi - lo;
+      }
+    }
+    size_t mapped = 0;
+    for (size_t slot = 0; slot < slots_.size(); ++slot) {
+      if (live_bytes_[slot] != recount[slot]) {
+        return "slot " + std::to_string(slot) + " accounts " +
+               std::to_string(live_bytes_[slot]) + " live bytes but a recount finds " +
+               std::to_string(recount[slot]);
+      }
+      if (live_bytes_[slot] > 0 && !slots_[slot].valid()) {
+        return "slot " + std::to_string(slot) + " holds live bytes but no frame";
+      }
+      if (slots_[slot].valid()) {
+        ++mapped;
+        if ((live_bytes_[slot] == 0) != dead_slots_.contains(slot)) {
+          return "slot " + std::to_string(slot) + " dead-slot membership disagrees with " +
+                 std::to_string(live_bytes_[slot]) + " live bytes";
+        }
+      } else if (dead_slots_.contains(slot)) {
+        return "unmapped slot " + std::to_string(slot) + " is in the dead-slot set";
+      }
+    }
+    if (mapped != mapped_count_) {
+      return std::to_string(mapped) + " slots hold frames but the gauge reads " +
+             std::to_string(mapped_count_);
+    }
+    return std::nullopt;
+  });
+  // Index coherence: every index key resolves to exactly the valid entry bearing
+  // that key — an alias (two keys -> one entry) or a dangling mapping both fail —
+  // and the valid-entry count equals the index size.
+  auditor->Register("ccache", "index-coherent", [this]() -> std::optional<std::string> {
+    size_t valid_count = 0;
+    for (const Entry& e : entries_) {
+      if (e.valid) {
+        ++valid_count;
+      }
+    }
+    for (const auto& [key, seq] : index_) {
+      if (seq < base_seq_ || seq - base_seq_ >= entries_.size()) {
+        return "index maps a key to dropped sequence " + std::to_string(seq);
+      }
+      const Entry& e = entries_[static_cast<size_t>(seq - base_seq_)];
+      if (!e.valid) {
+        return "index maps a key to an invalidated entry";
+      }
+      if (!(e.key == key)) {
+        return "key double-maps: index entry for segment " + std::to_string(key.segment) +
+               " page " + std::to_string(key.page) + " resolves to the entry of segment " +
+               std::to_string(e.key.segment) + " page " + std::to_string(e.key.page);
+      }
+    }
+    if (valid_count != index_.size()) {
+      return std::to_string(valid_count) + " valid entries but the index holds " +
+             std::to_string(index_.size()) + " keys";
+    }
+    return std::nullopt;
+  });
 }
 
 void CompressionCache::CheckInvariants() const {

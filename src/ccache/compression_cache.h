@@ -43,6 +43,8 @@
 
 namespace compcache {
 
+class InvariantAuditor;
+
 // State transitions the cache reports to the VM system so that page-table state
 // stays coherent with the cache's own bookkeeping.
 class CcacheEvents {
@@ -214,6 +216,17 @@ class CompressionCache {
   const CcacheStats& stats() const { return stats_; }
   const CcacheOptions& options() const { return options_; }
 
+  // Zeroes event counters and the kept-ratio distribution. State gauges
+  // (mapped frames, live entries, used bytes) are untouched; the mapped-frames
+  // peak re-baselines to the current mapping so it stays meaningful.
+  void ResetStats();
+
+  // Invariants: ring occupancy — the contiguous entry chain spans exactly
+  // [head, tail] and per-slot live-byte accounting matches a recount — plus
+  // index coherence: every index key maps to exactly the valid entry bearing
+  // that key (no double-maps), and valid entries == index size.
+  void RegisterAuditChecks(InvariantAuditor* auditor);
+
   // --- observability ---
   // Publishes every CcacheStats counter as a "ccache.*" gauge plus the
   // "ccache.kept_ratio_pct" histogram (observed per kept page).
@@ -254,6 +267,12 @@ class CompressionCache {
   // Flips one bit of a live entry's stored payload in the ring (test hook for
   // latent in-cache corruption; the recorded checksum is left untouched).
   void CorruptPayloadBitForTest(PageKey key, size_t bit);
+  // Mutation hooks for auditor tests: skew one slot's live-byte gauge, or make
+  // a second key alias an existing entry's index slot (a double-map).
+  void CorruptLiveBytesForTest(size_t slot, int64_t delta);
+  void AliasIndexKeyForTest(PageKey existing, PageKey alias);
+  // Undoes AliasIndexKeyForTest so the shutdown audit sees a healthy cache.
+  void RemoveIndexKeyForTest(PageKey key) { index_.erase(key); }
   uint64_t head_off() const { return head_off_; }
   uint64_t tail_off() const { return tail_off_; }
 

@@ -1,6 +1,8 @@
 #include "core/machine.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "compress/lzrw1.h"
 #include "util/assert.h"
@@ -100,24 +102,44 @@ Machine::Machine(MachineConfig config)
     pager_->AttachFixedSwap(fixed_swap_.get());
   }
 
+  // The buffer cache and pager publish the age of an LRU front that only moves
+  // toward the present (evicting the front exposes a younger entry; touching
+  // refreshes to now), so their ages are monotone and the auditor holds them to
+  // it. The ccache is exempt: a fault hit refreshes the front entry's age in
+  // place (ring position stays FIFO), so a later front can legitimately be
+  // older than a previously published age.
   arbiter_.AddConsumer(
       "file_cache", [this] { return buffer_cache_->OldestAge(); },
-      [this] { return buffer_cache_->ReleaseOldest(); }, config_.biases.file_cache);
+      [this] { return buffer_cache_->ReleaseOldest(); }, config_.biases.file_cache,
+      /*monotone_age=*/true);
   arbiter_.AddConsumer(
       "vm", [this] { return pager_->OldestAge(); },
-      [this] { return pager_->ReleaseOldest(); }, config_.biases.vm);
+      [this] { return pager_->ReleaseOldest(); }, config_.biases.vm,
+      /*monotone_age=*/true);
   if (ccache_ != nullptr) {
     arbiter_.AddConsumer(
         "ccache", [this] { return ccache_->OldestAge(); },
-        [this] { return ccache_->ReleaseOldest(); }, config_.biases.ccache);
+        [this] { return ccache_->ReleaseOldest(); }, config_.biases.ccache,
+        /*monotone_age=*/false);
   }
 
+  audit_interval_ = config_.audit_interval;
+  if (const char* env = std::getenv("CC_AUDIT_INTERVAL"); env != nullptr && *env != '\0') {
+    audit_interval_ = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
   pager_->SetPostFaultHook([this] {
     if (ccache_ != nullptr) {
       ccache_->RunCleaner(pool_.free_frames());
     }
+    // Audit after the cleaner so the checks see a quiescent machine: the fault
+    // is fully serviced and no frame is mid-flight between subsystems.
+    if (audit_interval_ > 0 && ++faults_since_audit_ >= audit_interval_) {
+      faults_since_audit_ = 0;
+      auditor_.RunAll();
+    }
   });
 
+  RegisterAuditChecks();
   BindAllMetrics();
 
   if (config_.trace_capacity > 0) {
@@ -212,12 +234,94 @@ void Machine::BindAllMetrics() {
   if (fixed_swap_ != nullptr) {
     fixed_swap_->BindMetrics(&metrics_);
   }
+  auditor_.BindMetrics(&metrics_);
 }
 
 Machine::~Machine() {
+  // Shutdown audit: every registered invariant must hold at end of life — this
+  // is where leaked swap fragments, stranded frames, and drifted gauges have no
+  // transient excuse left.
+  auditor_.RunAll();
   // The compression cache and buffer cache return their frames to the pool in
   // their destructors; destroy them before the pool (member order handles this —
   // pool_ is declared before them, so it is destroyed after).
+}
+
+void Machine::RegisterAuditChecks() {
+  // Frame conservation across the whole machine: every physical frame is free,
+  // resident (VM), a buffer-cache block, a mapped ccache slot, wired metadata,
+  // or an LFS segment buffer — and nothing else.
+  auditor_.Register("machine", "frame-conservation", [this]() -> std::optional<std::string> {
+    const size_t total = pool_.total_frames();
+    const size_t free = pool_.free_frames();
+    const size_t resident = pager_->resident_pages();
+    const size_t bcache = buffer_cache_->num_blocks();
+    const size_t ccache = ccache_ != nullptr ? ccache_->mapped_frames() : 0;
+    size_t lfs_buffer = 0;
+    if (const auto* lfs = dynamic_cast<const LfsSwapLayout*>(cswap_.get()); lfs != nullptr) {
+      lfs_buffer = lfs->buffer_frame_count();
+    }
+    const size_t accounted = free + resident + bcache + ccache + metadata_frames_ + lfs_buffer;
+    if (accounted != total) {
+      return "pool holds " + std::to_string(total) + " frames but " +
+             std::to_string(accounted) + " are accounted for (free " + std::to_string(free) +
+             " + resident " + std::to_string(resident) + " + bcache " +
+             std::to_string(bcache) + " + ccache " + std::to_string(ccache) +
+             " + metadata " + std::to_string(metadata_frames_) + " + lfs buffer " +
+             std::to_string(lfs_buffer) + ")";
+    }
+    return std::nullopt;
+  });
+  // Every counter-kind metric is non-decreasing between audits. ResetStats()
+  // clears the watermarks so an intentional zeroing is not a violation.
+  auditor_.Register("metrics", "counters-monotone", [this]() -> std::optional<std::string> {
+    for (const std::string& name : metrics_.counter_gauge_names()) {
+      const double value = metrics_.GaugeValue(name);
+      const auto [it, inserted] = counter_watermarks_.try_emplace(name, value);
+      if (!inserted) {
+        if (value < it->second) {
+          return name + " moved backwards: " + std::to_string(it->second) + " -> " +
+                 std::to_string(value);
+        }
+        it->second = value;
+      }
+    }
+    return std::nullopt;
+  });
+
+  buffer_cache_->RegisterAuditChecks(&auditor_);
+  pager_->RegisterAuditChecks(&auditor_);
+  arbiter_.RegisterAuditChecks(&auditor_, &clock_);
+  if (ccache_ != nullptr) {
+    ccache_->RegisterAuditChecks(&auditor_);
+  }
+  if (cswap_ != nullptr) {
+    cswap_->RegisterAuditChecks(&auditor_);
+  }
+  if (fixed_swap_ != nullptr) {
+    fixed_swap_->RegisterAuditChecks(&auditor_);
+  }
+}
+
+void Machine::ResetStats() {
+  disk_->ResetStats();
+  fs_->ResetStats();
+  buffer_cache_->ResetStats();
+  pager_->ResetStats();
+  arbiter_.ResetStats();
+  if (ccache_ != nullptr) {
+    ccache_->ResetStats();
+  }
+  if (cswap_ != nullptr) {
+    cswap_->ResetStats();
+  }
+  if (fixed_swap_ != nullptr) {
+    fixed_swap_->ResetStats();
+  }
+  // Deliberately NOT reset: the fault injector (its nth-operation schedules
+  // count operations from machine start; rebasing them would fire faults at
+  // different absolute points) and the clock/occupancy state gauges.
+  counter_watermarks_.clear();
 }
 
 void Machine::ChargeMetadataBytes(uint64_t bytes) {

@@ -19,6 +19,7 @@
 #include "policy/memory_arbiter.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "util/audit.h"
 #include "util/fault.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -109,6 +110,12 @@ struct MachineConfig {
   // per-event overhead is paid unless a capacity is configured).
   size_t trace_capacity = 0;
 
+  // Run the cross-subsystem invariant audit every N serviced page faults
+  // (0 = only at machine shutdown, which always audits). The CC_AUDIT_INTERVAL
+  // environment variable, when set and non-empty, overrides this — so CI can
+  // turn periodic auditing on for an entire test suite without code changes.
+  size_t audit_interval = 0;
+
   // Robustness knobs: fault injection, bounded disk retry, page integrity.
   FaultInjectionOptions fault_injection;
   RetryPolicy retry;
@@ -163,6 +170,21 @@ class Machine : public FrameSource {
   // allocation-counting hook: constant across a workload means the hot path ran
   // heap-allocation-free in steady state.
   ScratchArena& scratch_arena() { return scratch_arena_; }
+
+  // --- correctness ---
+  // The cross-subsystem invariant auditor. Every subsystem registers its checks
+  // at construction; RunAudit() executes them all (aborting on the first
+  // violating run unless auditor().set_abort_on_violation(false)). Audits also
+  // run every `audit_interval` faults and always once at destruction.
+  InvariantAuditor& auditor() { return auditor_; }
+  size_t RunAudit() { return auditor_.RunAll(); }
+
+  // Zeroes every subsystem's event counters and histograms (warmup discard).
+  // State — resident pages, cache contents, swap locations, virtual time — is
+  // untouched, as are fault-injection schedules (their nth-operation ordinals
+  // are positional and must keep counting from machine start). The metrics
+  // monotonicity watermarks re-baseline so the auditor accepts the drop.
+  void ResetStats();
 
   // --- observability ---
   // Every component's counters are registered here (as pull-mode gauges reading
@@ -219,10 +241,17 @@ class Machine : public FrameSource {
   };
 
   void BindAllMetrics();
+  void RegisterAuditChecks();
 
   MachineConfig config_;
   Clock clock_;
   MetricRegistry metrics_;
+  InvariantAuditor auditor_;
+  size_t audit_interval_ = 0;      // resolved from config + CC_AUDIT_INTERVAL
+  size_t faults_since_audit_ = 0;
+  // Last value seen per counter-kind metric; the "counters-monotone" check
+  // fails when any of them moves backwards between audits.
+  std::map<std::string, double> counter_watermarks_;
   ScratchArena scratch_arena_;
   std::unique_ptr<EventTracer> tracer_;
   std::unique_ptr<FaultInjector> injector_;

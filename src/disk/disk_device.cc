@@ -55,25 +55,25 @@ void DiskDevice::ChargeBackoff(uint32_t attempt) {
 void DiskDevice::BindMetrics(MetricRegistry* registry) {
   CC_EXPECTS(registry != nullptr);
   const DiskStats* s = &stats_;
-  registry->RegisterGauge("disk.read_ops",
+  registry->RegisterCounterGauge("disk.read_ops",
                           [s] { return static_cast<double>(s->read_ops); });
-  registry->RegisterGauge("disk.write_ops",
+  registry->RegisterCounterGauge("disk.write_ops",
                           [s] { return static_cast<double>(s->write_ops); });
-  registry->RegisterGauge("disk.bytes_read",
+  registry->RegisterCounterGauge("disk.bytes_read",
                           [s] { return static_cast<double>(s->bytes_read); });
-  registry->RegisterGauge("disk.bytes_written",
+  registry->RegisterCounterGauge("disk.bytes_written",
                           [s] { return static_cast<double>(s->bytes_written); });
-  registry->RegisterGauge("disk.busy_ns",
+  registry->RegisterCounterGauge("disk.busy_ns",
                           [s] { return static_cast<double>(s->busy_time.nanos()); });
-  registry->RegisterGauge("retry.read_retries",
+  registry->RegisterCounterGauge("retry.read_retries",
                           [s] { return static_cast<double>(s->read_retries); });
-  registry->RegisterGauge("retry.write_retries",
+  registry->RegisterCounterGauge("retry.write_retries",
                           [s] { return static_cast<double>(s->write_retries); });
-  registry->RegisterGauge("retry.reads_exhausted",
+  registry->RegisterCounterGauge("retry.reads_exhausted",
                           [s] { return static_cast<double>(s->reads_exhausted); });
-  registry->RegisterGauge("retry.writes_exhausted",
+  registry->RegisterCounterGauge("retry.writes_exhausted",
                           [s] { return static_cast<double>(s->writes_exhausted); });
-  registry->RegisterGauge("retry.backoff_ns", [s] {
+  registry->RegisterCounterGauge("retry.backoff_ns", [s] {
     return static_cast<double>(s->retry_backoff_time.nanos());
   });
   access_latency_ = registry->BindHistogram("disk.access_ns");

@@ -1,9 +1,11 @@
 #include "fs/buffer_cache.h"
 
 #include <cstring>
+#include <string>
 
 #include "ccache/compression_cache.h"
 #include "util/assert.h"
+#include "util/audit.h"
 #include "util/units.h"
 
 namespace compcache {
@@ -28,7 +30,13 @@ BufferCache::Block& BufferCache::GetBlock(FileId file, uint64_t index,
   if (const auto it = blocks_.find(key); it != blocks_.end()) {
     ++stats_.hits;
     Block& b = *it->second;
-    b.age = clock_->NextTick();
+    // Ages must be virtual-time nanoseconds: the arbiter adds nanosecond
+    // biases and compares them against the pager's and ccache's timestamps.
+    // (These two stamps used logical ticks until the invariant auditor's
+    // age-plausibility check flagged them — a tick-aged block looked ancient
+    // next to nanosecond ages, so the file cache was reclaimed almost
+    // unconditionally regardless of the configured biases.)
+    b.age = static_cast<uint64_t>(clock_->Now().nanos());
     lru_.Touch(b);
     return b;
   }
@@ -66,7 +74,7 @@ BufferCache::Block& BufferCache::GetBlock(FileId file, uint64_t index,
       ++stats_.read_failures;
     }
   }
-  block->age = clock_->NextTick();
+  block->age = static_cast<uint64_t>(clock_->Now().nanos());
   Block& ref = *block;
   blocks_.emplace(key, std::move(block));
   lru_.PushMru(ref);
@@ -186,11 +194,43 @@ void BufferCache::Write(FileId file, uint64_t offset, std::span<const uint8_t> d
   }
 }
 
+void BufferCache::RegisterAuditChecks(InvariantAuditor* auditor) {
+  CC_EXPECTS(auditor != nullptr);
+  auditor->Register("bcache", "lru-coherent", [this]() -> std::optional<std::string> {
+    size_t lru_count = 0;
+    std::optional<std::string> problem;
+    const uint64_t now = static_cast<uint64_t>(clock_->Now().nanos());
+    lru_.ForEach([&](const Block& b) {
+      ++lru_count;
+      if (problem.has_value()) {
+        return;
+      }
+      const auto it = blocks_.find(b.key);
+      if (it == blocks_.end() || it->second.get() != &b) {
+        problem = "LRU block for file " + std::to_string(b.key.file) + " index " +
+                  std::to_string(b.key.index) + " is not in the block map";
+      } else if (b.age > now) {
+        problem = "block age " + std::to_string(b.age) + " is ahead of virtual time " +
+                  std::to_string(now);
+      }
+    });
+    if (problem.has_value()) {
+      return problem;
+    }
+    if (lru_count != blocks_.size()) {
+      return "LRU list holds " + std::to_string(lru_count) + " blocks, map holds " +
+             std::to_string(blocks_.size());
+    }
+    return std::nullopt;
+  });
+}
+
 void BufferCache::BindMetrics(MetricRegistry* registry) {
   CC_EXPECTS(registry != nullptr);
   const BufferCacheStats* s = &stats_;
   const auto gauge = [&](const char* name, const uint64_t BufferCacheStats::*field) {
-    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+    registry->RegisterCounterGauge(name,
+                                   [s, field] { return static_cast<double>(s->*field); });
   };
   gauge("bcache.hits", &BufferCacheStats::hits);
   gauge("bcache.misses", &BufferCacheStats::misses);

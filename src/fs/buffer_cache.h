@@ -20,6 +20,7 @@
 namespace compcache {
 
 class CompressionCache;
+class InvariantAuditor;
 
 struct BufferCacheStats {
   uint64_t hits = 0;
@@ -47,13 +48,20 @@ class BufferCache {
   void Write(FileId file, uint64_t offset, std::span<const uint8_t> data);
 
   // --- memory arbitration interface ---
-  // Logical age (tick) of the least-recently-used block; UINT64_MAX when empty.
+  // Virtual-time age (ns) of the least-recently-used block; UINT64_MAX when
+  // empty. Same unit as the pager's and ccache's ages — the arbiter compares
+  // them directly.
   uint64_t OldestAge() const;
   // Evicts the LRU block (writing it back if dirty). Returns false when empty.
   bool ReleaseOldest();
 
   size_t num_blocks() const { return blocks_.size(); }
   const BufferCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferCacheStats{}; }
+
+  // Invariants: block map and LRU list agree, and block ages are plausible
+  // virtual-time stamps.
+  void RegisterAuditChecks(InvariantAuditor* auditor);
 
   // --- observability ---
   // Publishes counters as "bcache.*" gauges.

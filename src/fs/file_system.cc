@@ -218,7 +218,8 @@ void FileSystem::BindMetrics(MetricRegistry* registry) {
   CC_EXPECTS(registry != nullptr);
   const FsStats* s = &stats_;
   const auto gauge = [&](const char* name, const uint64_t FsStats::*field) {
-    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+    registry->RegisterCounterGauge(name,
+                                   [s, field] { return static_cast<double>(s->*field); });
   };
   gauge("fs.direct_reads", &FsStats::direct_reads);
   gauge("fs.direct_writes", &FsStats::direct_writes);

@@ -1,14 +1,17 @@
 #include "policy/memory_arbiter.h"
 
 #include <algorithm>
+#include <string>
 
 #include "sim/clock.h"
 #include "util/assert.h"
+#include "util/audit.h"
 
 namespace compcache {
 
 void MemoryArbiter::AddConsumer(std::string name, std::function<uint64_t()> oldest_age_ns,
-                                std::function<bool()> release_oldest, SimDuration bias) {
+                                std::function<bool()> release_oldest, SimDuration bias,
+                                bool monotone_age) {
   CC_EXPECTS(oldest_age_ns != nullptr && release_oldest != nullptr);
   CC_EXPECTS(bias.nanos() >= 0);
   Consumer c;
@@ -16,33 +19,47 @@ void MemoryArbiter::AddConsumer(std::string name, std::function<uint64_t()> olde
   c.oldest_age_ns = std::move(oldest_age_ns);
   c.release_oldest = std::move(release_oldest);
   c.bias_ns = static_cast<uint64_t>(bias.nanos());
+  c.monotone_age = monotone_age;
   consumers_.push_back(std::move(c));
 }
 
 bool MemoryArbiter::ReclaimOne() {
   CC_EXPECTS(!consumers_.empty());
 
-  // Rank consumers by biased age of their oldest page; saturating add keeps empty
-  // consumers (UINT64_MAX) last.
-  std::vector<std::pair<uint64_t, size_t>> order;
+  // Rank consumers by biased age of their oldest page. The bias add saturates
+  // so an enormous age cannot wrap around to look young; a saturated consumer
+  // is still non-empty and stays eligible (only age == UINT64_MAX means
+  // empty). Ties — including several consumers all at age 0 near virtual time
+  // zero — break deterministically toward the lower registration index, i.e.
+  // toward the consumer registered as most reclaimable.
+  struct Ranked {
+    uint64_t effective;
+    size_t idx;
+    bool empty;
+    bool operator<(const Ranked& other) const {
+      return effective != other.effective ? effective < other.effective
+                                          : idx < other.idx;
+    }
+  };
+  std::vector<Ranked> order;
   order.reserve(consumers_.size());
   for (size_t i = 0; i < consumers_.size(); ++i) {
     const uint64_t age = consumers_[i].oldest_age_ns();
     const uint64_t bias = consumers_[i].bias_ns;
     const uint64_t effective = age > UINT64_MAX - bias ? UINT64_MAX : age + bias;
-    order.emplace_back(effective, i);
+    order.push_back(Ranked{effective, i, age == UINT64_MAX});
   }
   std::sort(order.begin(), order.end());
 
   bool fell_through = false;
-  for (const auto& [effective, idx] : order) {
-    if (effective == UINT64_MAX) {
-      break;  // empty consumer; everything after is empty too
+  for (const Ranked& r : order) {
+    if (r.empty) {
+      continue;  // nothing to release; a saturated consumer is NOT empty
     }
-    Consumer& c = consumers_[idx];
+    Consumer& c = consumers_[r.idx];
     if (c.release_oldest()) {
       ++c.reclaims;
-      RecordReclaim(idx, fell_through);
+      RecordReclaim(r.idx, fell_through);
       return true;
     }
     ++c.refusals;
@@ -68,14 +85,46 @@ void MemoryArbiter::RecordReclaim(size_t consumer_index, bool fell_through) {
   }
 }
 
+void MemoryArbiter::ResetStats() {
+  for (Consumer& c : consumers_) {
+    c.reclaims = 0;
+    c.refusals = 0;
+  }
+}
+
+void MemoryArbiter::RegisterAuditChecks(InvariantAuditor* auditor, const Clock* clock) {
+  CC_EXPECTS(auditor != nullptr && clock != nullptr);
+  auditor->Register("arbiter", "ages-plausible", [this, clock]() -> std::optional<std::string> {
+    const uint64_t now = static_cast<uint64_t>(clock->Now().nanos());
+    for (Consumer& c : consumers_) {
+      const uint64_t age = c.oldest_age_ns();
+      if (age == UINT64_MAX) {
+        continue;  // empty
+      }
+      if (age > now) {
+        return c.name + " publishes age " + std::to_string(age) +
+               " ahead of virtual time " + std::to_string(now);
+      }
+      if (c.monotone_age) {
+        if (age < c.last_published_age) {
+          return c.name + " (monotone) published age " + std::to_string(age) +
+                 " after previously publishing " + std::to_string(c.last_published_age);
+        }
+        c.last_published_age = age;
+      }
+    }
+    return std::nullopt;
+  });
+}
+
 void MemoryArbiter::BindMetrics(MetricRegistry* registry) {
   CC_EXPECTS(registry != nullptr);
   for (size_t i = 0; i < consumers_.size(); ++i) {
     const Consumer* c = &consumers_[i];
-    registry->RegisterGauge("arbiter." + c->name + ".reclaims",
-                            [c] { return static_cast<double>(c->reclaims); });
-    registry->RegisterGauge("arbiter." + c->name + ".refusals",
-                            [c] { return static_cast<double>(c->refusals); });
+    registry->RegisterCounterGauge("arbiter." + c->name + ".reclaims",
+                                   [c] { return static_cast<double>(c->reclaims); });
+    registry->RegisterCounterGauge("arbiter." + c->name + ".refusals",
+                                   [c] { return static_cast<double>(c->refusals); });
   }
 }
 

@@ -38,6 +38,8 @@ struct ArbiterBiases {
   SimDuration ccache = SimDuration::Seconds(10);
 };
 
+class InvariantAuditor;
+
 class MemoryArbiter {
  public:
   struct Consumer {
@@ -47,10 +49,17 @@ class MemoryArbiter {
     uint64_t bias_ns = 0;
     uint64_t reclaims = 0;
     uint64_t refusals = 0;
+    // Whether the published oldest age is non-decreasing while the consumer is
+    // non-empty. True for pure LRU consumers (vm, file cache); the ccache
+    // refreshes its front entry's age in place on a fault hit, so a later
+    // front can be older than the refreshed one — legitimately non-monotone.
+    bool monotone_age = false;
+    uint64_t last_published_age = 0;  // auditor bookkeeping, monotone consumers only
   };
 
   void AddConsumer(std::string name, std::function<uint64_t()> oldest_age_ns,
-                   std::function<bool()> release_oldest, SimDuration bias);
+                   std::function<bool()> release_oldest, SimDuration bias,
+                   bool monotone_age = false);
 
   // Reclaims one frame from the consumer whose biased oldest age is smallest
   // (i.e., globally oldest after favoritism). Falls back to the next-oldest
@@ -59,6 +68,14 @@ class MemoryArbiter {
   bool ReclaimOne();
 
   const std::vector<Consumer>& consumers() const { return consumers_; }
+
+  // Zeroes the per-consumer reclaim/refusal counters.
+  void ResetStats();
+
+  // Invariants: every published age is UINT64_MAX (empty) or a plausible
+  // timestamp (<= now), and monotone consumers never publish a smaller age
+  // than they did at the previous audit. Call after all consumers are added.
+  void RegisterAuditChecks(InvariantAuditor* auditor, const Clock* clock);
 
   // Publishes per-consumer counters as "arbiter.<name>.reclaims|refusals" gauges.
   // Call after all consumers are added.

@@ -2,8 +2,10 @@
 
 #include <cstring>
 #include <iterator>
+#include <string>
 
 #include "util/assert.h"
+#include "util/audit.h"
 #include "util/checksum.h"
 
 namespace compcache {
@@ -26,7 +28,8 @@ void ClusteredSwapLayout::BindMetrics(MetricRegistry* registry) {
   CC_EXPECTS(registry != nullptr);
   const ClusteredSwapStats* s = &stats_;
   const auto gauge = [&](const char* name, const uint64_t ClusteredSwapStats::*field) {
-    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+    registry->RegisterCounterGauge(name,
+                                   [s, field] { return static_cast<double>(s->*field); });
   };
   gauge("swap.clustered.batches_written", &ClusteredSwapStats::batches_written);
   gauge("swap.clustered.pages_written", &ClusteredSwapStats::pages_written);
@@ -286,6 +289,88 @@ void ClusteredSwapLayout::Invalidate(PageKey key) {
   by_frag_start_.erase(it->second.frag_start);
   ReleaseLocation(it->second);
   locations_.erase(it);
+}
+
+void ClusteredSwapLayout::ForEachPage(const std::function<void(PageKey)>& fn) const {
+  for (const auto& [key, loc] : locations_) {
+    fn(key);
+  }
+}
+
+void ClusteredSwapLayout::RegisterAuditChecks(InvariantAuditor* auditor) {
+  CC_EXPECTS(auditor != nullptr);
+  // Block conservation: the blocks below the high-water mark partition into
+  // the coalesced free runs and the blocks holding at least one live fragment.
+  // A leaked allocation (blocks neither free nor live) breaks the partition.
+  auditor->Register("swap.clustered", "block-conservation", [this]() -> std::optional<std::string> {
+    uint64_t run_total = 0;
+    uint64_t prev_end = 0;
+    bool first = true;
+    for (const auto& [start, len] : free_runs_) {
+      if (len == 0) {
+        return "free run at block " + std::to_string(start) + " has zero length";
+      }
+      if (!first && start <= prev_end) {
+        return "free runs overlap or are uncoalesced at block " + std::to_string(start);
+      }
+      if (start + len > end_block_) {
+        return "free run [" + std::to_string(start) + ", " + std::to_string(start + len) +
+               ") extends past end_block " + std::to_string(end_block_);
+      }
+      run_total += len;
+      prev_end = start + len;
+      first = false;
+    }
+    if (run_total != free_block_count_) {
+      return "free_block_count " + std::to_string(free_block_count_) +
+             " != sum of free runs " + std::to_string(run_total);
+    }
+    uint64_t live_blocks = 0;
+    for (const auto& [block, frags] : live_frags_per_block_) {
+      if (frags == 0) {
+        return "block " + std::to_string(block) + " has a zero live-fragment count";
+      }
+      if (block >= end_block_) {
+        return "live block " + std::to_string(block) + " is past end_block " +
+               std::to_string(end_block_);
+      }
+      ++live_blocks;
+    }
+    if (free_block_count_ + live_blocks != end_block_) {
+      return "free " + std::to_string(free_block_count_) + " + live " +
+             std::to_string(live_blocks) + " blocks != end_block " +
+             std::to_string(end_block_) + " (leaked or double-counted blocks)";
+    }
+    return std::nullopt;
+  });
+  // The position index must mirror the location map exactly, and the per-block
+  // live-fragment census must equal a recount from the locations.
+  auditor->Register("swap.clustered", "index-coherent", [this]() -> std::optional<std::string> {
+    if (by_frag_start_.size() != locations_.size()) {
+      return "by_frag_start has " + std::to_string(by_frag_start_.size()) +
+             " entries, locations has " + std::to_string(locations_.size());
+    }
+    std::unordered_map<uint64_t, uint32_t> recount;
+    for (const auto& [key, loc] : locations_) {
+      const auto it = by_frag_start_.find(loc.frag_start);
+      if (it == by_frag_start_.end() || !(it->second == key)) {
+        return "location of page at fragment " + std::to_string(loc.frag_start) +
+               " is missing from the position index";
+      }
+      if (loc.byte_size == 0 || loc.byte_size > kPageSize) {
+        return "stored size " + std::to_string(loc.byte_size) + " at fragment " +
+               std::to_string(loc.frag_start) + " is outside (0, page size]";
+      }
+      for (uint32_t i = 0; i < loc.frag_count; ++i) {
+        ++recount[(loc.frag_start + i) / kFragsPerBlock];
+      }
+    }
+    if (recount != live_frags_per_block_) {
+      return "per-block live-fragment census does not match a recount from the "
+             "location map";
+    }
+    return std::nullopt;
+  });
 }
 
 }  // namespace compcache

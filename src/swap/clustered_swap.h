@@ -66,7 +66,18 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
   // Marks a page's copy obsolete (it was rewritten in memory or dropped).
   void Invalidate(PageKey key) override;
 
+  void ForEachPage(const std::function<void(PageKey)>& fn) const override;
+
+  // Invariants: free-block conservation (every block below end_block_ is in
+  // exactly one of the free runs or the live-fragment census), run coalescing,
+  // and locations_/by_frag_start_ bijection.
+  void RegisterAuditChecks(InvariantAuditor* auditor) override;
+
   const ClusteredSwapStats& stats() const { return stats_; }
+  void ResetStats() override {
+    stats_ = ClusteredSwapStats{};
+    ResetBaseCounters();
+  }
 
   // Publishes counters as "swap.clustered.*" gauges.
   void BindMetrics(MetricRegistry* registry) override;
@@ -77,6 +88,10 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
   size_t free_blocks() const { return static_cast<size_t>(free_block_count_); }
   size_t free_runs() const { return free_runs_.size(); }
   uint64_t end_block() const { return end_block_; }
+
+  // Mutation hook for auditor tests: allocates `blocks` and drops them on the
+  // floor, simulating a leak so the conservation check must fire.
+  void LeakBlocksForTest(uint64_t blocks) { (void)AllocateBlocks(blocks); }
 
  private:
   static constexpr uint32_t kFragsPerBlock = kFsBlockSize / kSwapFragmentSize;

@@ -10,6 +10,7 @@
 #define COMPCACHE_SWAP_COMPRESSED_SWAP_BACKEND_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,8 @@
 #include "vm/page_key.h"
 
 namespace compcache {
+
+class InvariantAuditor;
 
 // One page image queued for a write (shared by all backends).
 struct SwapPageImage {
@@ -64,6 +67,19 @@ class CompressedSwapBackend {
   // Marks a page's copy obsolete (rewritten in memory or dropped).
   virtual void Invalidate(PageKey key) = 0;
 
+  // Calls `fn` once per page currently stored (order unspecified). The pager's
+  // audit check walks this to prove every backend copy is still claimed by a
+  // page-table entry — leaked locations show up as orphans here.
+  virtual void ForEachPage(const std::function<void(PageKey)>& fn) const = 0;
+
+  // Registers the layout's internal consistency checks (free-space
+  // conservation, index/location agreement) with the auditor.
+  virtual void RegisterAuditChecks(InvariantAuditor* auditor) = 0;
+
+  // Zeroes event counters (layout stats plus the shared integrity counters).
+  // Stored pages and free-space structures are untouched.
+  virtual void ResetStats() { ResetBaseCounters(); }
+
   // --- integrity ---
   // Verification is on by default; turning it off removes the checksum compare
   // from the fault path (the configuration knob the acceptance criteria allow
@@ -80,6 +96,12 @@ class CompressedSwapBackend {
   virtual void SetTracer(EventTracer* tracer) { (void)tracer; }
 
  protected:
+  void ResetBaseCounters() {
+    checksum_mismatches_ = 0;
+    io_failures_ = 0;
+    coresidents_dropped_ = 0;
+  }
+
   bool verify_checksums_ = true;
   uint64_t checksum_mismatches_ = 0;
   uint64_t io_failures_ = 0;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "util/assert.h"
+#include "util/audit.h"
 #include "util/checksum.h"
 
 namespace compcache {
@@ -72,15 +73,43 @@ CompressedSwapBackend::ReadResult FixedCompressedSwapLayout::ReadPage(
 
 void FixedCompressedSwapLayout::Invalidate(PageKey key) { sizes_.erase(key); }
 
+void FixedCompressedSwapLayout::ForEachPage(const std::function<void(PageKey)>& fn) const {
+  for (const auto& [key, size] : sizes_) {
+    fn(key);
+  }
+}
+
+void FixedCompressedSwapLayout::RegisterAuditChecks(InvariantAuditor* auditor) {
+  CC_EXPECTS(auditor != nullptr);
+  // The layout has no free-space structures to conserve (slots are fixed), but
+  // every stored size must be a plausible page image and its segment must have
+  // a swap file to read it back from.
+  auditor->Register("swap.fixed_compressed", "stored-sizes",
+                    [this]() -> std::optional<std::string> {
+    for (const auto& [key, size] : sizes_) {
+      if (size.byte_size == 0 || size.byte_size > kPageSize) {
+        return "stored size " + std::to_string(size.byte_size) +
+               " for segment " + std::to_string(key.segment) + " page " +
+               std::to_string(key.page) + " is outside (0, page size]";
+      }
+      if (!swap_files_.contains(key.segment)) {
+        return "segment " + std::to_string(key.segment) +
+               " has stored pages but no swap file";
+      }
+    }
+    return std::nullopt;
+  });
+}
+
 void FixedCompressedSwapLayout::BindMetrics(MetricRegistry* registry) {
   CC_EXPECTS(registry != nullptr);
   const FixedCompressedSwapStats* s = &stats_;
-  registry->RegisterGauge("swap.fixed_compressed.pages_written",
-                          [s] { return static_cast<double>(s->pages_written); });
-  registry->RegisterGauge("swap.fixed_compressed.pages_read",
-                          [s] { return static_cast<double>(s->pages_read); });
-  registry->RegisterGauge("swap.fixed_compressed.payload_bytes_written",
-                          [s] { return static_cast<double>(s->payload_bytes_written); });
+  registry->RegisterCounterGauge("swap.fixed_compressed.pages_written",
+                                 [s] { return static_cast<double>(s->pages_written); });
+  registry->RegisterCounterGauge("swap.fixed_compressed.pages_read",
+                                 [s] { return static_cast<double>(s->pages_read); });
+  registry->RegisterCounterGauge("swap.fixed_compressed.payload_bytes_written",
+                                 [s] { return static_cast<double>(s->payload_bytes_written); });
 }
 
 }  // namespace compcache

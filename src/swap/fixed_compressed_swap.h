@@ -37,8 +37,14 @@ class FixedCompressedSwapLayout : public CompressedSwapBackend {
   bool Contains(PageKey key) const override { return sizes_.contains(key); }
   ReadResult ReadPage(PageKey key, bool collect_coresidents) override;
   void Invalidate(PageKey key) override;
+  void ForEachPage(const std::function<void(PageKey)>& fn) const override;
+  void RegisterAuditChecks(InvariantAuditor* auditor) override;
 
   const FixedCompressedSwapStats& stats() const { return stats_; }
+  void ResetStats() override {
+    stats_ = FixedCompressedSwapStats{};
+    ResetBaseCounters();
+  }
 
   // Publishes counters as "swap.fixed_compressed.*" gauges.
   void BindMetrics(MetricRegistry* registry) override;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "util/assert.h"
+#include "util/audit.h"
 #include "util/checksum.h"
 #include "util/units.h"
 
@@ -49,12 +50,29 @@ IoStatus FixedSwapLayout::ReadPage(PageKey key, std::span<uint8_t> out) {
   return IoStatus::kOk;
 }
 
+void FixedSwapLayout::RegisterAuditChecks(InvariantAuditor* auditor) {
+  CC_EXPECTS(auditor != nullptr);
+  // The fixed mapping has no allocator to conserve; the auditable fact is
+  // that every recorded page's segment has a swap file to read it back from.
+  // (No comparison against pages_written_: ResetStats zeroes the counter while
+  // the recorded copies legitimately persist.)
+  auditor->Register("swap.fixed", "recorded-pages", [this]() -> std::optional<std::string> {
+    for (const auto& [key, crc] : written_) {
+      if (!swap_files_.contains(key.segment)) {
+        return "segment " + std::to_string(key.segment) +
+               " has recorded pages but no swap file";
+      }
+    }
+    return std::nullopt;
+  });
+}
+
 void FixedSwapLayout::BindMetrics(MetricRegistry* registry) {
   CC_EXPECTS(registry != nullptr);
-  registry->RegisterGauge("swap.fixed.pages_written",
-                          [this] { return static_cast<double>(pages_written_); });
-  registry->RegisterGauge("swap.fixed.pages_read",
-                          [this] { return static_cast<double>(pages_read_); });
+  registry->RegisterCounterGauge("swap.fixed.pages_written",
+                                 [this] { return static_cast<double>(pages_written_); });
+  registry->RegisterCounterGauge("swap.fixed.pages_read",
+                                 [this] { return static_cast<double>(pages_read_); });
   registry->RegisterGauge("swap.fixed.live_pages",
                           [this] { return static_cast<double>(written_.size()); });
 }

@@ -6,6 +6,7 @@
 #ifndef COMPCACHE_SWAP_FIXED_SWAP_H_
 #define COMPCACHE_SWAP_FIXED_SWAP_H_
 
+#include <functional>
 #include <span>
 #include <unordered_map>
 
@@ -15,6 +16,8 @@
 #include "vm/page_key.h"
 
 namespace compcache {
+
+class InvariantAuditor;
 
 class FixedSwapLayout {
  public:
@@ -32,8 +35,31 @@ class FixedSwapLayout {
 
   bool Contains(PageKey key) const { return written_.contains(key); }
 
+  // Forgets a page's copy. The fixed layout normally keeps stale copies (they
+  // are overwritten in place), so this is only for segment teardown, where the
+  // page's key will never be written again.
+  void Invalidate(PageKey key) { written_.erase(key); }
+
+  // Calls `fn` once per page with a recorded copy (order unspecified).
+  void ForEachPage(const std::function<void(PageKey)>& fn) const {
+    for (const auto& [key, crc] : written_) {
+      fn(key);
+    }
+  }
+
+  // Registers the layout's (minimal) consistency checks with the auditor.
+  void RegisterAuditChecks(InvariantAuditor* auditor);
+
   uint64_t pages_written() const { return pages_written_; }
   uint64_t pages_read() const { return pages_read_; }
+
+  // Zeroes event counters; recorded pages are untouched.
+  void ResetStats() {
+    pages_written_ = 0;
+    pages_read_ = 0;
+    checksum_mismatches_ = 0;
+    io_failures_ = 0;
+  }
 
   // Same knob and counters as CompressedSwapBackend.
   void SetVerifyChecksums(bool verify) { verify_checksums_ = verify; }

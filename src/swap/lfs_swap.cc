@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "util/assert.h"
+#include "util/audit.h"
 #include "util/checksum.h"
 
 namespace compcache {
@@ -275,11 +277,92 @@ CompressedSwapBackend::ReadResult LfsSwapLayout::ReadPage(PageKey key,
 
 void LfsSwapLayout::Invalidate(PageKey key) { ReleaseLocation(key); }
 
+void LfsSwapLayout::ForEachPage(const std::function<void(PageKey)>& fn) const {
+  for (const auto& [key, loc] : locations_) {
+    fn(key);
+  }
+}
+
+void LfsSwapLayout::RegisterAuditChecks(InvariantAuditor* auditor) {
+  CC_EXPECTS(auditor != nullptr);
+  // The free-segment LIFO and the membership bitmap are updated together; a
+  // disagreement means a segment was leaked (freed in one structure only) or
+  // double-freed.
+  auditor->Register("swap.lfs", "free-list-coherent", [this]() -> std::optional<std::string> {
+    size_t bitmap_free = 0;
+    for (uint32_t s = 0; s < options_.log_segments; ++s) {
+      if (segment_is_free_[s] != 0) {
+        ++bitmap_free;
+      }
+    }
+    if (bitmap_free != free_segments_.size()) {
+      return "bitmap marks " + std::to_string(bitmap_free) +
+             " segments free, free list holds " + std::to_string(free_segments_.size());
+    }
+    for (const uint32_t s : free_segments_) {
+      if (segment_is_free_[s] == 0) {
+        return "segment " + std::to_string(s) + " is on the free list but not in the bitmap";
+      }
+      if (live_bytes_[s] != 0 || !members_[s].empty()) {
+        return "free segment " + std::to_string(s) + " still has " +
+               std::to_string(live_bytes_[s]) + " live bytes / " +
+               std::to_string(members_[s].size()) + " members";
+      }
+    }
+    if (segment_is_free_[open_segment_] != 0) {
+      return "open segment " + std::to_string(open_segment_) + " is marked free";
+    }
+    return std::nullopt;
+  });
+  // live_bytes_ / members_ are incremental caches over locations_; recompute
+  // them from scratch and compare. A stuck live-byte count is how a leaked
+  // location (e.g. from a partially failed batch) shows up.
+  auditor->Register("swap.lfs", "live-bytes-conserved", [this]() -> std::optional<std::string> {
+    std::vector<uint64_t> recount(options_.log_segments, 0);
+    uint64_t total_members = 0;
+    for (const auto& [key, loc] : locations_) {
+      if (loc.segment >= options_.log_segments) {
+        return "location points at segment " + std::to_string(loc.segment) +
+               " beyond the log";
+      }
+      if (loc.byte_size == 0) {
+        return "location in segment " + std::to_string(loc.segment) + " has zero size";
+      }
+      recount[loc.segment] += loc.byte_size;
+      const auto& mem = members_[loc.segment];
+      const auto it = mem.find(loc.offset);
+      if (it == mem.end() || !(it->second == key)) {
+        return "location at segment " + std::to_string(loc.segment) + " offset " +
+               std::to_string(loc.offset) + " is missing from the member table";
+      }
+      ++total_members;
+    }
+    uint64_t member_entries = 0;
+    for (const auto& mem : members_) {
+      member_entries += mem.size();
+    }
+    if (member_entries != total_members) {
+      return "member tables hold " + std::to_string(member_entries) +
+             " entries, location map holds " + std::to_string(total_members) +
+             " (leaked member entries)";
+    }
+    for (uint32_t s = 0; s < options_.log_segments; ++s) {
+      if (recount[s] != live_bytes_[s]) {
+        return "segment " + std::to_string(s) + " live_bytes " +
+               std::to_string(live_bytes_[s]) + " != recomputed " +
+               std::to_string(recount[s]);
+      }
+    }
+    return std::nullopt;
+  });
+}
+
 void LfsSwapLayout::BindMetrics(MetricRegistry* registry) {
   CC_EXPECTS(registry != nullptr);
   const LfsSwapStats* s = &stats_;
   const auto gauge = [&](const char* name, const uint64_t LfsSwapStats::*field) {
-    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+    registry->RegisterCounterGauge(name,
+                                   [s, field] { return static_cast<double>(s->*field); });
   };
   gauge("swap.lfs.pages_written", &LfsSwapStats::pages_written);
   gauge("swap.lfs.pages_read", &LfsSwapStats::pages_read);

@@ -62,9 +62,20 @@ class LfsSwapLayout : public CompressedSwapBackend {
   bool Contains(PageKey key) const override { return locations_.contains(key); }
   ReadResult ReadPage(PageKey key, bool collect_coresidents) override;
   void Invalidate(PageKey key) override;
+  void ForEachPage(const std::function<void(PageKey)>& fn) const override;
+
+  // Invariants: free list ↔ bitmap agreement, per-segment live-byte totals
+  // equal to a recount from the location map, and members_/locations_ mutual
+  // consistency.
+  void RegisterAuditChecks(InvariantAuditor* auditor) override;
 
   const LfsSwapStats& stats() const { return stats_; }
+  void ResetStats() override {
+    stats_ = LfsSwapStats{};
+    ResetBaseCounters();
+  }
   size_t free_segments() const { return free_segments_.size(); }
+  size_t buffer_frame_count() const { return buffer_frames_.size(); }
 
   // Publishes counters as "swap.lfs.*" gauges.
   void BindMetrics(MetricRegistry* registry) override;

@@ -1,0 +1,49 @@
+#include "util/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/metrics.h"
+
+namespace compcache {
+
+void InvariantAuditor::Register(std::string subsystem, std::string invariant, CheckFn fn) {
+  CC_EXPECTS(fn != nullptr);
+  CC_EXPECTS(!subsystem.empty() && !invariant.empty());
+  checks_.push_back(Check{std::move(subsystem), std::move(invariant), std::move(fn)});
+}
+
+size_t InvariantAuditor::RunAll() {
+  ++runs_;
+  last_violations_.clear();
+  for (const Check& check : checks_) {
+    if (std::optional<std::string> detail = check.fn(); detail.has_value()) {
+      last_violations_.push_back(
+          Violation{check.subsystem, check.invariant, std::move(*detail)});
+    }
+  }
+  total_violations_ += last_violations_.size();
+  if (!last_violations_.empty() && abort_on_violation_) {
+    std::fprintf(stderr, "invariant audit failed (run %llu):\n",
+                 static_cast<unsigned long long>(runs_));
+    for (const Violation& v : last_violations_) {
+      std::fprintf(stderr, "  [%s] %s: %s\n", v.subsystem.c_str(), v.invariant.c_str(),
+                   v.detail.c_str());
+    }
+    std::abort();
+  }
+  return last_violations_.size();
+}
+
+void InvariantAuditor::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  registry->RegisterGauge("audit.runs", [this] { return static_cast<double>(runs_); });
+  registry->RegisterGauge("audit.violations",
+                          [this] { return static_cast<double>(total_violations_); });
+  registry->RegisterGauge("audit.checks",
+                          [this] { return static_cast<double>(checks_.size()); });
+}
+
+}  // namespace compcache

@@ -1,0 +1,82 @@
+// Cross-subsystem invariant auditor.
+//
+// Each subsystem registers named check callbacks at machine construction
+// (RegisterAuditChecks); the machine runs the full set every
+// MachineConfig::audit_interval serviced faults and always once at shutdown.
+// A check recomputes an invariant from first principles (walk the page table,
+// re-sum the ring occupancy, re-count free blocks) and returns a description
+// of the violation, or nullopt when the invariant holds. Checks are pull-mode
+// and side-effect free on the audited subsystem, so running them more often
+// only costs time.
+//
+// By default a violation aborts the simulation (same policy as CC_ASSERT):
+// an inconsistent machine produces numbers that look plausible but mean
+// nothing, which is worse than no numbers. Mutation tests disable the abort
+// and inspect last_violations() to assert the auditor names the exact
+// subsystem and invariant.
+//
+// DESIGN.md §14 catalogues every registered invariant.
+#ifndef COMPCACHE_UTIL_AUDIT_H_
+#define COMPCACHE_UTIL_AUDIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace compcache {
+
+class MetricRegistry;
+
+class InvariantAuditor {
+ public:
+  // Returns nullopt when the invariant holds, otherwise a short human-readable
+  // description of what diverged (expected vs actual values).
+  using CheckFn = std::function<std::optional<std::string>()>;
+
+  struct Violation {
+    std::string subsystem;  // e.g. "ccache"
+    std::string invariant;  // e.g. "occupancy"
+    std::string detail;     // e.g. "live_bytes 8192 != recomputed 4096"
+  };
+
+  InvariantAuditor() = default;
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  void Register(std::string subsystem, std::string invariant, CheckFn fn);
+
+  // Runs every registered check. Returns the number of violations found in
+  // this pass; the details are kept in last_violations(). Aborts on the first
+  // failing pass unless set_abort_on_violation(false).
+  size_t RunAll();
+
+  void set_abort_on_violation(bool abort) { abort_on_violation_ = abort; }
+
+  uint64_t runs() const { return runs_; }
+  uint64_t total_violations() const { return total_violations_; }
+  size_t num_checks() const { return checks_.size(); }
+  const std::vector<Violation>& last_violations() const { return last_violations_; }
+
+  // audit.runs / audit.violations / audit.checks. Published even when periodic
+  // audits are off so bench JSON always carries audit.violations (== 0).
+  void BindMetrics(MetricRegistry* registry);
+
+ private:
+  struct Check {
+    std::string subsystem;
+    std::string invariant;
+    CheckFn fn;
+  };
+
+  std::vector<Check> checks_;
+  std::vector<Violation> last_violations_;
+  uint64_t runs_ = 0;
+  uint64_t total_violations_ = 0;
+  bool abort_on_violation_ = true;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_UTIL_AUDIT_H_

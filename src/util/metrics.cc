@@ -91,6 +91,20 @@ void MetricRegistry::RegisterGauge(const std::string& name, GaugeFn fn) {
   }
 }
 
+void MetricRegistry::RegisterCounterGauge(const std::string& name, GaugeFn fn) {
+  RegisterGauge(name, std::move(fn));
+  counter_gauge_names_.insert(name);
+}
+
+std::vector<std::string> MetricRegistry::HistogramNames() const {
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, entry] : histograms_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
 Counter* MetricRegistry::FindCounter(const std::string& name) {
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();

@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -102,6 +103,22 @@ class MetricRegistry {
   // (components may be re-bound after reconfiguration).
   void RegisterGauge(const std::string& name, GaugeFn fn);
 
+  // Registers a gauge whose backing value is a monotonically non-decreasing
+  // counter that the owning subsystem's ResetStats() zeroes. The kind tag lets
+  // the invariant auditor enforce monotonicity across snapshots and lets the
+  // ResetStats parity sweep assert every counter gauge reads 0 after a reset,
+  // without either of them hard-coding metric names. State gauges (occupancy,
+  // free counts, clock time) stay on plain RegisterGauge.
+  void RegisterCounterGauge(const std::string& name, GaugeFn fn);
+
+  bool IsCounterGauge(const std::string& name) const {
+    return counter_gauge_names_.contains(name);
+  }
+  const std::set<std::string>& counter_gauge_names() const { return counter_gauge_names_; }
+
+  // Registered histogram names (not the expanded .count/.mean/... fields).
+  std::vector<std::string> HistogramNames() const;
+
   Counter* FindCounter(const std::string& name);
   const Counter* FindCounter(const std::string& name) const;
 
@@ -143,6 +160,7 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, GaugeFn> gauges_;
   std::map<std::string, HistogramEntry> histograms_;
+  std::set<std::string> counter_gauge_names_;  // subset of gauges_ keys
 };
 
 }  // namespace compcache

@@ -1,8 +1,11 @@
 #include "vm/pager.h"
 
 #include <cstring>
+#include <string>
+#include <unordered_set>
 
 #include "util/assert.h"
+#include "util/audit.h"
 #include "util/checksum.h"
 #include "util/units.h"
 
@@ -61,6 +64,7 @@ void Pager::DropStaleCopies(PageEntry& entry) {
 }
 
 std::span<uint8_t> Pager::Access(Segment& segment, uint32_t page, bool write) {
+  CC_EXPECTS(!segment.torn_down());
   ++stats_.accesses;
   PageEntry& entry = segment.page(page);
 
@@ -82,7 +86,8 @@ void Pager::BindMetrics(MetricRegistry* registry) {
   CC_EXPECTS(registry != nullptr);
   const VmStats* s = &stats_;
   const auto gauge = [&](const char* name, const uint64_t VmStats::*field) {
-    registry->RegisterGauge(name, [s, field] { return static_cast<double>(s->*field); });
+    registry->RegisterCounterGauge(name,
+                                   [s, field] { return static_cast<double>(s->*field); });
   };
   gauge("vm.accesses", &VmStats::accesses);
   gauge("vm.faults", &VmStats::faults);
@@ -99,9 +104,17 @@ void Pager::BindMetrics(MetricRegistry* registry) {
   gauge("vm.pages_recovered", &VmStats::pages_recovered);
   gauge("vm.pages_lost", &VmStats::pages_lost);
   gauge("vm.segments_aborted", &VmStats::segments_aborted);
+  gauge("vm.segments_torn_down", &VmStats::segments_torn_down);
   registry->RegisterGauge("vm.resident_pages",
                           [this] { return static_cast<double>(lru_.size()); });
   fault_latency_ = registry->BindHistogram("vm.fault_ns");
+}
+
+void Pager::ResetStats() {
+  stats_ = VmStats{};
+  if (fault_latency_ != nullptr) {
+    fault_latency_->Reset();
+  }
 }
 
 void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
@@ -327,8 +340,11 @@ bool Pager::EvictResident(PageEntry& entry) {
       if (cswap_->WriteBatch(std::span<const SwapPageImage>(&img, 1)) != IoStatus::kOk) {
         // Pageout failed after retries: the only valid copy is the resident
         // one, so the page cannot leave memory. Re-admit it and let the
-        // arbiter pick a different victim.
+        // arbiter pick a different victim. Re-stamp the age to match the MRU
+        // position — keeping the ancient stamp would let an old age drift back
+        // to the LRU front and make vm's published age regress.
         ++stats_.evictions_failed;
+        entry.age_ns = static_cast<uint64_t>(clock_->Now().nanos());
         lru_.PushMru(entry);
         entry.pinned = false;
         return false;
@@ -345,6 +361,7 @@ bool Pager::EvictResident(PageEntry& entry) {
     if (entry.dirty || !entry.has_backing_copy) {
       if (fixed_swap_->WritePage(entry.key, frame_data) != IoStatus::kOk) {
         ++stats_.evictions_failed;
+        entry.age_ns = static_cast<uint64_t>(clock_->Now().nanos());  // matches MRU slot
         lru_.PushMru(entry);
         entry.pinned = false;
         return false;
@@ -368,6 +385,37 @@ bool Pager::EvictResident(PageEntry& entry) {
   entry.frame = FrameId{};
   entry.pinned = false;
   return true;
+}
+
+void Pager::TeardownSegment(Segment& segment) {
+  CC_EXPECTS(!segment.torn_down());
+  for (uint32_t p = 0; p < segment.num_pages(); ++p) {
+    PageEntry& e = segment.page(p);
+    CC_EXPECTS(!e.pinned);  // teardown mid-fault would orphan the frame
+    if (e.state == PageState::kResident) {
+      lru_.Remove(e);
+      frames_->FreeFrame(e.frame);
+    }
+    if (e.has_ccache_copy) {
+      CC_ASSERT(ccache_ != nullptr);
+      ccache_->Invalidate(e.key);
+    }
+    // Invalidate the backing copy unconditionally, not just when the flag says
+    // one exists: a partially persisted write batch can leave the backend
+    // holding a copy the page table never learned about, and teardown is the
+    // last chance to release those blocks.
+    if (cswap_ != nullptr) {
+      cswap_->Invalidate(e.key);
+    }
+    if (fixed_swap_ != nullptr) {
+      fixed_swap_->Invalidate(e.key);
+    }
+    const PageKey key = e.key;
+    e = PageEntry{};
+    e.key = key;
+  }
+  segment.MarkTornDown();
+  ++stats_.segments_torn_down;
 }
 
 void Pager::Advise(Segment& segment, uint32_t first_page, uint32_t page_count, bool pin) {
@@ -458,6 +506,108 @@ void Pager::OnEntryLost(PageKey key) {
     segment.MarkAborted();
     ++stats_.segments_aborted;
   }
+}
+
+void Pager::RegisterAuditChecks(InvariantAuditor* auditor) {
+  CC_EXPECTS(auditor != nullptr);
+  // Reporting mirror of CheckInvariants: per-state flag rules plus the
+  // resident-count / LRU-size balance.
+  auditor->Register("vm", "page-states", [this]() -> std::optional<std::string> {
+    size_t resident = 0;
+    for (const auto& segment : segments_) {
+      for (uint32_t p = 0; p < segment->num_pages(); ++p) {
+        const PageEntry& e = segment->page(p);
+        const std::string where = "segment " + std::to_string(segment->id()) + " page " +
+                                  std::to_string(p) + " ";
+        switch (e.state) {
+          case PageState::kUntouched:
+            if (e.frame.valid() || e.dirty || e.has_ccache_copy || e.has_backing_copy) {
+              return where + "is untouched but holds a frame, dirty bit, or copy flag";
+            }
+            break;
+          case PageState::kResident:
+            if (!e.frame.valid()) {
+              return where + "is resident without a frame";
+            }
+            ++resident;
+            if (e.dirty && (e.has_ccache_copy || e.has_backing_copy)) {
+              return where + "is dirty yet claims a (stale) compressed or backing copy";
+            }
+            break;
+          case PageState::kCompressed:
+            if (e.frame.valid() || !e.has_ccache_copy) {
+              return where + "is compressed but holds a frame or lacks the ccache flag";
+            }
+            if (ccache_ == nullptr || !ccache_->Contains(e.key)) {
+              return where + "claims a ccache copy the cache does not hold";
+            }
+            break;
+          case PageState::kSwapped:
+            if (e.frame.valid() || e.has_ccache_copy || !e.has_backing_copy) {
+              return where + "is swapped but holds a frame/ccache flag or lacks the "
+                             "backing flag";
+            }
+            break;
+        }
+        if (e.has_ccache_copy && (ccache_ == nullptr || !ccache_->Contains(e.key))) {
+          return where + "claims a ccache copy the cache does not hold";
+        }
+        if (!e.has_ccache_copy && ccache_ != nullptr && e.state != PageState::kResident &&
+            ccache_->Contains(e.key)) {
+          return where + "disclaims a ccache copy the cache still holds";
+        }
+      }
+    }
+    if (resident != lru_.size()) {
+      return std::to_string(resident) + " resident pages but the LRU holds " +
+             std::to_string(lru_.size());
+    }
+    return std::nullopt;
+  });
+  // Two-way coherence with the backing store. Forward: a claimed backing copy
+  // must exist. Reverse: every backend page must be claimed by a page-table
+  // entry — an orphan is a leaked location (and, for the clustered/LFS
+  // layouts, leaked blocks). The fixed (std) layout keeps stale copies by
+  // design, so only the forward direction applies to it.
+  auditor->Register("vm", "swap-coherent", [this]() -> std::optional<std::string> {
+    for (const auto& segment : segments_) {
+      for (uint32_t p = 0; p < segment->num_pages(); ++p) {
+        const PageEntry& e = segment->page(p);
+        if (!e.has_backing_copy) {
+          continue;
+        }
+        const bool present = cswap_ != nullptr    ? cswap_->Contains(e.key)
+                             : fixed_swap_ != nullptr ? fixed_swap_->Contains(e.key)
+                                                      : false;
+        if (!present) {
+          return "segment " + std::to_string(segment->id()) + " page " + std::to_string(p) +
+                 " claims a backing copy the backend does not hold";
+        }
+      }
+    }
+    if (cswap_ != nullptr) {
+      std::optional<std::string> orphan;
+      cswap_->ForEachPage([&](PageKey key) {
+        if (orphan.has_value() || IsFileKey(key)) {
+          return;
+        }
+        if (key.segment >= segments_.size()) {
+          orphan = "backend holds a page for unknown segment " + std::to_string(key.segment);
+          return;
+        }
+        const PageEntry& e = segments_[key.segment]->page(key.page);
+        if (!e.has_backing_copy) {
+          orphan = "backend holds an orphaned copy of segment " +
+                   std::to_string(key.segment) + " page " + std::to_string(key.page) +
+                   " (leaked location)";
+        }
+      });
+      if (orphan.has_value()) {
+        return orphan;
+      }
+    }
+    return std::nullopt;
+  });
 }
 
 void Pager::CheckInvariants() const {

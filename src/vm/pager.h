@@ -34,6 +34,8 @@
 
 namespace compcache {
 
+class InvariantAuditor;
+
 enum class PageState : uint8_t {
   kUntouched,   // never materialized; faults zero-fill
   kResident,    // uncompressed in a frame
@@ -72,6 +74,12 @@ class Segment {
   bool aborted() const { return aborted_; }
   void MarkAborted() { aborted_ = true; }
 
+  // Set by Pager::TeardownSegment once every resource (frames, compressed
+  // copies, backing blocks) has been released. A torn-down segment must never
+  // be accessed again.
+  bool torn_down() const { return torn_down_; }
+  void MarkTornDown() { torn_down_ = true; }
+
   PageEntry& page(uint32_t index) {
     CC_EXPECTS(index < pages_.size());
     return pages_[index];
@@ -85,6 +93,7 @@ class Segment {
   uint32_t id_;
   std::vector<PageEntry> pages_;
   bool aborted_ = false;
+  bool torn_down_ = false;
 };
 
 struct VmOptions {
@@ -114,6 +123,7 @@ struct VmStats {
   uint64_t pages_recovered = 0;       // corrupt copy replaced from another copy
   uint64_t pages_lost = 0;            // no valid copy anywhere; reads as zeros
   uint64_t segments_aborted = 0;      // segments holding at least one lost page
+  uint64_t segments_torn_down = 0;    // segments whose resources were released
 };
 
 class Pager : public CcacheEvents {
@@ -128,6 +138,15 @@ class Pager : public CcacheEvents {
 
   Segment* CreateSegment(size_t num_pages);
   Segment* GetSegment(uint32_t id);
+
+  // Releases every resource a segment holds: resident frames return to the
+  // pool, compressed copies leave the ccache, and backing-store blocks return
+  // to the backend's free structures. Page entries reset to kUntouched and the
+  // segment is marked torn down (further Access aborts). This is how an
+  // aborted segment's blocks get back to the free pool — before it existed,
+  // they leaked until machine shutdown, which the auditor's orphan check now
+  // makes a hard failure. No pages of the segment may be pinned (mid-fault).
+  void TeardownSegment(Segment& segment);
 
   // Touches one page, faulting as needed, and returns its frame data. The span is
   // valid only until the next pager/file operation. `write` marks the page dirty
@@ -154,7 +173,14 @@ class Pager : public CcacheEvents {
 
   size_t resident_pages() const { return lru_.size(); }
   const VmStats& stats() const { return stats_; }
+  void ResetStats();
   bool uses_compression_cache() const { return ccache_ != nullptr; }
+
+  // Invariants: the per-page-state flag rules of CheckInvariants (as reporting
+  // checks rather than aborts), resident count == LRU size, and two-way
+  // vm <-> backing-store coherence: every page claiming a backing copy is in
+  // the backend, and every backend page is claimed (orphans are leaks).
+  void RegisterAuditChecks(InvariantAuditor* auditor);
 
   // --- observability ---
   // Publishes every VmStats counter as a "vm.*" gauge reading the struct (so the
