@@ -29,6 +29,15 @@ Schema (schema_version 1):
     perf_hotpath        must publish the full wall_clock metric set and its
                         zero-page fast path must actually be faster than the
                         codec path (wall_clock.zero_speedup_vs_codec > 1)
+    proc.*              per-process attribution counters from the scheduler;
+                        when present (unprefixed), each family must sum
+                        exactly to the machine total it partitions:
+                          sum(proc.<name>.faults)          == vm.faults
+                          sum(proc.<name>.compressed_hits) == vm.faults_from_ccache
+                          sum(proc.<name>.swap_faults)     == vm.faults_from_swap
+    fig5_multiprogramming  must publish mix.* metrics (mix.elapsed_ns,
+                        mix.processes, per-process mix.<name>.run_ns/faults)
+                        from its representative multiprogrammed cell
 """
 
 import json
@@ -136,6 +145,36 @@ def validate(path):
             elif (k == "audit.violations" or k.endswith(".audit.violations")) and v != 0:
                 err(f'metrics["{k}"] must be 0 -- the invariant auditor found '
                     f"{v} violation(s)")
+
+    # Per-process attribution: when a snapshot carries the scheduler's
+    # unprefixed proc.* counters, each family must partition the machine total
+    # it attributes -- the scheduler delta-snapshots the authoritative
+    # counters around every quantum, so any mismatch is an accounting bug.
+    if isinstance(metrics, dict):
+        proc_sums = {}
+        for k, v in metrics.items():
+            m = re.match(r"^proc\.[a-z0-9_]+\.([a-z0-9_]+)$", k)
+            if m and is_number(v):
+                proc_sums[m.group(1)] = proc_sums.get(m.group(1), 0) + v
+        for field, total in (("faults", "vm.faults"),
+                             ("compressed_hits", "vm.faults_from_ccache"),
+                             ("swap_faults", "vm.faults_from_swap")):
+            if field in proc_sums and total in metrics:
+                if proc_sums[field] != metrics[total]:
+                    err(f"sum(proc.*.{field}) = {proc_sums[field]} but "
+                        f'metrics["{total}"] = {metrics[total]} -- per-process '
+                        f"attribution must partition the machine total exactly")
+
+    if bench == "fig5_multiprogramming" and isinstance(metrics, dict):
+        if not any(k.startswith("mix.") for k in metrics):
+            err("fig5_multiprogramming must publish mix.* metrics from its "
+                "representative multiprogrammed cell")
+        for name in ("mix.elapsed_ns", "mix.processes"):
+            if name not in metrics:
+                err(f'fig5_multiprogramming must publish metrics["{name}"]')
+        if not any(k.startswith("proc.") for k in metrics):
+            err("fig5_multiprogramming snapshot must include per-process "
+                "proc.* counters")
 
     if bench == "perf_hotpath" and isinstance(metrics, dict):
         for name in PERF_HOTPATH_METRICS:

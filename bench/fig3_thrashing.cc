@@ -18,17 +18,27 @@
 // sweep. The expected shape is *graceful* degradation: access times creep up
 // with the retry/backoff cost, retries are counted, and no pages are lost —
 // there is no cliff and no wrong result as the rate rises 0 -> 1e-3.
+//
+// --mix=none|gold|sort time-shares every machine between the thrasher and a
+// partner process (round-robin, 1 ms quantum) — the paper's multiprogramming
+// regime on the thrashing sweep. Access times are still the thrasher's; the
+// partner's competition for frames shifts them, and mix.* metrics in the JSON
+// report attribute the machine's faults between the two processes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "apps/gold.h"
+#include "apps/sort.h"
 #include "apps/thrasher.h"
 #include "bench_json.h"
 #include "core/machine.h"
+#include "proc/scheduler.h"
 #include "sweep_runner.h"
 
 using namespace compcache;
@@ -37,17 +47,39 @@ namespace {
 
 constexpr uint64_t kUserMemory = 6 * kMiB;
 
+enum class MixPartner { kNone, kGold, kSort };
+
 struct RunResult {
   double avg_access_ms = 0.0;
   uint64_t disk_retries = 0;
   uint64_t pages_lost = 0;
   // Full metric snapshot, taken for one representative run only (the machine
-  // is gone by the time the report is assembled).
+  // is gone by the time the report is assembled). When a mix partner runs,
+  // hand-built mix.* metrics ride along.
   std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, double>> mix_metrics;
 };
 
+std::unique_ptr<App> MakePartner(MixPartner partner) {
+  if (partner == MixPartner::kGold) {
+    GoldOptions gold;
+    gold.num_messages = 512;
+    gold.message_bytes = 1024;
+    gold.dictionary_words = 8 * 1024;
+    gold.term_table_slots = 1 << 13;
+    gold.postings_bytes = 2 * kMiB;
+    gold.num_queries = 256;
+    return std::make_unique<GoldApp>(gold);
+  }
+  SortOptions sort;
+  sort.variant = SortVariant::kPartial;
+  sort.text_bytes = 512 * kKiB;
+  sort.dictionary_words = 8 * 1024;
+  return std::make_unique<TextSort>(sort);
+}
+
 RunResult RunOne(uint64_t address_space, bool use_ccache, bool write, double fault_rate,
-                 bool snapshot_metrics) {
+                 MixPartner partner, bool snapshot_metrics) {
   MachineConfig config = use_ccache ? MachineConfig::WithCompressionCache(kUserMemory)
                                     : MachineConfig::Unmodified(kUserMemory);
   if (fault_rate > 0.0) {
@@ -63,10 +95,34 @@ RunResult RunOne(uint64_t address_space, bool use_ccache, bool write, double fau
   options.write = write;
   options.passes = 2;
   options.content = ContentClass::kSparseNumeric;  // ~4:1 under LZRW1, like the paper
-  Thrasher app(options);
-  app.Run(machine);
+
   RunResult result;
-  result.avg_access_ms = app.result().AvgAccessMillis();
+  if (partner == MixPartner::kNone) {
+    // Single-process path, identical to the pre-scheduler bench.
+    Thrasher app(options);
+    app.Run(machine);
+    result.avg_access_ms = app.result().AvgAccessMillis();
+  } else {
+    Scheduler sched(machine);
+    const SimTime start = machine.clock().Now();
+    sched.Spawn("thrash", std::make_unique<Thrasher>(options));
+    sched.Spawn(partner == MixPartner::kGold ? "gold" : "sorter", MakePartner(partner));
+    sched.RunToCompletion();
+    const auto& app = static_cast<const Thrasher&>(sched.process(1).app());
+    result.avg_access_ms = app.result().AvgAccessMillis();
+    if (snapshot_metrics) {
+      const SimDuration elapsed = machine.clock().Now() - start;
+      result.mix_metrics.emplace_back("mix.elapsed_ns", static_cast<double>(elapsed.nanos()));
+      result.mix_metrics.emplace_back("mix.processes", 2.0);
+      for (uint32_t pid = 1; pid <= 2; ++pid) {
+        const Process& proc = sched.process(pid);
+        result.mix_metrics.emplace_back("mix." + proc.name() + ".run_ns",
+                                        static_cast<double>(proc.stats().run_time.nanos()));
+        result.mix_metrics.emplace_back("mix." + proc.name() + ".faults",
+                                        static_cast<double>(proc.stats().faults));
+      }
+    }
+  }
   result.disk_retries = machine.disk().stats().read_retries + machine.disk().stats().write_retries;
   result.pages_lost = machine.pager().stats().pages_lost;
   if (snapshot_metrics) {
@@ -80,13 +136,26 @@ RunResult RunOne(uint64_t address_space, bool use_ccache, bool write, double fau
 int main(int argc, char** argv) {
   // --quick: two sizes instead of twelve, for CI smoke runs.
   // --faults=<rate>: per-operation transient disk error probability (default 0).
+  // --mix=none|gold|sort: time-share each machine with a partner process.
   bool quick = false;
   double fault_rate = 0.0;
+  MixPartner partner = MixPartner::kNone;
+  std::string mix_name = "none";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       fault_rate = std::strtod(argv[i] + 9, nullptr);
+    } else if (std::strncmp(argv[i], "--mix=", 6) == 0) {
+      mix_name = argv[i] + 6;
+      if (mix_name == "gold") {
+        partner = MixPartner::kGold;
+      } else if (mix_name == "sort") {
+        partner = MixPartner::kSort;
+      } else if (mix_name != "none") {
+        std::fprintf(stderr, "unknown --mix=%s (expected none|gold|sort)\n", mix_name.c_str());
+        return 1;
+      }
     }
   }
   const std::vector<uint64_t> sizes_mb = quick
@@ -100,11 +169,16 @@ int main(int argc, char** argv) {
   report.Config("passes", uint64_t{2});
   report.Config("quick", quick);
   report.Config("fault_rate", fault_rate);
+  report.Config("mix", mix_name);
 
   std::printf("Figure 3: thrasher on a %llu MB machine (RZ57-class disk, LZRW1, 4 KB pages)\n",
               static_cast<unsigned long long>(kUserMemory / kMiB));
   if (fault_rate > 0.0) {
     std::printf("fault injection: transient disk error rate %g per op\n", fault_rate);
+  }
+  if (partner != MixPartner::kNone) {
+    std::printf("mix: thrasher time-shared with %s (round-robin, 1 ms quantum)\n",
+                mix_name.c_str());
   }
   std::printf("\n(a) average page access time (ms) and (b) speedup vs unmodified\n\n");
   std::printf("%8s %10s %10s %10s %10s %11s %11s %9s %6s\n", "size(MB)", "std_rw", "cc_rw",
@@ -119,11 +193,18 @@ int main(int argc, char** argv) {
     // The last size's cc_rw machine contributes the metric snapshot: the most
     // memory-pressured configuration, so every subsystem has non-zero counters.
     const bool snapshot = mb == sizes_mb.back() && report.enabled();
-    jobs.push_back([bytes, fault_rate] { return RunOne(bytes, false, true, fault_rate, false); });
-    jobs.push_back(
-        [bytes, fault_rate, snapshot] { return RunOne(bytes, true, true, fault_rate, snapshot); });
-    jobs.push_back([bytes, fault_rate] { return RunOne(bytes, false, false, fault_rate, false); });
-    jobs.push_back([bytes, fault_rate] { return RunOne(bytes, true, false, fault_rate, false); });
+    jobs.push_back([bytes, fault_rate, partner] {
+      return RunOne(bytes, false, true, fault_rate, partner, false);
+    });
+    jobs.push_back([bytes, fault_rate, partner, snapshot] {
+      return RunOne(bytes, true, true, fault_rate, partner, snapshot);
+    });
+    jobs.push_back([bytes, fault_rate, partner] {
+      return RunOne(bytes, false, false, fault_rate, partner, false);
+    });
+    jobs.push_back([bytes, fault_rate, partner] {
+      return RunOne(bytes, true, false, fault_rate, partner, false);
+    });
   }
   const std::vector<RunResult> results = RunSweep(jobs, SweepThreadsFromArgs(argc, argv));
 
@@ -136,6 +217,7 @@ int main(int argc, char** argv) {
     const RunResult& cc_ro = results[s * 4 + 3];
     if (!cc_rw.metrics.empty()) {
       report.MergeMetrics(cc_rw.metrics);
+      report.MergeMetrics(cc_rw.mix_metrics);
     }
     const uint64_t retries = std_rw.disk_retries + cc_rw.disk_retries + std_ro.disk_retries +
                              cc_ro.disk_retries;

@@ -1,0 +1,232 @@
+// Figure 5 (paper section 5.3): multiprogrammed workload mixes.
+//
+// The paper's multiprogramming experiments time-share one machine among
+// several programs whose working sets compete for the same frames: the
+// compression cache's benefit depends on the *mix*, not just the program. This
+// bench runs three canonical mixes under the deterministic round-robin
+// scheduler, on the unmodified ("std") and compression-cache ("cc") systems,
+// across a memory sweep:
+//
+//   gold_sort    — gold index engine + sort partial (both paper section 5.2);
+//   gold_thrash  — gold + a thrasher covering most of memory (worst neighbor);
+//   three_way    — gold + sort + thrasher.
+//
+// Expected shape: at generous memory (working sets fit) cc ~= std; as memory
+// shrinks the mixes start paging and cc pulls ahead wherever the victims'
+// pages compress well — the thrasher's ~4:1 pages make gold_thrash the
+// clearest win, while gold's poorly-compressing index tempers gold_sort.
+//
+// The JSON report carries mix.* metrics (virtual elapsed time, per-process
+// charged time and faults) plus the representative cell's full unprefixed
+// metric snapshot, whose per-process proc.* counters must sum exactly to the
+// machine's vm.* totals (validated by bench/check_bench_json.py).
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/gold.h"
+#include "apps/sort.h"
+#include "apps/thrasher.h"
+#include "bench_json.h"
+#include "core/machine.h"
+#include "proc/scheduler.h"
+#include "sweep_runner.h"
+
+using namespace compcache;
+
+namespace {
+
+enum class Mix { kGoldSort, kGoldThrash, kThreeWay };
+
+const char* MixName(Mix mix) {
+  switch (mix) {
+    case Mix::kGoldSort:
+      return "gold_sort";
+    case Mix::kGoldThrash:
+      return "gold_thrash";
+    case Mix::kThreeWay:
+      return "three_way";
+  }
+  return "?";
+}
+
+struct ProcOutcome {
+  std::string name;
+  double run_ms = 0.0;
+  uint64_t faults = 0;
+};
+
+struct CellResult {
+  double elapsed_s = 0.0;
+  uint64_t faults = 0;
+  uint64_t compressed_hits = 0;
+  uint64_t swap_faults = 0;
+  uint64_t disk_reads = 0;
+  std::vector<ProcOutcome> procs;
+  std::string completion;  // names in finish order, comma-separated
+  // Representative cell only: full unprefixed snapshot + hand-built mix.*.
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, double>> mix_metrics;
+};
+
+GoldOptions BenchGoldOptions(bool quick) {
+  GoldOptions o;
+  o.num_messages = quick ? 512 : 1024;
+  o.message_bytes = 1024;
+  o.dictionary_words = 8 * 1024;
+  o.term_table_slots = 1 << 14;
+  o.postings_bytes = quick ? 2 * kMiB : 4 * kMiB;
+  o.num_queries = quick ? 256 : 512;
+  return o;
+}
+
+SortOptions BenchSortOptions(bool quick) {
+  SortOptions o;
+  o.variant = SortVariant::kPartial;
+  o.text_bytes = quick ? 512 * kKiB : 1 * kMiB;
+  o.dictionary_words = 8 * 1024;
+  return o;
+}
+
+ThrasherOptions BenchThrasherOptions(bool quick) {
+  ThrasherOptions o;
+  o.address_space_bytes = quick ? 3 * kMiB : 4 * kMiB;
+  o.write = true;
+  o.passes = 2;
+  o.content = ContentClass::kSparseNumeric;  // ~4:1 under LZRW1
+  return o;
+}
+
+CellResult RunCell(Mix mix, uint64_t memory_bytes, bool use_ccache, bool quick,
+                   bool snapshot_metrics) {
+  MachineConfig config = use_ccache ? MachineConfig::WithCompressionCache(memory_bytes)
+                                    : MachineConfig::Unmodified(memory_bytes);
+  Machine machine(config);
+  Scheduler sched(machine);
+
+  sched.Spawn("gold", std::make_unique<GoldApp>(BenchGoldOptions(quick)));
+  if (mix == Mix::kGoldSort || mix == Mix::kThreeWay) {
+    sched.Spawn("sorter", std::make_unique<TextSort>(BenchSortOptions(quick)));
+  }
+  if (mix == Mix::kGoldThrash || mix == Mix::kThreeWay) {
+    sched.Spawn("thrash", std::make_unique<Thrasher>(BenchThrasherOptions(quick)));
+  }
+
+  const SimTime start = machine.clock().Now();
+  sched.RunToCompletion();
+  const SimDuration elapsed = machine.clock().Now() - start;
+
+  CellResult cell;
+  cell.elapsed_s = elapsed.seconds();
+  for (uint32_t pid = 1; pid <= sched.num_processes(); ++pid) {
+    const Process& proc = sched.process(pid);
+    const ProcStats& s = proc.stats();
+    cell.procs.push_back({proc.name(), s.run_time.millis(), s.faults});
+    cell.faults += s.faults;
+    cell.compressed_hits += s.compressed_hits;
+    cell.swap_faults += s.swap_faults;
+    cell.disk_reads += s.disk_reads;
+  }
+  for (const uint32_t pid : sched.completion_order()) {
+    cell.completion += (cell.completion.empty() ? "" : ",");
+    cell.completion += sched.process(pid).name();
+  }
+  if (snapshot_metrics) {
+    cell.metrics = machine.metrics().Snapshot();
+    cell.mix_metrics.emplace_back("mix.elapsed_ns",
+                                  static_cast<double>(elapsed.nanos()));
+    cell.mix_metrics.emplace_back("mix.processes",
+                                  static_cast<double>(sched.num_processes()));
+    for (uint32_t pid = 1; pid <= sched.num_processes(); ++pid) {
+      const Process& proc = sched.process(pid);
+      cell.mix_metrics.emplace_back("mix." + proc.name() + ".run_ns",
+                                    static_cast<double>(proc.stats().run_time.nanos()));
+      cell.mix_metrics.emplace_back("mix." + proc.name() + ".faults",
+                                    static_cast<double>(proc.stats().faults));
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quick: one memory size and smaller workloads, for CI smoke runs.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  const std::vector<uint64_t> mem_mb =
+      quick ? std::vector<uint64_t>{4} : std::vector<uint64_t>{4, 6, 8, 14};
+  const std::vector<Mix> mixes{Mix::kGoldSort, Mix::kGoldThrash, Mix::kThreeWay};
+
+  BenchReport report("fig5_multiprogramming", argc, argv);
+  report.Config("quantum_ms", uint64_t{1});
+  report.Config("quick", quick);
+  report.Config("scheduler", std::string("round_robin"));
+
+  std::printf("Figure 5: multiprogrammed mixes (round-robin, 1 ms quantum, RZ57-class disk)\n\n");
+  std::printf("%12s %8s %10s %10s %8s %8s %12s %10s\n", "mix", "mem(MB)", "std_s", "cc_s",
+              "speedup", "faults", "ccache_hits", "disk_reads");
+
+  // One std and one cc machine per (mix, memory) point, fanned across the
+  // pool; the representative metric snapshot comes from the cc three-way mix
+  // at the smallest memory — the most pressured cell, so every per-process
+  // counter is exercised.
+  std::vector<std::function<CellResult()>> jobs;
+  for (const Mix mix : mixes) {
+    for (const uint64_t mb : mem_mb) {
+      const uint64_t bytes = mb * kMiB;
+      const bool snapshot = report.enabled() && mix == Mix::kThreeWay && mb == mem_mb.front();
+      jobs.push_back([mix, bytes, quick] { return RunCell(mix, bytes, false, quick, false); });
+      jobs.push_back(
+          [mix, bytes, quick, snapshot] { return RunCell(mix, bytes, true, quick, snapshot); });
+    }
+  }
+  const std::vector<CellResult> results = RunSweep(jobs, SweepThreadsFromArgs(argc, argv));
+
+  size_t j = 0;
+  for (const Mix mix : mixes) {
+    for (const uint64_t mb : mem_mb) {
+      const CellResult& std_cell = results[j++];
+      const CellResult& cc_cell = results[j++];
+      if (!cc_cell.metrics.empty()) {
+        report.MergeMetrics(cc_cell.metrics);
+        report.MergeMetrics(cc_cell.mix_metrics);
+      }
+      const double speedup =
+          cc_cell.elapsed_s > 0 ? std_cell.elapsed_s / cc_cell.elapsed_s : 0.0;
+      std::printf("%12s %8llu %10.2f %10.2f %8.2f %8llu %12llu %10llu\n", MixName(mix),
+                  static_cast<unsigned long long>(mb), std_cell.elapsed_s, cc_cell.elapsed_s,
+                  speedup, static_cast<unsigned long long>(cc_cell.faults),
+                  static_cast<unsigned long long>(cc_cell.compressed_hits),
+                  static_cast<unsigned long long>(cc_cell.disk_reads));
+      std::fflush(stdout);
+
+      BenchReport::Row& row = report.AddRow();
+      row.Set("mix", std::string(MixName(mix)))
+          .Set("memory_mb", mb)
+          .Set("std_s", std_cell.elapsed_s)
+          .Set("cc_s", cc_cell.elapsed_s)
+          .Set("speedup", speedup)
+          .Set("cc_faults", cc_cell.faults)
+          .Set("cc_compressed_hits", cc_cell.compressed_hits)
+          .Set("cc_swap_faults", cc_cell.swap_faults)
+          .Set("cc_disk_reads", cc_cell.disk_reads)
+          .Set("cc_completion", cc_cell.completion);
+      for (const ProcOutcome& proc : cc_cell.procs) {
+        row.Set("cc_" + proc.name + "_run_ms", proc.run_ms)
+            .Set("cc_" + proc.name + "_faults", proc.faults);
+      }
+    }
+  }
+
+  std::printf("\nPer-process charged time is in the JSON report (cc_<name>_run_ms).\n");
+  return report.WriteIfEnabled() ? 0 : 1;
+}

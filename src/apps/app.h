@@ -14,10 +14,24 @@ class App {
 
   virtual std::string_view name() const = 0;
 
-  // Runs the workload to completion on the given machine. Implementations charge
-  // their own algorithmic CPU time to the machine's clock; the memory system
-  // charges fault/IO/compression time underneath.
-  virtual void Run(Machine& machine) = 0;
+  // Advances the workload by one bounded unit of work (a setup action, a batch
+  // of heap accesses, one partition of a sort, ...) and returns true once the
+  // workload has completed. Apps are explicit state machines; a step boundary
+  // never feeds clock values or scheduling state into the computed data, so
+  // the access sequence — and therefore the final heap contents — is identical
+  // no matter how steps interleave with other processes. The same machine must
+  // be passed on every call; calling Step after completion is a no-op that
+  // returns true. Implementations charge their own algorithmic CPU time to the
+  // machine's clock; the memory system charges fault/IO/compression time
+  // underneath.
+  virtual bool Step(Machine& machine) = 0;
+
+  // Runs the workload to completion — the single-process compatibility path,
+  // equivalent to stepping until done.
+  virtual void Run(Machine& machine) {
+    while (!Step(machine)) {
+    }
+  }
 };
 
 }  // namespace compcache

@@ -53,103 +53,139 @@ constexpr uint8_t kLeft = 2;
 
 }  // namespace
 
-void Compare::Run(Machine& machine) {
+// Forward pass, one row: row i covers columns j in [i - half, i + half); cells
+// outside the band act as +infinity. D[i][j] = min(D[i-1][j] + 1,
+// D[i][j-1] + 1, D[i-1][j-1] + neq); in band coordinates (i-1, j) sits at
+// off+1, (i-1, j-1) at off, and (i, j-1) at off-1.
+void Compare::ForwardRow(Machine& machine, size_t i) {
   const size_t rows = options_.rows;
   const size_t width = options_.band_width;
-  Rng rng(options_.seed);
-
-  const std::string a = MakeSequence(rows, rng);
-  const std::string b = Mutate(a, options_.mutation_rate, rng);
-
-  // The memory hog is the banded traceback matrix: one byte per (row, band
-  // offset) cell, laid out row-major in simulated pages. The two rolling rows of
-  // absolute distances are transient and live in (simulated-)registers.
-  Heap heap = machine.NewHeap(static_cast<uint64_t>(rows) * width, SimDuration::Nanos(300));
-
-  const SimTime start = machine.clock().Now();
   const auto half = static_cast<ptrdiff_t>(width / 2);
   constexpr int32_t kInf = INT32_MAX / 4;
 
-  std::vector<int32_t> prev(width, kInf);
-  std::vector<int32_t> cur(width, kInf);
-  std::vector<uint8_t> row_codes(width, kDiag);
+  for (size_t off = 0; off < width; ++off) {
+    const ptrdiff_t j = static_cast<ptrdiff_t>(i) - half + static_cast<ptrdiff_t>(off);
+    machine.clock().Advance(options_.cpu_per_cell);
+    ++result_.cells_computed;
 
-  // Forward pass: row i covers columns j in [i - half, i + half); cells outside
-  // the band act as +infinity. D[i][j] = min(D[i-1][j] + 1, D[i][j-1] + 1,
-  // D[i-1][j-1] + neq); in band coordinates (i-1, j) sits at off+1, (i-1, j-1) at
-  // off, and (i, j-1) at off-1.
-  for (size_t i = 0; i < rows; ++i) {
-    for (size_t off = 0; off < width; ++off) {
-      const ptrdiff_t j = static_cast<ptrdiff_t>(i) - half + static_cast<ptrdiff_t>(off);
-      machine.clock().Advance(options_.cpu_per_cell);
-      ++result_.cells_computed;
-
-      int32_t value;
-      uint8_t code;
-      if (j < 0 || j >= static_cast<ptrdiff_t>(rows)) {
-        value = kInf;
-        code = kDiag;
-      } else if (i == 0) {
-        value = static_cast<int32_t>(j);  // first row: insertions only
+    int32_t value;
+    uint8_t code;
+    if (j < 0 || j >= static_cast<ptrdiff_t>(rows)) {
+      value = kInf;
+      code = kDiag;
+    } else if (i == 0) {
+      value = static_cast<int32_t>(j);  // first row: insertions only
+      code = kLeft;
+    } else {
+      const int32_t up = off + 1 < width ? prev_[off + 1] : kInf;
+      const int32_t left = off > 0 ? cur_[off - 1] : kInf;
+      const int32_t diag = prev_[off];
+      const int32_t neq = a_[i] == b_[static_cast<size_t>(j)] ? 0 : 1;
+      value = diag + neq;
+      code = kDiag;
+      if (up + 1 < value) {
+        value = up + 1;
+        code = kUp;
+      }
+      if (left + 1 < value) {
+        value = left + 1;
         code = kLeft;
-      } else {
-        const int32_t up = off + 1 < width ? prev[off + 1] : kInf;
-        const int32_t left = off > 0 ? cur[off - 1] : kInf;
-        const int32_t diag = prev[off];
-        const int32_t neq = a[i] == b[static_cast<size_t>(j)] ? 0 : 1;
-        value = diag + neq;
-        code = kDiag;
-        if (up + 1 < value) {
-          value = up + 1;
-          code = kUp;
-        }
-        if (left + 1 < value) {
-          value = left + 1;
-          code = kLeft;
-        }
-        if (j == 0 && static_cast<int32_t>(i) < value) {
-          value = static_cast<int32_t>(i);  // boundary column
-          code = kUp;
-        }
       }
-      cur[off] = value;
-      row_codes[off] = code;
-    }
-    // The row of traceback codes goes into the big array (one page write per
-    // ~4096 cells).
-    heap.WriteBytes(static_cast<uint64_t>(i) * width, row_codes);
-    std::swap(prev, cur);
-  }
-
-  {
-    const ptrdiff_t off = half;  // column j == i sits at band offset half
-    result_.edit_distance = prev[static_cast<size_t>(off)];
-  }
-
-  // Reverse pass: "reverses direction and goes linearly back to the beginning" —
-  // the traceback walks the band from the last row to the first, re-reading it.
-  {
-    std::vector<uint8_t> codes(width);
-    ptrdiff_t off = half;
-    for (size_t ri = rows; ri > 0; --ri) {
-      const size_t i = ri - 1;
-      heap.ReadBytes(static_cast<uint64_t>(i) * width, codes);
-      result_.cells_reread += width;
-      machine.clock().Advance(SimDuration::Nanos(150) * static_cast<int64_t>(width));
-      const uint8_t code = codes[static_cast<size_t>(std::clamp<ptrdiff_t>(
-          off, 0, static_cast<ptrdiff_t>(width) - 1))];
-      // Moving up a row shifts the band window by one: kDiag keeps the offset,
-      // kUp shifts right, kLeft consumes a column within the row.
-      if (code == kUp) {
-        off += 1;
-      } else if (code == kLeft) {
-        off -= 1;
+      if (j == 0 && static_cast<int32_t>(i) < value) {
+        value = static_cast<int32_t>(i);  // boundary column
+        code = kUp;
       }
-      off = std::clamp<ptrdiff_t>(off, 0, static_cast<ptrdiff_t>(width) - 1);
     }
+    cur_[off] = value;
+    row_codes_[off] = code;
   }
+  // The row of traceback codes goes into the big array (one page write per
+  // ~4096 cells).
+  heap_->WriteBytes(static_cast<uint64_t>(i) * width, row_codes_);
+  std::swap(prev_, cur_);
+}
 
-  result_.elapsed = machine.clock().Now() - start;
+void Compare::TracebackRow(Machine& machine, size_t i) {
+  const size_t width = options_.band_width;
+  heap_->ReadBytes(static_cast<uint64_t>(i) * width, codes_);
+  result_.cells_reread += width;
+  machine.clock().Advance(SimDuration::Nanos(150) * static_cast<int64_t>(width));
+  const uint8_t code = codes_[static_cast<size_t>(std::clamp<ptrdiff_t>(
+      off_, 0, static_cast<ptrdiff_t>(width) - 1))];
+  // Moving up a row shifts the band window by one: kDiag keeps the offset,
+  // kUp shifts right, kLeft consumes a column within the row.
+  if (code == kUp) {
+    off_ += 1;
+  } else if (code == kLeft) {
+    off_ -= 1;
+  }
+  off_ = std::clamp<ptrdiff_t>(off_, 0, static_cast<ptrdiff_t>(width) - 1);
+}
+
+bool Compare::Step(Machine& machine) {
+  CC_EXPECTS(machine_ == nullptr || machine_ == &machine);
+  machine_ = &machine;
+
+  const size_t rows = options_.rows;
+  const size_t width = options_.band_width;
+
+  switch (phase_) {
+    case Phase::kSetup: {
+      Rng rng(options_.seed);
+      a_ = MakeSequence(rows, rng);
+      b_ = Mutate(a_, options_.mutation_rate, rng);
+
+      // The memory hog is the banded traceback matrix: one byte per (row, band
+      // offset) cell, laid out row-major in simulated pages. The two rolling
+      // rows of absolute distances are transient and live in
+      // (simulated-)registers.
+      heap_.emplace(
+          machine.NewHeap(static_cast<uint64_t>(rows) * width, SimDuration::Nanos(300)));
+
+      start_ = machine.clock().Now();
+      constexpr int32_t kInf = INT32_MAX / 4;
+      prev_.assign(width, kInf);
+      cur_.assign(width, kInf);
+      row_codes_.assign(width, kDiag);
+      phase_ = Phase::kForward;
+      return false;
+    }
+
+    case Phase::kForward: {
+      const size_t end = std::min(rows, i_ + kForwardRowsPerStep);
+      for (; i_ < end; ++i_) {
+        ForwardRow(machine, i_);
+      }
+      if (i_ == rows) {
+        // Column j == i sits at band offset half.
+        result_.edit_distance = prev_[width / 2];
+        // Reverse pass: "reverses direction and goes linearly back to the
+        // beginning" — the traceback walks the band from the last row to the
+        // first, re-reading it.
+        codes_.assign(width, 0);
+        off_ = static_cast<ptrdiff_t>(width / 2);
+        ri_ = rows;
+        phase_ = Phase::kTraceback;
+      }
+      return false;
+    }
+
+    case Phase::kTraceback: {
+      for (size_t n = 0; n < kTracebackRowsPerStep && ri_ > 0; ++n, --ri_) {
+        TracebackRow(machine, ri_ - 1);
+      }
+      if (ri_ == 0) {
+        result_.elapsed = machine.clock().Now() - start_;
+        phase_ = Phase::kDone;
+        return true;
+      }
+      return false;
+    }
+
+    case Phase::kDone:
+      return true;
+  }
+  return true;  // unreachable
 }
 
 }  // namespace compcache

@@ -10,6 +10,10 @@
 #ifndef COMPCACHE_APPS_COMPARE_H_
 #define COMPCACHE_APPS_COMPARE_H_
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "apps/app.h"
 #include "util/time_types.h"
 
@@ -38,13 +42,34 @@ class Compare : public App {
   explicit Compare(CompareOptions options) : options_(options) {}
 
   std::string_view name() const override { return "compare"; }
-  void Run(Machine& machine) override;
+  bool Step(Machine& machine) override;
 
   const CompareResult& result() const { return result_; }
 
  private:
+  enum class Phase { kSetup, kForward, kTraceback, kDone };
+
+  // DP rows computed / traceback rows re-read per Step.
+  static constexpr size_t kForwardRowsPerStep = 8;
+  static constexpr size_t kTracebackRowsPerStep = 32;
+
+  void ForwardRow(Machine& machine, size_t i);
+  void TracebackRow(Machine& machine, size_t i);
+
   CompareOptions options_;
   CompareResult result_;
+
+  Phase phase_ = Phase::kSetup;
+  Machine* machine_ = nullptr;  // bound at first Step; must not change
+  std::optional<Heap> heap_;
+  std::string a_, b_;
+  std::vector<int32_t> prev_, cur_;
+  std::vector<uint8_t> row_codes_;  // forward pass scratch
+  std::vector<uint8_t> codes_;      // traceback scratch
+  size_t i_ = 0;        // forward row cursor
+  size_t ri_ = 0;       // traceback rows remaining
+  ptrdiff_t off_ = 0;   // traceback band offset
+  SimTime start_;
 };
 
 }  // namespace compcache

@@ -1,5 +1,6 @@
 #include "apps/gold.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -20,8 +21,7 @@ GoldIndex::GoldIndex(Machine& machine, GoldOptions options)
   postings_base_ = table_bytes;
   scratch_base_ = postings_base_ + options_.postings_bytes;
   const uint64_t scratch_bytes = options_.num_messages * sizeof(uint16_t);
-  heap_ = std::make_unique<Heap>(
-      machine_.NewHeap(scratch_base_ + scratch_bytes, SimDuration::Nanos(400)));
+  heap_ = std::make_unique<Heap>(machine_.NewHeap(scratch_base_ + scratch_bytes));
 }
 
 uint64_t GoldIndex::SlotAddr(size_t slot) const { return slot * sizeof(TermSlot); }
@@ -172,131 +172,144 @@ void GoldIndex::AddPostingCompact(size_t slot, uint32_t docid, GoldPhaseResult& 
   ++r.postings_touched;
 }
 
-GoldPhaseResult GoldIndex::RunCreate() {
+void GoldIndex::IndexMessage(size_t m, GoldPhaseResult& r) {
   CC_EXPECTS(!message_offsets_.empty());
+  CC_EXPECTS(m < options_.num_messages);
+  const uint64_t off = message_offsets_[m];
+  const uint64_t len = message_offsets_[m + 1] - off - 1;
+  std::vector<uint8_t> buf(len);
+  machine_.buffer_cache().Read(corpus_, off, buf);
+
+  // Tokenize natively (the text is transient); the index lives in the heap.
+  size_t tok_start = 0;
+  for (size_t i = 0; i <= buf.size(); ++i) {
+    const bool boundary = i == buf.size() || buf[i] == ' ' || buf[i] == '\n';
+    if (!boundary) {
+      continue;
+    }
+    if (i > tok_start) {
+      const std::string_view term(reinterpret_cast<const char*>(buf.data()) + tok_start,
+                                  i - tok_start);
+      machine_.clock().Advance(options_.cpu_per_token);
+      ++r.tokens_indexed;
+      const uint64_t hash = HashTerm(term);
+      const auto slot = LookupSlot(hash, /*create=*/true, r);
+      // Relevance weight: a hash of (term, position) — high entropy, like
+      // real per-posting scores.
+      if (options_.compact_postings) {
+        AddPostingCompact(*slot, static_cast<uint32_t>(m), r);
+      } else {
+        const auto weight = static_cast<uint16_t>((hash >> 17) ^ (i * 2654435761u));
+        AddPosting(*slot, static_cast<uint32_t>(m), weight, r);
+      }
+    }
+    tok_start = i + 1;
+  }
+  ++docs_indexed_;
+}
+
+GoldPhaseResult GoldIndex::RunCreate() {
   GoldPhaseResult result;
   const SimTime start = machine_.clock().Now();
-
-  std::vector<uint8_t> buf;
   for (size_t m = 0; m < options_.num_messages; ++m) {
-    const uint64_t off = message_offsets_[m];
-    const uint64_t len = message_offsets_[m + 1] - off - 1;
-    buf.resize(len);
-    machine_.buffer_cache().Read(corpus_, off, buf);
-
-    // Tokenize natively (the text is transient); the index lives in the heap.
-    size_t tok_start = 0;
-    for (size_t i = 0; i <= buf.size(); ++i) {
-      const bool boundary = i == buf.size() || buf[i] == ' ' || buf[i] == '\n';
-      if (!boundary) {
-        continue;
-      }
-      if (i > tok_start) {
-        const std::string_view term(reinterpret_cast<const char*>(buf.data()) + tok_start,
-                                    i - tok_start);
-        machine_.clock().Advance(options_.cpu_per_token);
-        ++result.tokens_indexed;
-        const uint64_t hash = HashTerm(term);
-        const auto slot = LookupSlot(hash, /*create=*/true, result);
-        // Relevance weight: a hash of (term, position) — high entropy, like
-        // real per-posting scores.
-        if (options_.compact_postings) {
-          AddPostingCompact(*slot, static_cast<uint32_t>(m), result);
-        } else {
-          const auto weight = static_cast<uint16_t>((hash >> 17) ^ (i * 2654435761u));
-          AddPosting(*slot, static_cast<uint32_t>(m), weight, result);
-        }
-      }
-      tok_start = i + 1;
-    }
-    ++docs_indexed_;
+    IndexMessage(m, result);
   }
-
   result.elapsed = machine_.clock().Now() - start;
   return result;
 }
 
-GoldPhaseResult GoldIndex::RunQueries() {
-  GoldPhaseResult result;
-  Rng rng(options_.seed + 200);  // same stream cold and warm: identical batches
-  const SimTime start = machine_.clock().Now();
-
+GoldIndex::QueryBatch GoldIndex::BeginQueryBatch() {
+  QueryBatch batch;
+  batch.rng = Rng(options_.seed + 200);  // same stream cold and warm: identical batches
   const uint64_t scratch_bytes = options_.num_messages * sizeof(uint16_t);
-  std::vector<uint8_t> zeros(scratch_bytes, 0);
-  std::vector<uint8_t> counters(scratch_bytes);
+  batch.zeros.assign(scratch_bytes, 0);
+  batch.counters.resize(scratch_bytes);
+  batch.start = machine_.clock().Now();
+  return batch;
+}
 
-  for (size_t q = 0; q < options_.num_queries; ++q) {
-    // Zero the per-document match counters (scratch writes; part of why even
-    // query phases dirty pages).
-    heap_->WriteBytes(scratch_base_, zeros);
+void GoldIndex::RunOneQuery(QueryBatch& batch) {
+  CC_EXPECTS(batch.next_query < options_.num_queries);
+  GoldPhaseResult& result = batch.result;
+  Rng& rng = batch.rng;
 
-    size_t terms_matched = 0;
-    for (size_t t = 0; t < options_.terms_per_query; ++t) {
-      const double u = rng.NextDouble();
-      const auto idx = static_cast<size_t>(u * u * static_cast<double>(dictionary_.size()));
-      const std::string& term = dictionary_[idx < dictionary_.size() ? idx : 0];
-      machine_.clock().Advance(options_.cpu_per_token);
+  // Zero the per-document match counters (scratch writes; part of why even
+  // query phases dirty pages).
+  heap_->WriteBytes(scratch_base_, batch.zeros);
 
-      const auto slot = LookupSlot(HashTerm(term), /*create=*/false, result);
-      if (!slot.has_value()) {
-        continue;
-      }
-      ++terms_matched;
-      TermSlot ts = heap_->Load<TermSlot>(SlotAddr(*slot));
-      uint32_t chunk = ts.head_chunk;
-      while (chunk != 0) {
-        ++result.postings_touched;
-        machine_.clock().Advance(options_.cpu_per_posting);
-        if (options_.compact_postings) {
-          const CompactChunk c = heap_->Load<CompactChunk>(ChunkAddr(chunk));
-          uint32_t docid = 0;
-          uint8_t pos = 0;
-          for (uint8_t i = 0; i < c.count; ++i) {
-            uint32_t delta = 0;
-            uint32_t shift = 0;
-            while (true) {
-              CC_ASSERT(pos < c.used);
-              const uint8_t byte = c.data[pos++];
-              delta |= static_cast<uint32_t>(byte & 0x7F) << shift;
-              if ((byte & 0x80) == 0) {
-                break;
-              }
-              shift += 7;
-            }
-            docid = i == 0 ? delta : docid + delta;
-            const uint64_t addr = scratch_base_ + docid * sizeof(uint16_t);
-            heap_->Store<uint16_t>(addr,
-                                   static_cast<uint16_t>(heap_->Load<uint16_t>(addr) + 1));
-          }
-          chunk = c.next;
-        } else {
-          const Chunk c = heap_->Load<Chunk>(ChunkAddr(chunk));
-          for (uint16_t i = 0; i < c.used; ++i) {
-            const uint64_t addr = scratch_base_ + c.postings[i].docid * sizeof(uint16_t);
-            heap_->Store<uint16_t>(addr,
-                                   static_cast<uint16_t>(heap_->Load<uint16_t>(addr) + 1));
-          }
-          chunk = c.next;
-        }
-      }
+  size_t terms_matched = 0;
+  for (size_t t = 0; t < options_.terms_per_query; ++t) {
+    const double u = rng.NextDouble();
+    const auto idx = static_cast<size_t>(u * u * static_cast<double>(dictionary_.size()));
+    const std::string& term = dictionary_[idx < dictionary_.size() ? idx : 0];
+    machine_.clock().Advance(options_.cpu_per_token);
+
+    const auto slot = LookupSlot(HashTerm(term), /*create=*/false, result);
+    if (!slot.has_value()) {
+      continue;
     }
-
-    // Count documents matching every term (one sequential scan of the scratch
-    // area, like formatting the result list).
-    if (terms_matched > 0) {
-      heap_->ReadBytes(scratch_base_, counters);
-      for (size_t d = 0; d < options_.num_messages; ++d) {
-        uint16_t count;
-        std::memcpy(&count, counters.data() + d * sizeof(uint16_t), sizeof(count));
-        if (count >= terms_matched) {
-          ++result.query_hits;
+    ++terms_matched;
+    TermSlot ts = heap_->Load<TermSlot>(SlotAddr(*slot));
+    uint32_t chunk = ts.head_chunk;
+    while (chunk != 0) {
+      ++result.postings_touched;
+      machine_.clock().Advance(options_.cpu_per_posting);
+      if (options_.compact_postings) {
+        const CompactChunk c = heap_->Load<CompactChunk>(ChunkAddr(chunk));
+        uint32_t docid = 0;
+        uint8_t pos = 0;
+        for (uint8_t i = 0; i < c.count; ++i) {
+          uint32_t delta = 0;
+          uint32_t shift = 0;
+          while (true) {
+            CC_ASSERT(pos < c.used);
+            const uint8_t byte = c.data[pos++];
+            delta |= static_cast<uint32_t>(byte & 0x7F) << shift;
+            if ((byte & 0x80) == 0) {
+              break;
+            }
+            shift += 7;
+          }
+          docid = i == 0 ? delta : docid + delta;
+          const uint64_t addr = scratch_base_ + docid * sizeof(uint16_t);
+          heap_->Store<uint16_t>(addr,
+                                 static_cast<uint16_t>(heap_->Load<uint16_t>(addr) + 1));
         }
+        chunk = c.next;
+      } else {
+        const Chunk c = heap_->Load<Chunk>(ChunkAddr(chunk));
+        for (uint16_t i = 0; i < c.used; ++i) {
+          const uint64_t addr = scratch_base_ + c.postings[i].docid * sizeof(uint16_t);
+          heap_->Store<uint16_t>(addr,
+                                 static_cast<uint16_t>(heap_->Load<uint16_t>(addr) + 1));
+        }
+        chunk = c.next;
       }
     }
   }
 
-  result.elapsed = machine_.clock().Now() - start;
-  return result;
+  // Count documents matching every term (one sequential scan of the scratch
+  // area, like formatting the result list).
+  if (terms_matched > 0) {
+    heap_->ReadBytes(scratch_base_, batch.counters);
+    for (size_t d = 0; d < options_.num_messages; ++d) {
+      uint16_t count;
+      std::memcpy(&count, batch.counters.data() + d * sizeof(uint16_t), sizeof(count));
+      if (count >= terms_matched) {
+        ++result.query_hits;
+      }
+    }
+  }
+  ++batch.next_query;
+}
+
+GoldPhaseResult GoldIndex::RunQueries() {
+  QueryBatch batch = BeginQueryBatch();
+  while (batch.next_query < options_.num_queries) {
+    RunOneQuery(batch);
+  }
+  batch.result.elapsed = machine_.clock().Now() - batch.start;
+  return batch.result;
 }
 
 GoldRunResult RunGoldBenchmarks(Machine& machine, const GoldOptions& options) {
@@ -307,6 +320,78 @@ GoldRunResult RunGoldBenchmarks(Machine& machine, const GoldOptions& options) {
   result.cold = engine.RunQueries();
   result.warm = engine.RunQueries();
   return result;
+}
+
+std::optional<GoldPhaseResult> GoldApp::StepQueries(Machine& machine) {
+  if (!batch_active_) {
+    batch_ = engine_->BeginQueryBatch();
+    batch_active_ = true;
+  }
+  for (size_t n = 0; n < kQueriesPerStep && batch_.next_query < engine_->num_queries();
+       ++n) {
+    engine_->RunOneQuery(batch_);
+  }
+  if (batch_.next_query < engine_->num_queries()) {
+    return std::nullopt;
+  }
+  batch_.result.elapsed = machine.clock().Now() - batch_.start;
+  batch_active_ = false;
+  return batch_.result;
+}
+
+bool GoldApp::Step(Machine& machine) {
+  CC_EXPECTS(machine_ == nullptr || machine_ == &machine);
+  machine_ = &machine;
+
+  switch (phase_) {
+    case Phase::kInit: {
+      engine_ = std::make_unique<GoldIndex>(machine, options_);
+      phase_ = Phase::kPrepare;
+      return false;
+    }
+
+    case Phase::kPrepare: {
+      engine_->PrepareCorpus();
+      create_start_ = machine.clock().Now();
+      phase_ = engine_->num_messages() > 0 ? Phase::kCreate : Phase::kCold;
+      return false;
+    }
+
+    case Phase::kCreate: {
+      const size_t end =
+          std::min(engine_->num_messages(), next_message_ + kMessagesPerStep);
+      for (; next_message_ < end; ++next_message_) {
+        engine_->IndexMessage(next_message_, create_result_);
+      }
+      if (next_message_ == engine_->num_messages()) {
+        create_result_.elapsed = machine.clock().Now() - create_start_;
+        result_.create = create_result_;
+        phase_ = Phase::kCold;
+      }
+      return false;
+    }
+
+    case Phase::kCold: {
+      if (const auto done = StepQueries(machine); done.has_value()) {
+        result_.cold = *done;
+        phase_ = Phase::kWarm;
+      }
+      return false;
+    }
+
+    case Phase::kWarm: {
+      if (const auto done = StepQueries(machine); done.has_value()) {
+        result_.warm = *done;
+        phase_ = Phase::kDone;
+        return true;
+      }
+      return false;
+    }
+
+    case Phase::kDone:
+      return true;
+  }
+  return true;  // unreachable
 }
 
 }  // namespace compcache

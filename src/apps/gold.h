@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "apps/app.h"
+#include "util/rng.h"
 #include "util/time_types.h"
 #include "vm/heap.h"
 
@@ -59,6 +60,27 @@ class GoldIndex {
 
   // Builds the corpus files (setup, before timing starts in benchmarks).
   void PrepareCorpus();
+
+  // --- incremental primitives (the Step()-protocol path drives these; the
+  // RunCreate/RunQueries wrappers below just loop them) ---
+  size_t num_messages() const { return options_.num_messages; }
+  size_t num_queries() const { return options_.num_queries; }
+  // Reads and indexes one message (messages must be indexed in ascending order:
+  // the compact-postings delta encoding requires docids to arrive sorted).
+  void IndexMessage(size_t m, GoldPhaseResult& r);
+
+  // One query batch's cursor and scratch state. The RNG stream restarts for
+  // every batch, so cold and warm batches run identical queries.
+  struct QueryBatch {
+    Rng rng{0};
+    std::vector<uint8_t> zeros;
+    std::vector<uint8_t> counters;
+    size_t next_query = 0;
+    GoldPhaseResult result;
+    SimTime start;
+  };
+  QueryBatch BeginQueryBatch();
+  void RunOneQuery(QueryBatch& batch);
 
   GoldPhaseResult RunCreate();
   GoldPhaseResult RunQueries();  // call once for "cold", again for "warm"
@@ -140,6 +162,44 @@ struct GoldRunResult {
 
 // Runs create+cold+warm on one machine and reports the per-phase times.
 GoldRunResult RunGoldBenchmarks(Machine& machine, const GoldOptions& options);
+
+// Step()-protocol adapter: runs the full create -> cold -> warm sequence of
+// RunGoldBenchmarks as one schedulable process. The GoldIndex needs a Machine
+// at construction, so the engine is built lazily on the first Step — which
+// also attributes its heap to the owning process.
+class GoldApp : public App {
+ public:
+  explicit GoldApp(GoldOptions options) : options_(std::move(options)) {}
+
+  std::string_view name() const override { return "gold"; }
+  bool Step(Machine& machine) override;
+
+  const GoldRunResult& result() const { return result_; }
+  const GoldIndex* index() const { return engine_.get(); }
+
+ private:
+  enum class Phase { kInit, kPrepare, kCreate, kCold, kWarm, kDone };
+
+  // Messages indexed / queries executed per Step.
+  static constexpr size_t kMessagesPerStep = 2;
+  static constexpr size_t kQueriesPerStep = 8;
+
+  // Steps the current query batch; returns the finished batch result when the
+  // batch completes.
+  std::optional<GoldPhaseResult> StepQueries(Machine& machine);
+
+  GoldOptions options_;
+  GoldRunResult result_;
+
+  Phase phase_ = Phase::kInit;
+  Machine* machine_ = nullptr;  // bound at first Step; must not change
+  std::unique_ptr<GoldIndex> engine_;
+  GoldPhaseResult create_result_;
+  GoldIndex::QueryBatch batch_;
+  bool batch_active_ = false;
+  size_t next_message_ = 0;
+  SimTime create_start_;
+};
 
 }  // namespace compcache
 

@@ -1,5 +1,6 @@
 #include "apps/isca.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/rng.h"
@@ -30,101 +31,53 @@ static_assert(sizeof(TagEntry) == 8);
 
 }  // namespace
 
-void IscaCacheSim::Run(Machine& machine) {
+void IscaCacheSim::OneReference(Machine& machine, uint64_t ref) {
   const IscaOptions& o = options_;
-  CC_EXPECTS(o.processors >= 1 && o.processors <= 32);
-  CC_EXPECTS(o.cache_lines_per_proc % o.associativity == 0);
-
-  const uint64_t dir_bytes = o.simulated_blocks * sizeof(DirEntry);
-  const uint64_t tags_per_proc_bytes =
-      static_cast<uint64_t>(o.cache_lines_per_proc) * sizeof(TagEntry);
-  const uint64_t heap_bytes = dir_bytes + o.processors * tags_per_proc_bytes;
-
-  Heap heap = machine.NewHeap(heap_bytes, SimDuration::Nanos(400));
+  Heap& heap = *heap_;
   auto dir_addr = [&](uint64_t block) { return block * sizeof(DirEntry); };
   auto tag_addr = [&](uint32_t proc, uint64_t line) {
-    return dir_bytes + proc * tags_per_proc_bytes + line * sizeof(TagEntry);
+    return dir_bytes_ + proc * tags_per_proc_bytes_ + line * sizeof(TagEntry);
   };
+  const uint32_t sets = sets_;
 
-  const uint32_t sets = o.cache_lines_per_proc / o.associativity;
-  Rng rng(o.seed);
-  std::vector<uint64_t> region_base(o.processors, 0);
-  for (auto& r : region_base) {
-    r = rng.Below(o.simulated_blocks);
+  const uint32_t proc = static_cast<uint32_t>(ref % o.processors);
+  machine.clock().Advance(o.cpu_per_reference);
+  ++result_.references;
+  ++lru_clock_;
+
+  // Trace generation: regional locality with occasional region jumps.
+  if (!rng_.Chance(o.locality)) {
+    region_base_[proc] = rng_.Below(o.simulated_blocks);
+  }
+  const uint64_t block =
+      (region_base_[proc] + rng_.Below(o.region_blocks)) % o.simulated_blocks;
+  const bool is_write = rng_.Chance(o.write_fraction);
+
+  // Cache lookup in the processor's set.
+  const uint32_t set = static_cast<uint32_t>(block % sets);
+  int hit_way = -1;
+  int victim_way = 0;
+  uint16_t victim_lru = UINT16_MAX;
+  for (uint32_t way = 0; way < o.associativity; ++way) {
+    const uint64_t line = static_cast<uint64_t>(set) * o.associativity + way;
+    const TagEntry te = heap.Load<TagEntry>(tag_addr(proc, line));
+    if (te.tag == block + 1 && te.state != 0) {
+      hit_way = static_cast<int>(way);
+      break;
+    }
+    if (te.lru < victim_lru) {
+      victim_lru = te.lru;
+      victim_way = static_cast<int>(way);
+    }
   }
 
-  const SimTime start = machine.clock().Now();
-  uint16_t lru_clock = 1;
-
-  for (uint64_t ref = 0; ref < o.references; ++ref) {
-    const uint32_t proc = static_cast<uint32_t>(ref % o.processors);
-    machine.clock().Advance(o.cpu_per_reference);
-    ++result_.references;
-    ++lru_clock;
-
-    // Trace generation: regional locality with occasional region jumps.
-    if (!rng.Chance(o.locality)) {
-      region_base[proc] = rng.Below(o.simulated_blocks);
-    }
-    const uint64_t block =
-        (region_base[proc] + rng.Below(o.region_blocks)) % o.simulated_blocks;
-    const bool is_write = rng.Chance(o.write_fraction);
-
-    // Cache lookup in the processor's set.
-    const uint32_t set = static_cast<uint32_t>(block % sets);
-    int hit_way = -1;
-    int victim_way = 0;
-    uint16_t victim_lru = UINT16_MAX;
-    for (uint32_t way = 0; way < o.associativity; ++way) {
-      const uint64_t line = static_cast<uint64_t>(set) * o.associativity + way;
-      const TagEntry te = heap.Load<TagEntry>(tag_addr(proc, line));
-      if (te.tag == block + 1 && te.state != 0) {
-        hit_way = static_cast<int>(way);
-        break;
-      }
-      if (te.lru < victim_lru) {
-        victim_lru = te.lru;
-        victim_way = static_cast<int>(way);
-      }
-    }
-
-    if (hit_way >= 0) {
-      const uint64_t line = static_cast<uint64_t>(set) * o.associativity +
-                            static_cast<uint64_t>(hit_way);
-      TagEntry te = heap.Load<TagEntry>(tag_addr(proc, line));
-      if (is_write && te.state != 2) {
-        // Upgrade: invalidate other sharers via the directory.
-        DirEntry de = heap.Load<DirEntry>(dir_addr(block));
-        for (uint32_t other = 0; other < o.processors; ++other) {
-          if (other != proc && (de.sharers & (1u << other)) != 0) {
-            const uint64_t oline = static_cast<uint64_t>(block % sets) * o.associativity;
-            for (uint32_t way = 0; way < o.associativity; ++way) {
-              TagEntry ote = heap.Load<TagEntry>(tag_addr(other, oline + way));
-              if (ote.tag == block + 1) {
-                ote.state = 0;
-                heap.Store(tag_addr(other, oline + way), ote);
-                ++result_.invalidations;
-                break;
-              }
-            }
-          }
-        }
-        de.sharers = 1u << proc;
-        de.state = 2;
-        de.owner = static_cast<uint8_t>(proc);
-        heap.Store(dir_addr(block), de);
-        te.state = 2;
-      }
-      te.lru = lru_clock;
-      heap.Store(tag_addr(proc, line), te);
-      ++result_.cache_hits;
-      continue;
-    }
-
-    // Miss: consult/update the directory, evict the set's LRU way.
-    ++result_.cache_misses;
-    DirEntry de = heap.Load<DirEntry>(dir_addr(block));
-    if (is_write) {
+  if (hit_way >= 0) {
+    const uint64_t line = static_cast<uint64_t>(set) * o.associativity +
+                          static_cast<uint64_t>(hit_way);
+    TagEntry te = heap.Load<TagEntry>(tag_addr(proc, line));
+    if (is_write && te.state != 2) {
+      // Upgrade: invalidate other sharers via the directory.
+      DirEntry de = heap.Load<DirEntry>(dir_addr(block));
       for (uint32_t other = 0; other < o.processors; ++other) {
         if (other != proc && (de.sharers & (1u << other)) != 0) {
           const uint64_t oline = static_cast<uint64_t>(block % sets) * o.associativity;
@@ -142,22 +95,101 @@ void IscaCacheSim::Run(Machine& machine) {
       de.sharers = 1u << proc;
       de.state = 2;
       de.owner = static_cast<uint8_t>(proc);
-    } else {
-      de.sharers |= 1u << proc;
-      de.state = de.state == 2 ? 1 : de.state == 0 ? 1 : de.state;
+      heap.Store(dir_addr(block), de);
+      te.state = 2;
     }
-    heap.Store(dir_addr(block), de);
-
-    const uint64_t line = static_cast<uint64_t>(set) * o.associativity +
-                          static_cast<uint64_t>(victim_way);
-    TagEntry te;
-    te.tag = static_cast<uint32_t>(block) + 1;
-    te.state = is_write ? 2 : 1;
-    te.lru = lru_clock;
+    te.lru = lru_clock_;
     heap.Store(tag_addr(proc, line), te);
+    ++result_.cache_hits;
+    return;
   }
 
-  result_.elapsed = machine.clock().Now() - start;
+  // Miss: consult/update the directory, evict the set's LRU way.
+  ++result_.cache_misses;
+  DirEntry de = heap.Load<DirEntry>(dir_addr(block));
+  if (is_write) {
+    for (uint32_t other = 0; other < o.processors; ++other) {
+      if (other != proc && (de.sharers & (1u << other)) != 0) {
+        const uint64_t oline = static_cast<uint64_t>(block % sets) * o.associativity;
+        for (uint32_t way = 0; way < o.associativity; ++way) {
+          TagEntry ote = heap.Load<TagEntry>(tag_addr(other, oline + way));
+          if (ote.tag == block + 1) {
+            ote.state = 0;
+            heap.Store(tag_addr(other, oline + way), ote);
+            ++result_.invalidations;
+            break;
+          }
+        }
+      }
+    }
+    de.sharers = 1u << proc;
+    de.state = 2;
+    de.owner = static_cast<uint8_t>(proc);
+  } else {
+    de.sharers |= 1u << proc;
+    de.state = de.state == 2 ? 1 : de.state == 0 ? 1 : de.state;
+  }
+  heap.Store(dir_addr(block), de);
+
+  const uint64_t line = static_cast<uint64_t>(set) * o.associativity +
+                        static_cast<uint64_t>(victim_way);
+  TagEntry te;
+  te.tag = static_cast<uint32_t>(block) + 1;
+  te.state = is_write ? 2 : 1;
+  te.lru = lru_clock_;
+  heap.Store(tag_addr(proc, line), te);
+}
+
+bool IscaCacheSim::Step(Machine& machine) {
+  CC_EXPECTS(machine_ == nullptr || machine_ == &machine);
+  machine_ = &machine;
+  const IscaOptions& o = options_;
+
+  switch (phase_) {
+    case Phase::kSetup: {
+      CC_EXPECTS(o.processors >= 1 && o.processors <= 32);
+      CC_EXPECTS(o.cache_lines_per_proc % o.associativity == 0);
+
+      dir_bytes_ = o.simulated_blocks * sizeof(DirEntry);
+      tags_per_proc_bytes_ =
+          static_cast<uint64_t>(o.cache_lines_per_proc) * sizeof(TagEntry);
+      const uint64_t heap_bytes = dir_bytes_ + o.processors * tags_per_proc_bytes_;
+      heap_.emplace(machine.NewHeap(heap_bytes));
+
+      sets_ = o.cache_lines_per_proc / o.associativity;
+      rng_ = Rng(o.seed);
+      region_base_.assign(o.processors, 0);
+      for (auto& r : region_base_) {
+        r = rng_.Below(o.simulated_blocks);
+      }
+
+      start_ = machine.clock().Now();
+      lru_clock_ = 1;
+      phase_ = o.references > 0 ? Phase::kRun : Phase::kDone;
+      if (phase_ == Phase::kDone) {
+        result_.elapsed = machine.clock().Now() - start_;
+        return true;
+      }
+      return false;
+    }
+
+    case Phase::kRun: {
+      const uint64_t end = std::min(o.references, ref_ + kReferencesPerStep);
+      for (; ref_ < end; ++ref_) {
+        OneReference(machine, ref_);
+      }
+      if (ref_ == o.references) {
+        result_.elapsed = machine.clock().Now() - start_;
+        phase_ = Phase::kDone;
+        return true;
+      }
+      return false;
+    }
+
+    case Phase::kDone:
+      return true;
+  }
+  return true;  // unreachable
 }
 
 }  // namespace compcache

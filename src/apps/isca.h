@@ -9,7 +9,11 @@
 #ifndef COMPCACHE_APPS_ISCA_H_
 #define COMPCACHE_APPS_ISCA_H_
 
+#include <optional>
+#include <vector>
+
 #include "apps/app.h"
+#include "util/rng.h"
 #include "util/time_types.h"
 
 namespace compcache {
@@ -44,13 +48,32 @@ class IscaCacheSim : public App {
   explicit IscaCacheSim(IscaOptions options) : options_(options) {}
 
   std::string_view name() const override { return "isca"; }
-  void Run(Machine& machine) override;
+  bool Step(Machine& machine) override;
 
   const IscaResult& result() const { return result_; }
 
  private:
+  enum class Phase { kSetup, kRun, kDone };
+
+  // Trace references simulated per Step.
+  static constexpr uint64_t kReferencesPerStep = 256;
+
+  void OneReference(Machine& machine, uint64_t ref);
+
   IscaOptions options_;
   IscaResult result_;
+
+  Phase phase_ = Phase::kSetup;
+  Machine* machine_ = nullptr;  // bound at first Step; must not change
+  std::optional<Heap> heap_;
+  Rng rng_{0};
+  std::vector<uint64_t> region_base_;
+  uint64_t dir_bytes_ = 0;
+  uint64_t tags_per_proc_bytes_ = 0;
+  uint32_t sets_ = 0;
+  uint16_t lru_clock_ = 1;
+  uint64_t ref_ = 0;
+  SimTime start_;
 };
 
 }  // namespace compcache

@@ -8,6 +8,10 @@
 #ifndef COMPCACHE_APPS_SORT_H_
 #define COMPCACHE_APPS_SORT_H_
 
+#include <optional>
+#include <utility>
+#include <vector>
+
 #include "apps/app.h"
 #include "util/time_types.h"
 
@@ -42,13 +46,54 @@ class TextSort : public App {
   std::string_view name() const override {
     return options_.variant == SortVariant::kRandom ? "sort_random" : "sort_partial";
   }
-  void Run(Machine& machine) override;
+  bool Step(Machine& machine) override;
 
   const SortResult& result() const { return result_; }
 
  private:
+  enum class Phase { kSetup, kRead, kSort, kVerify, kDone };
+  // Resumable-partition sub-state: the quicksort's two pointer scans can pause
+  // mid-scan at a step boundary without changing the comparison sequence.
+  enum class Part { kNone, kScanI, kScanJ };
+
+  // Word comparisons per Step during the sort and verify phases.
+  static constexpr uint64_t kComparesPerStep = 512;
+
+  int CompareWords(uint32_t x, uint32_t y);
+  void Exchange(size_t i, size_t j);
+  // Runs sort work until `target_comparisons` is reached or the sort finishes
+  // (returns true on completion).
+  bool SortSome(uint64_t target_comparisons);
+
   SortOptions options_;
   SortResult result_;
+
+  Phase phase_ = Phase::kSetup;
+  Machine* machine_ = nullptr;  // bound at first Step; must not change
+  std::optional<Heap> heap_;
+  std::optional<TypedArray<uint32_t>> refs_;
+  FileId input_;
+  uint64_t text_bytes_ = 0;
+  uint64_t num_words_ = 0;
+  uint64_t refs_offset_ = 0;
+  SimTime start_;
+
+  // Input-phase cursors (one 64 KiB chunk per Step).
+  std::vector<uint8_t> chunk_;
+  uint64_t pos_ = 0;
+  uint64_t word_start_ = 0;
+  uint64_t word_index_ = 0;
+
+  // Quicksort state (explicit range stack; continue-on-the-larger-side).
+  std::vector<std::pair<size_t, size_t>> sort_stack_;
+  size_t lo_ = 0, hi_ = 0;
+  bool range_active_ = false;
+  Part part_ = Part::kNone;
+  uint32_t pivot_ = 0;
+  size_t pi_ = 0, pj_ = 0;
+  bool scan_fresh_ = false;  // the scan's initial increment is still pending
+
+  size_t vi_ = 1;  // verification cursor
 };
 
 }  // namespace compcache

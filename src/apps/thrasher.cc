@@ -1,50 +1,86 @@
 #include "apps/thrasher.h"
 
-#include <vector>
+#include <algorithm>
 
-#include "util/rng.h"
 #include "util/units.h"
 
 namespace compcache {
 
-void Thrasher::Run(Machine& machine) {
-  const uint64_t pages = options_.address_space_bytes / kPageSize;
-  CC_EXPECTS(pages > 0);
-  Heap heap = machine.NewHeap(pages * kPageSize, options_.cpu_per_touch);
-  Rng rng(options_.seed);
+bool Thrasher::Step(Machine& machine) {
+  CC_EXPECTS(machine_ == nullptr || machine_ == &machine);
+  machine_ = &machine;
 
-  // Initialization: write each page once with content of the configured
-  // compressibility. (In the original, the process's address space simply
-  // contained such data; here it must be materialized.)
-  const SimTime setup_start = machine.clock().Now();
-  std::vector<uint8_t> page_image(kPageSize);
-  for (uint64_t p = 0; p < pages; ++p) {
-    FillPage(page_image, options_.content, rng);
-    heap.WriteBytes(p * kPageSize, page_image);
-  }
-  result_.setup_time = machine.clock().Now() - setup_start;
-
-  if (options_.advisory_pin_fraction > 0) {
-    const auto pin_pages = static_cast<uint32_t>(
-        static_cast<double>(pages) * options_.advisory_pin_fraction);
-    machine.pager().Advise(*heap.segment(), 0, pin_pages, /*pin=*/true);
-  }
-
-  // Measured passes: one word per page per pass.
-  const SimTime start = machine.clock().Now();
-  for (int pass = 0; pass < options_.passes; ++pass) {
-    for (uint64_t p = 0; p < pages; ++p) {
-      const uint64_t addr = p * kPageSize;  // first word of the page
-      if (options_.write) {
-        uint32_t word = heap.Load<uint32_t>(addr);
-        heap.Store<uint32_t>(addr, word + 1);
-      } else {
-        (void)heap.Load<uint32_t>(addr);
-      }
-      ++result_.page_touches;
+  switch (phase_) {
+    case Phase::kCreate: {
+      pages_ = options_.address_space_bytes / kPageSize;
+      CC_EXPECTS(pages_ > 0);
+      heap_.emplace(machine.NewHeap(pages_ * kPageSize, options_.cpu_per_touch));
+      rng_ = Rng(options_.seed);
+      page_image_.assign(kPageSize, 0);
+      // Initialization: write each page once with content of the configured
+      // compressibility. (In the original, the process's address space simply
+      // contained such data; here it must be materialized.)
+      setup_start_ = machine.clock().Now();
+      phase_ = Phase::kInit;
+      return false;
     }
+
+    case Phase::kInit: {
+      const uint64_t end = std::min(pages_, p_ + kInitPagesPerStep);
+      for (; p_ < end; ++p_) {
+        FillPage(page_image_, options_.content, rng_);
+        heap_->WriteBytes(p_ * kPageSize, page_image_);
+      }
+      if (p_ == pages_) {
+        result_.setup_time = machine.clock().Now() - setup_start_;
+        p_ = 0;
+        phase_ = Phase::kAdvise;
+      }
+      return false;
+    }
+
+    case Phase::kAdvise: {
+      if (options_.advisory_pin_fraction > 0) {
+        const auto pin_pages = static_cast<uint32_t>(
+            static_cast<double>(pages_) * options_.advisory_pin_fraction);
+        machine.pager().Advise(*heap_->segment(), 0, pin_pages, /*pin=*/true);
+      }
+      start_ = machine.clock().Now();
+      if (options_.passes <= 0) {
+        phase_ = Phase::kDone;
+        return true;
+      }
+      phase_ = Phase::kPasses;
+      return false;
+    }
+
+    case Phase::kPasses: {
+      // Measured passes: one word per page per pass.
+      for (uint64_t budget = kTouchesPerStep; budget > 0; --budget) {
+        const uint64_t addr = p_ * kPageSize;  // first word of the page
+        if (options_.write) {
+          uint32_t word = heap_->Load<uint32_t>(addr);
+          heap_->Store<uint32_t>(addr, word + 1);
+        } else {
+          (void)heap_->Load<uint32_t>(addr);
+        }
+        ++result_.page_touches;
+        if (++p_ == pages_) {
+          p_ = 0;
+          if (++pass_ == options_.passes) {
+            result_.elapsed = machine.clock().Now() - start_;
+            phase_ = Phase::kDone;
+            return true;
+          }
+        }
+      }
+      return false;
+    }
+
+    case Phase::kDone:
+      return true;
   }
-  result_.elapsed = machine.clock().Now() - start;
+  return true;  // unreachable
 }
 
 }  // namespace compcache

@@ -5,8 +5,12 @@
 #ifndef COMPCACHE_APPS_THRASHER_H_
 #define COMPCACHE_APPS_THRASHER_H_
 
+#include <optional>
+#include <vector>
+
 #include "apps/app.h"
 #include "compress/pagegen.h"
+#include "util/rng.h"
 #include "util/time_types.h"
 
 namespace compcache {
@@ -39,13 +43,31 @@ class Thrasher : public App {
   explicit Thrasher(ThrasherOptions options) : options_(options) {}
 
   std::string_view name() const override { return "thrasher"; }
-  void Run(Machine& machine) override;
+  bool Step(Machine& machine) override;
 
   const ThrasherResult& result() const { return result_; }
 
  private:
+  enum class Phase { kCreate, kInit, kAdvise, kPasses, kDone };
+
+  // Pages initialized / page touches performed per Step (bounds a quantum's
+  // minimum granularity without changing the access sequence).
+  static constexpr uint64_t kInitPagesPerStep = 64;
+  static constexpr uint64_t kTouchesPerStep = 256;
+
   ThrasherOptions options_;
   ThrasherResult result_;
+
+  Phase phase_ = Phase::kCreate;
+  Machine* machine_ = nullptr;  // bound at first Step; must not change
+  std::optional<Heap> heap_;
+  Rng rng_{0};
+  std::vector<uint8_t> page_image_;
+  uint64_t pages_ = 0;
+  uint64_t p_ = 0;   // init / touch cursor within the working set
+  int pass_ = 0;
+  SimTime setup_start_;
+  SimTime start_;
 };
 
 }  // namespace compcache

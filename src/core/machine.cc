@@ -50,19 +50,39 @@ Machine::Machine(MachineConfig config)
 
   if (config_.use_compression_cache) {
     switch (config_.compressed_swap) {
-      case CompressedSwapKind::kClustered:
-        cswap_ = std::make_unique<ClusteredSwapLayout>(
+      case CompressedSwapKind::kClustered: {
+        auto layout = std::make_unique<ClusteredSwapLayout>(
             fs_.get(), ClusteredSwapLayout::Options{config_.allow_block_spanning});
+        clustered_swap_ = layout.get();
+        cswap_ = std::move(layout);
         break;
-      case CompressedSwapKind::kFixedOffset:
-        cswap_ = std::make_unique<FixedCompressedSwapLayout>(fs_.get());
+      }
+      case CompressedSwapKind::kFixedOffset: {
+        auto layout = std::make_unique<FixedCompressedSwapLayout>(fs_.get());
+        fixed_cswap_ = layout.get();
+        cswap_ = std::move(layout);
         break;
-      case CompressedSwapKind::kLfs:
+      }
+      case CompressedSwapKind::kLfs: {
         // The LFS segment buffer takes its frames from the pool up front — the
         // "significant memory for buffers" the paper holds against this design.
-        cswap_ = std::make_unique<LfsSwapLayout>(fs_.get(), this);
+        auto layout = std::make_unique<LfsSwapLayout>(fs_.get(), this);
+        lfs_swap_ = layout.get();
+        cswap_ = std::move(layout);
         break;
+      }
     }
+#ifndef NDEBUG
+    // Layout identity: the typed alias must be the same object the owning
+    // pointer holds (guards against a future construction path forgetting to
+    // set the alias).
+    CC_ASSERT(static_cast<CompressedSwapBackend*>(clustered_swap_) == cswap_.get() ||
+              static_cast<CompressedSwapBackend*>(fixed_cswap_) == cswap_.get() ||
+              static_cast<CompressedSwapBackend*>(lfs_swap_) == cswap_.get());
+    CC_ASSERT((clustered_swap_ != nullptr) + (fixed_cswap_ != nullptr) +
+                  (lfs_swap_ != nullptr) ==
+              1);
+#endif
 
     CcacheOptions cc_options;
     cc_options.max_slots = pool_.total_frames();
@@ -258,8 +278,8 @@ void Machine::RegisterAuditChecks() {
     const size_t bcache = buffer_cache_->num_blocks();
     const size_t ccache = ccache_ != nullptr ? ccache_->mapped_frames() : 0;
     size_t lfs_buffer = 0;
-    if (const auto* lfs = dynamic_cast<const LfsSwapLayout*>(cswap_.get()); lfs != nullptr) {
-      lfs_buffer = lfs->buffer_frame_count();
+    if (lfs_swap_ != nullptr) {
+      lfs_buffer = lfs_swap_->buffer_frame_count();
     }
     const size_t accounted = free + resident + bcache + ccache + metadata_frames_ + lfs_buffer;
     if (accounted != total) {
@@ -332,6 +352,17 @@ void Machine::ChargeMetadataBytes(uint64_t bytes) {
     (void)AllocateFrame();  // permanently consumed; intentionally never freed
     ++metadata_frames_;
   }
+}
+
+void Machine::SetCurrentProcess(uint32_t pid) {
+  pager_->SetCurrentProcess(pid);
+  if (tracer_ != nullptr) {
+    tracer_->set_current_pid(pid);
+  }
+}
+
+Heap Machine::NewHeap(uint64_t bytes) {
+  return NewHeap(bytes, config_.costs.heap_cpu_per_access);
 }
 
 Heap Machine::NewHeap(uint64_t bytes, SimDuration cpu_per_access) {
@@ -413,8 +444,7 @@ std::string Machine::Report() const {
         static_cast<unsigned long long>(cs.entries_dropped),
         static_cast<unsigned long long>(cs.invalidations));
     out += buf;
-    if (const auto* clustered = dynamic_cast<const ClusteredSwapLayout*>(cswap_.get());
-        clustered != nullptr) {
+    if (const auto* clustered = clustered_swap_; clustered != nullptr) {
       const auto& sw = clustered->stats();
       std::snprintf(buf, sizeof(buf),
                     "cswap: %llu batches, %llu pages written, %llu read, "
@@ -426,9 +456,7 @@ std::string Machine::Report() const {
                     static_cast<unsigned long long>(sw.fragment_bytes_written),
                     static_cast<unsigned long long>(sw.blocks_reused));
       out += buf;
-    } else if (const auto* fixed =
-                   dynamic_cast<const FixedCompressedSwapLayout*>(cswap_.get());
-               fixed != nullptr) {
+    } else if (const auto* fixed = fixed_cswap_; fixed != nullptr) {
       const auto& sw = fixed->stats();
       std::snprintf(buf, sizeof(buf),
                     "fcswap: %llu pages written, %llu read, %llu payload bytes\n",
@@ -436,8 +464,7 @@ std::string Machine::Report() const {
                     static_cast<unsigned long long>(sw.pages_read),
                     static_cast<unsigned long long>(sw.payload_bytes_written));
       out += buf;
-    } else if (const auto* lfs = dynamic_cast<const LfsSwapLayout*>(cswap_.get());
-               lfs != nullptr) {
+    } else if (const auto* lfs = lfs_swap_; lfs != nullptr) {
       const auto& sw = lfs->stats();
       std::snprintf(buf, sizeof(buf),
                     "lfs: %llu pages written, %llu read (%llu from buffer), "

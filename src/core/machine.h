@@ -144,9 +144,18 @@ class Machine : public FrameSource {
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
-  // Creates a heap segment of the given size (rounded up to whole pages).
-  Heap NewHeap(uint64_t bytes,
-               SimDuration cpu_per_access = SimDuration::Nanos(400));
+  // Creates a heap segment of the given size (rounded up to whole pages),
+  // charging CostModel::heap_cpu_per_access of CPU per access so every app in
+  // a multiprogrammed mix pays the same rate. The two-argument form overrides
+  // the per-access cost for apps that model unusual access widths.
+  Heap NewHeap(uint64_t bytes);
+  Heap NewHeap(uint64_t bytes, SimDuration cpu_per_access);
+
+  // Process context for per-process attribution (the src/proc scheduler calls
+  // this around each quantum): new segments are stamped with the pid and trace
+  // events carry it. 0 = kernel / no process.
+  void SetCurrentProcess(uint32_t pid);
+  uint32_t current_process() const { return pager_->current_process(); }
 
   // --- component access ---
   Clock& clock() { return clock_; }
@@ -158,10 +167,12 @@ class Machine : public FrameSource {
   MemoryArbiter& arbiter() { return arbiter_; }
   CompressionCache* ccache() { return ccache_.get(); }  // null in std mode
   CompressedSwapBackend* compressed_swap() { return cswap_.get(); }  // null in std mode
-  // The clustered layout when configured (null otherwise) — for stats access.
-  ClusteredSwapLayout* clustered_swap() {
-    return dynamic_cast<ClusteredSwapLayout*>(cswap_.get());
-  }
+  // Typed views of the configured compressed-swap layout, stored at
+  // construction (exactly one is non-null in cc mode, all null in std mode) —
+  // for stats access without downcasting.
+  ClusteredSwapLayout* clustered_swap() { return clustered_swap_; }
+  FixedCompressedSwapLayout* fixed_compressed_swap() { return fixed_cswap_; }
+  LfsSwapLayout* lfs_swap() { return lfs_swap_; }
   FixedSwapLayout* fixed_swap() { return fixed_swap_.get(); }  // null in cc mode
   FramePool& frame_pool() { return pool_; }
   const MachineConfig& config() const { return config_; }
@@ -264,6 +275,11 @@ class Machine : public FrameSource {
   std::unique_ptr<BufferCache> buffer_cache_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<CompressedSwapBackend> cswap_;
+  // Typed aliases of cswap_ set by the construction switch; at most one is
+  // non-null and it always equals cswap_.get() (asserted in Debug builds).
+  ClusteredSwapLayout* clustered_swap_ = nullptr;
+  FixedCompressedSwapLayout* fixed_cswap_ = nullptr;
+  LfsSwapLayout* lfs_swap_ = nullptr;
   std::unique_ptr<FixedSwapLayout> fixed_swap_;
   std::unique_ptr<CompressionCache> ccache_;
 

@@ -1,0 +1,78 @@
+// A simulated process: one App plus the accounting the scheduler keeps for it.
+//
+// The paper's multiprogramming results (section 5.3) come from mixes of
+// programs sharing one machine's memory; reproducing them needs processes that
+// interleave on the virtual clock and per-process attribution of faults and
+// I/O, so a mix's slowdown can be decomposed by victim.
+#ifndef COMPCACHE_PROC_PROCESS_H_
+#define COMPCACHE_PROC_PROCESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "apps/app.h"
+#include "util/time_types.h"
+
+namespace compcache {
+
+// Per-process event counters, accumulated by the scheduler as quantum-boundary
+// deltas of the machine's authoritative counters (VmStats, DiskStats, Clock).
+// Because every fault and disk op happens inside some process's quantum, the
+// per-process values sum exactly to the machine totals — the bench validator
+// checks this equality, and tests assert it.
+struct ProcStats {
+  uint64_t faults = 0;           // vm.faults delta
+  uint64_t compressed_hits = 0;  // vm.faults_from_ccache delta
+  uint64_t swap_faults = 0;      // vm.faults_from_swap delta
+  uint64_t disk_reads = 0;       // disk.read_ops delta
+  uint64_t disk_writes = 0;      // disk.write_ops delta
+  uint64_t steps = 0;            // App::Step calls issued
+  uint64_t quanta = 0;           // quanta this process ran
+  SimDuration cpu_time;          // kCpu-category clock time charged
+  SimDuration run_time;          // total virtual time charged (all categories)
+};
+
+// The accounting record lives behind a shared_ptr: metric gauges and auditor
+// checks registered with the Machine capture it, so they keep reading valid
+// (final) values even after the Scheduler — and its Process objects — are
+// destroyed before the Machine's shutdown audit runs.
+struct ProcAccount {
+  ProcStats stats;
+  bool exited = false;
+};
+
+class Process {
+ public:
+  Process(uint32_t pid, std::string name, std::unique_ptr<App> app)
+      : pid_(pid),
+        name_(std::move(name)),
+        app_(std::move(app)),
+        account_(std::make_shared<ProcAccount>()) {}
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  uint32_t pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  App& app() { return *app_; }
+  const App& app() const { return *app_; }
+
+  bool exited() const { return account_->exited; }
+  const ProcStats& stats() const { return account_->stats; }
+
+  // Shared accounting handle (the scheduler writes through it; gauges and
+  // audit checks hold copies).
+  const std::shared_ptr<ProcAccount>& account() const { return account_; }
+
+ private:
+  uint32_t pid_;
+  std::string name_;
+  std::unique_ptr<App> app_;
+  std::shared_ptr<ProcAccount> account_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_PROC_PROCESS_H_

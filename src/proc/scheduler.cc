@@ -1,0 +1,267 @@
+#include "proc/scheduler.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace compcache {
+
+namespace {
+
+bool IsLowerSnake(const std::string& name) {
+  if (name.empty() || name[0] < 'a' || name[0] > 'z') {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// Everything the registered gauges and auditor checks read. Held by
+// shared_ptr so those callbacks stay valid after the Scheduler is destroyed
+// (the Machine's shutdown audit still evaluates every counter gauge).
+struct Scheduler::Shared {
+  struct Entry {
+    std::string name;
+    std::shared_ptr<ProcAccount> account;
+  };
+  std::vector<Entry> procs;  // index = pid - 1
+  uint64_t quanta = 0;
+  uint64_t context_switches = 0;
+  bool started = false;  // first quantum has begun; `start` is valid
+  SimTime start;
+};
+
+Scheduler::Scheduler(Machine& machine, SchedulerOptions options)
+    : machine_(machine), options_(options), shared_(std::make_shared<Shared>()) {
+  CC_EXPECTS(options_.quantum > SimDuration::Nanos(0));
+  RegisterSchedulerMetrics();
+  RegisterAuditChecks();
+}
+
+Scheduler::~Scheduler() {
+  // Never leave a dangling process context on the machine.
+  machine_.SetCurrentProcess(0);
+}
+
+void Scheduler::RegisterSchedulerMetrics() {
+  auto shared = shared_;
+  MetricRegistry& reg = machine_.metrics();
+  reg.RegisterCounterGauge("sched.quanta",
+                           [shared] { return static_cast<double>(shared->quanta); });
+  reg.RegisterCounterGauge("sched.context_switches", [shared] {
+    return static_cast<double>(shared->context_switches);
+  });
+  reg.RegisterGauge("sched.processes",
+                    [shared] { return static_cast<double>(shared->procs.size()); });
+  reg.RegisterGauge("sched.live", [shared] {
+    size_t live = 0;
+    for (const auto& p : shared->procs) {
+      live += p.account->exited ? 0 : 1;
+    }
+    return static_cast<double>(live);
+  });
+}
+
+void Scheduler::RegisterProcessMetrics(const Process& proc) {
+  MetricRegistry& reg = machine_.metrics();
+  const std::string prefix = "proc." + proc.name() + ".";
+  const std::shared_ptr<ProcAccount> acc = proc.account();
+  const auto counter = [&](const char* field, auto read) {
+    reg.RegisterCounterGauge(prefix + field,
+                             [acc, read] { return static_cast<double>(read(acc->stats)); });
+  };
+  counter("faults", [](const ProcStats& s) { return s.faults; });
+  counter("compressed_hits", [](const ProcStats& s) { return s.compressed_hits; });
+  counter("swap_faults", [](const ProcStats& s) { return s.swap_faults; });
+  counter("disk_reads", [](const ProcStats& s) { return s.disk_reads; });
+  counter("disk_writes", [](const ProcStats& s) { return s.disk_writes; });
+  counter("steps", [](const ProcStats& s) { return s.steps; });
+  counter("quanta", [](const ProcStats& s) { return s.quanta; });
+  counter("cpu_ns", [](const ProcStats& s) { return s.cpu_time.nanos(); });
+  counter("run_ns", [](const ProcStats& s) { return s.run_time.nanos(); });
+}
+
+void Scheduler::RegisterAuditChecks() {
+  auto shared = shared_;
+  Machine* machine = &machine_;
+
+  // Every segment holding at least one materialized page must be owned by a
+  // spawned process. owner_pid is a single field, so "exactly one owner" is
+  // structural; what can go wrong is a page materialized outside any quantum
+  // (owner 0) or a stale pid — both mean attribution leaked.
+  machine_.auditor().Register("proc", "page-ownership", [shared, machine] {
+    Pager& pager = machine->pager();
+    for (size_t i = 0; i < pager.num_segments(); ++i) {
+      const Segment* seg = pager.GetSegment(static_cast<uint32_t>(i));
+      if (seg == nullptr || seg->torn_down()) {
+        continue;
+      }
+      bool touched = false;
+      for (uint32_t p = 0; p < seg->num_pages() && !touched; ++p) {
+        touched = seg->page(p).state != PageState::kUntouched;
+      }
+      if (!touched) {
+        continue;
+      }
+      const uint32_t owner = seg->owner_pid();
+      if (owner == 0) {
+        return std::optional<std::string>("segment " + std::to_string(seg->id()) +
+                                          " has touched pages but no owning process");
+      }
+      if (owner > shared->procs.size()) {
+        return std::optional<std::string>("segment " + std::to_string(seg->id()) +
+                                          " owned by unknown pid " + std::to_string(owner));
+      }
+    }
+    return std::optional<std::string>();
+  });
+
+  // Processes run sequentially on one virtual clock: no process can have been
+  // charged more time than has elapsed since scheduling began, and neither can
+  // the sum of all charges.
+  machine_.auditor().Register("proc", "time-conservation", [shared, machine] {
+    if (!shared->started) {
+      return std::optional<std::string>();
+    }
+    const int64_t elapsed = (machine->clock().Now() - shared->start).nanos();
+    int64_t total = 0;
+    for (size_t i = 0; i < shared->procs.size(); ++i) {
+      const int64_t charged = shared->procs[i].account->stats.run_time.nanos();
+      total += charged;
+      if (charged > elapsed) {
+        return std::optional<std::string>(
+            "pid " + std::to_string(i + 1) + " charged " + std::to_string(charged) +
+            " ns > elapsed " + std::to_string(elapsed) + " ns");
+      }
+    }
+    if (total > elapsed) {
+      return std::optional<std::string>("sum of charged time " + std::to_string(total) +
+                                        " ns > elapsed " + std::to_string(elapsed) + " ns");
+    }
+    return std::optional<std::string>();
+  });
+}
+
+uint32_t Scheduler::Spawn(std::string name, std::unique_ptr<App> app) {
+  CC_EXPECTS(app != nullptr);
+  CC_EXPECTS(IsLowerSnake(name));
+  for (const auto& p : procs_) {
+    CC_EXPECTS(p->name() != name);
+  }
+  const auto pid = static_cast<uint32_t>(procs_.size() + 1);
+  procs_.push_back(std::make_unique<Process>(pid, std::move(name), std::move(app)));
+  shared_->procs.push_back({procs_.back()->name(), procs_.back()->account()});
+  RegisterProcessMetrics(*procs_.back());
+  return pid;
+}
+
+size_t Scheduler::live_processes() const {
+  size_t live = 0;
+  for (const auto& p : procs_) {
+    live += p->exited() ? 0 : 1;
+  }
+  return live;
+}
+
+Process& Scheduler::process(uint32_t pid) {
+  CC_EXPECTS(pid >= 1 && pid <= procs_.size());
+  return *procs_[pid - 1];
+}
+
+const Process& Scheduler::process(uint32_t pid) const {
+  CC_EXPECTS(pid >= 1 && pid <= procs_.size());
+  return *procs_[pid - 1];
+}
+
+bool Scheduler::RunQuantum() {
+  // Next live process in ring order.
+  const size_t n = procs_.size();
+  size_t idx = rr_next_ % (n == 0 ? 1 : n);
+  size_t scanned = 0;
+  while (scanned < n && procs_[idx]->exited()) {
+    idx = (idx + 1) % n;
+    ++scanned;
+  }
+  if (n == 0 || scanned == n) {
+    return false;
+  }
+  Process& proc = *procs_[idx];
+  rr_next_ = (idx + 1) % n;
+
+  Clock& clock = machine_.clock();
+  if (!shared_->started) {
+    shared_->started = true;
+    shared_->start = clock.Now();
+  }
+
+  // Snapshot the machine counters; everything that moves until the matching
+  // snapshot below is this process's doing.
+  const VmStats vm0 = machine_.pager().stats();
+  const DiskStats disk0 = machine_.disk().stats();
+  const SimTime t0 = clock.Now();
+  const SimDuration cpu0 = clock.TimeIn(TimeCategory::kCpu);
+
+  machine_.SetCurrentProcess(proc.pid());
+  bool done = false;
+  uint64_t steps = 0;
+  do {
+    done = proc.app().Step(machine_);
+    ++steps;
+    if (options_.max_steps_per_quantum != 0 && steps >= options_.max_steps_per_quantum) {
+      break;
+    }
+  } while (!done && clock.Now() - t0 < options_.quantum);
+  machine_.SetCurrentProcess(0);
+
+  const VmStats& vm1 = machine_.pager().stats();
+  const DiskStats& disk1 = machine_.disk().stats();
+  ProcStats& s = proc.account()->stats;
+  s.faults += vm1.faults - vm0.faults;
+  s.compressed_hits += vm1.faults_from_ccache - vm0.faults_from_ccache;
+  s.swap_faults += vm1.faults_from_swap - vm0.faults_from_swap;
+  s.disk_reads += disk1.read_ops - disk0.read_ops;
+  s.disk_writes += disk1.write_ops - disk0.write_ops;
+  s.steps += steps;
+  s.quanta += 1;
+  s.cpu_time += clock.TimeIn(TimeCategory::kCpu) - cpu0;
+  s.run_time += clock.Now() - t0;
+
+  shared_->quanta += 1;
+  if (last_pid_ != 0 && last_pid_ != proc.pid()) {
+    shared_->context_switches += 1;
+  }
+  last_pid_ = proc.pid();
+
+  if (done) {
+    proc.account()->exited = true;
+    completion_order_.push_back(proc.pid());
+    if (options_.teardown_on_exit) {
+      TeardownProcessSegments(proc.pid());
+    }
+  }
+  return true;
+}
+
+void Scheduler::TeardownProcessSegments(uint32_t pid) {
+  Pager& pager = machine_.pager();
+  for (size_t i = 0; i < pager.num_segments(); ++i) {
+    Segment* seg = pager.GetSegment(static_cast<uint32_t>(i));
+    if (seg != nullptr && !seg->torn_down() && seg->owner_pid() == pid) {
+      pager.TeardownSegment(*seg);
+    }
+  }
+}
+
+void Scheduler::RunToCompletion() {
+  while (RunQuantum()) {
+  }
+}
+
+}  // namespace compcache

@@ -1,0 +1,111 @@
+// Deterministic virtual-time round-robin scheduler.
+//
+// The paper ran its multiprogramming experiments by time-sharing one machine
+// among several programs; the compression cache's benefit (or penalty) shifts
+// when the working sets of a mix compete for the same frames. This scheduler
+// reproduces that regime inside the simulator's single thread: processes run
+// one at a time, each for a configurable quantum of *virtual* nanoseconds
+// measured on the machine's Clock, in strict round-robin spawn order.
+//
+// Determinism: the scheduler introduces no randomness and consults no host
+// state. Given the same mix, options, and seeds, every run — on any backend,
+// at any audit interval, under any sanitizer — executes the same App::Step
+// sequence and produces byte-identical heap contents. Step boundaries are the
+// apps' own (see App::Step); the quantum only decides how many steps run
+// between context switches, never what any step computes.
+//
+// Accounting: around each quantum the scheduler snapshots the machine's
+// authoritative counters (pager VmStats, disk DiskStats, Clock categories) and
+// charges the delta to the running process. Since nothing else runs between
+// the snapshots, per-process counters sum exactly to the machine totals.
+// Metrics are published as proc.<name>.* counter gauges; trace events recorded
+// during a quantum carry the pid (Machine::SetCurrentProcess).
+//
+// Auditor checks (DESIGN.md §15):
+//   proc/page-ownership    — every segment with a touched page belongs to a
+//                            spawned process (owner_pid stamped at creation);
+//   proc/time-conservation — no process has been charged more virtual time
+//                            than has elapsed since scheduling began, nor has
+//                            the sum over processes (they run sequentially).
+#ifndef COMPCACHE_PROC_SCHEDULER_H_
+#define COMPCACHE_PROC_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "proc/process.h"
+
+namespace compcache {
+
+struct SchedulerOptions {
+  // Virtual time a process runs before yielding. A quantum always issues at
+  // least one Step and ends at the first step boundary at or past the quantum
+  // (steps are not preempted mid-flight — there is no partial step).
+  SimDuration quantum = SimDuration::Millis(1);
+
+  // Upper bound on Steps per quantum (0 = unbounded). Mainly for tests that
+  // want exactly one Step per quantum regardless of how little time it used.
+  size_t max_steps_per_quantum = 0;
+
+  // Release an exited process's segments (frames, compressed copies, backing
+  // blocks) via Pager::TeardownSegment. Off by default so tests and benches
+  // can inspect final heap contents after the mix completes.
+  bool teardown_on_exit = false;
+};
+
+class Scheduler {
+ public:
+  // Registers sched.* gauges and the proc auditor checks with the machine.
+  explicit Scheduler(Machine& machine, SchedulerOptions options = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Adds a process to the tail of the round-robin ring and registers its
+  // proc.<name>.* gauges. `name` must be lower_snake ([a-z][a-z0-9_]*) and
+  // unique within this scheduler — it becomes part of the metric names.
+  // Pids are assigned 1, 2, ... in spawn order.
+  uint32_t Spawn(std::string name, std::unique_ptr<App> app);
+
+  // Runs one quantum of the next live process in round-robin order. Returns
+  // false (and does nothing) when every process has exited.
+  bool RunQuantum();
+
+  // Runs quanta until every process has exited.
+  void RunToCompletion();
+
+  size_t num_processes() const { return procs_.size(); }
+  size_t live_processes() const;
+
+  Process& process(uint32_t pid);
+  const Process& process(uint32_t pid) const;
+
+  // Pids in the order their apps finished.
+  const std::vector<uint32_t>& completion_order() const { return completion_order_; }
+
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  struct Shared;  // accounting that outlives the Scheduler (see process.h)
+
+  void RegisterSchedulerMetrics();
+  void RegisterAuditChecks();
+  void RegisterProcessMetrics(const Process& proc);
+  void TeardownProcessSegments(uint32_t pid);
+
+  Machine& machine_;
+  SchedulerOptions options_;
+  std::vector<std::unique_ptr<Process>> procs_;  // index = pid - 1
+  std::shared_ptr<Shared> shared_;
+  size_t rr_next_ = 0;     // ring slot to consider next
+  uint32_t last_pid_ = 0;  // previously run pid (context-switch counting)
+  std::vector<uint32_t> completion_order_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_PROC_SCHEDULER_H_

@@ -32,6 +32,11 @@ struct CostModel {
   // mapping update), excluding any I/O or compression work.
   SimDuration fault_overhead = SimDuration::Micros(300);
 
+  // CPU charged per modelled heap access (a ~10-instruction load/store sequence
+  // at 25 MHz). Machine::NewHeap applies this unless the caller overrides it, so
+  // every app in a multiprogrammed mix is charged the same per-access CPU.
+  SimDuration heap_cpu_per_access = SimDuration::Nanos(400);
+
   // Overhead to initiate one disk request (driver + SCSI command setup).
   SimDuration io_setup_overhead = SimDuration::Micros(500);
 

@@ -79,6 +79,7 @@ void EventTracer::Record(TraceEventKind kind, SimTime t, PageKey key, uint64_t a
   TraceEvent event;
   event.t_ns = t.nanos();
   event.kind = kind;
+  event.pid = current_pid_;
   event.key = key;
   event.a = a;
   event.b = b;
@@ -112,6 +113,9 @@ std::string EventTracer::ToJsonl() const {
     w.BeginObject();
     w.Kv("t_ns", e.t_ns);
     w.Kv("event", TraceEventKindName(e.kind));
+    if (e.pid != 0) {
+      w.Kv("pid", static_cast<uint64_t>(e.pid));
+    }
     if (e.key.valid()) {
       w.Kv("seg", static_cast<uint64_t>(e.key.segment));
       w.Kv("page", static_cast<uint64_t>(e.key.page));

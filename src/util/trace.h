@@ -74,6 +74,11 @@ const char* TraceEventKindName(TraceEventKind kind);
 struct TraceEvent {
   int64_t t_ns = 0;
   TraceEventKind kind = TraceEventKind::kCount;
+  // Process the machine was executing when the event was recorded (0 = none /
+  // kernel context). Stamped by the tracer from set_current_pid(), so every
+  // subsystem's events get attribution without threading a pid through each
+  // Record call site.
+  uint32_t pid = 0;
   PageKey key{};
   uint64_t a = 0;
   uint64_t b = 0;
@@ -88,6 +93,10 @@ class EventTracer {
   void Record(TraceEventKind kind, SimTime t, uint64_t a = 0, uint64_t b = 0) {
     Record(kind, t, PageKey{}, a, b);
   }
+
+  // Sets the process id stamped onto subsequently recorded events (0 = none).
+  void set_current_pid(uint32_t pid) { current_pid_ = pid; }
+  uint32_t current_pid() const { return current_pid_; }
 
   size_t capacity() const { return capacity_; }
   // Events currently held (<= capacity).
@@ -110,6 +119,7 @@ class EventTracer {
   std::vector<TraceEvent> ring_;
   size_t capacity_;
   uint64_t total_ = 0;  // next slot = total_ % capacity_
+  uint32_t current_pid_ = 0;
 };
 
 }  // namespace compcache

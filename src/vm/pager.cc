@@ -34,6 +34,7 @@ Segment* Pager::CreateSegment(size_t num_pages) {
   CC_EXPECTS(ccache_ != nullptr || fixed_swap_ != nullptr);
   segments_.push_back(
       std::make_unique<Segment>(static_cast<uint32_t>(segments_.size()), num_pages));
+  segments_.back()->set_owner_pid(current_pid_);
   return segments_.back().get();
 }
 

@@ -80,6 +80,12 @@ class Segment {
   bool torn_down() const { return torn_down_; }
   void MarkTornDown() { torn_down_ = true; }
 
+  // Process that created the segment (0 = kernel / no process context). Stamped
+  // at CreateSegment from Pager::SetCurrentProcess; the scheduler's ownership
+  // audit requires every touched page to belong to exactly one live process.
+  uint32_t owner_pid() const { return owner_pid_; }
+  void set_owner_pid(uint32_t pid) { owner_pid_ = pid; }
+
   PageEntry& page(uint32_t index) {
     CC_EXPECTS(index < pages_.size());
     return pages_[index];
@@ -94,6 +100,7 @@ class Segment {
   std::vector<PageEntry> pages_;
   bool aborted_ = false;
   bool torn_down_ = false;
+  uint32_t owner_pid_ = 0;
 };
 
 struct VmOptions {
@@ -138,6 +145,14 @@ class Pager : public CcacheEvents {
 
   Segment* CreateSegment(size_t num_pages);
   Segment* GetSegment(uint32_t id);
+  // Segment ids are dense: every id in [0, num_segments()) is valid for
+  // GetSegment (torn-down segments included).
+  size_t num_segments() const { return segments_.size(); }
+
+  // Process context for attribution: segments created while a pid is current
+  // are owned by that process. 0 clears the context (kernel / no process).
+  void SetCurrentProcess(uint32_t pid) { current_pid_ = pid; }
+  uint32_t current_process() const { return current_pid_; }
 
   // Releases every resource a segment holds: resident frames return to the
   // pool, compressed copies leave the ccache, and backing-store blocks return
@@ -215,6 +230,7 @@ class Pager : public CcacheEvents {
 
   std::vector<std::unique_ptr<Segment>> segments_;
   LruList<PageEntry> lru_;  // resident pages, LRU first
+  uint32_t current_pid_ = 0;
   std::function<void()> post_fault_hook_;
   int eviction_depth_ = 0;
 

@@ -1,0 +1,179 @@
+// Step-port equivalence: each application run under the scheduler at one Step
+// per quantum must be indistinguishable — results, fault counts, virtual
+// time, and heap bytes — from the single-process Run() loop. This pins the
+// Step() state machines to the original monolithic implementations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/compare.h"
+#include "apps/gold.h"
+#include "apps/isca.h"
+#include "apps/sort.h"
+#include "apps/thrasher.h"
+#include "proc/scheduler.h"
+#include "tests/test_util.h"
+
+namespace compcache {
+namespace {
+
+struct RunOutcome {
+  uint64_t faults = 0;
+  uint64_t accesses = 0;
+  int64_t elapsed_ns = 0;
+  uint64_t heap_hash = 0;
+};
+
+RunOutcome Fingerprint(Machine& machine) {
+  RunOutcome out;
+  out.faults = machine.pager().stats().faults;
+  out.accesses = machine.pager().stats().accesses;
+  out.elapsed_ns = machine.clock().Now().nanos();
+  out.heap_hash = HashTouchedPages(machine);
+  return out;
+}
+
+// Runs the app direct (Run loop) and as the sole process of a
+// one-step-per-quantum scheduler on identical machines, compares the machine
+// fingerprints, then hands both apps to a caller-supplied result comparator.
+template <typename AppT, typename Options, typename CompareResults>
+void ExpectStepEquivalence(const Options& options, MachineConfig config,
+                           CompareResults compare) {
+  Machine direct_machine(config);
+  AppT direct_app(options);
+  direct_app.Run(direct_machine);
+  const RunOutcome direct = Fingerprint(direct_machine);
+
+  Machine stepped_machine(config);
+  SchedulerOptions sopts;
+  sopts.quantum = SimDuration::Nanos(1);
+  sopts.max_steps_per_quantum = 1;
+  Scheduler sched(stepped_machine, sopts);
+  sched.Spawn("worker", std::make_unique<AppT>(options));
+  sched.RunToCompletion();
+  // Every step really ran in its own quantum.
+  EXPECT_EQ(sched.process(1).stats().quanta, sched.process(1).stats().steps);
+  const auto& stepped_app = static_cast<const AppT&>(sched.process(1).app());
+  const RunOutcome stepped = Fingerprint(stepped_machine);
+
+  EXPECT_EQ(direct.faults, stepped.faults);
+  EXPECT_EQ(direct.accesses, stepped.accesses);
+  EXPECT_EQ(direct.elapsed_ns, stepped.elapsed_ns);
+  EXPECT_EQ(direct.heap_hash, stepped.heap_hash);
+  compare(direct_app, stepped_app);
+}
+
+TEST(StepPortTest, Thrasher) {
+  ThrasherOptions options;
+  options.address_space_bytes = 1 * kMiB;
+  options.write = true;
+  options.passes = 2;
+  ExpectStepEquivalence<Thrasher>(
+      options, SmallConfig(true, 1 * kMiB), [](const Thrasher& a, const Thrasher& b) {
+        EXPECT_EQ(a.result().page_touches, b.result().page_touches);
+        EXPECT_EQ(a.result().elapsed.nanos(), b.result().elapsed.nanos());
+        EXPECT_EQ(a.result().setup_time.nanos(), b.result().setup_time.nanos());
+        EXPECT_GT(a.result().page_touches, 0u);
+      });
+}
+
+TEST(StepPortTest, Compare) {
+  CompareOptions options;
+  options.rows = 512;
+  options.band_width = 128;
+  ExpectStepEquivalence<Compare>(
+      options, SmallConfig(true, 1 * kMiB), [](const Compare& a, const Compare& b) {
+        EXPECT_EQ(a.result().edit_distance, b.result().edit_distance);
+        EXPECT_EQ(a.result().cells_computed, b.result().cells_computed);
+        EXPECT_EQ(a.result().cells_reread, b.result().cells_reread);
+        EXPECT_EQ(a.result().elapsed.nanos(), b.result().elapsed.nanos());
+        EXPECT_GE(a.result().edit_distance, 0);
+      });
+}
+
+TEST(StepPortTest, Isca) {
+  IscaOptions options;
+  options.processors = 4;
+  options.simulated_blocks = 40'000;
+  options.cache_lines_per_proc = 4096;
+  options.references = 30'000;
+  options.region_blocks = 512;
+  ExpectStepEquivalence<IscaCacheSim>(
+      options, SmallConfig(true, 1 * kMiB),
+      [](const IscaCacheSim& a, const IscaCacheSim& b) {
+        EXPECT_EQ(a.result().references, b.result().references);
+        EXPECT_EQ(a.result().cache_hits, b.result().cache_hits);
+        EXPECT_EQ(a.result().cache_misses, b.result().cache_misses);
+        EXPECT_EQ(a.result().invalidations, b.result().invalidations);
+        EXPECT_EQ(a.result().elapsed.nanos(), b.result().elapsed.nanos());
+        EXPECT_GT(a.result().cache_hits, 0u);
+      });
+}
+
+TEST(StepPortTest, SortRandom) {
+  SortOptions options;
+  options.variant = SortVariant::kRandom;
+  options.text_bytes = 96 * kKiB;
+  options.dictionary_words = 1024;
+  ExpectStepEquivalence<TextSort>(
+      options, SmallConfig(true, 1 * kMiB), [](const TextSort& a, const TextSort& b) {
+        EXPECT_EQ(a.result().words, b.result().words);
+        EXPECT_EQ(a.result().comparisons, b.result().comparisons);
+        EXPECT_EQ(a.result().exchanges, b.result().exchanges);
+        EXPECT_EQ(a.result().elapsed.nanos(), b.result().elapsed.nanos());
+        EXPECT_TRUE(a.result().verified_sorted);
+        EXPECT_TRUE(b.result().verified_sorted);
+      });
+}
+
+TEST(StepPortTest, SortPartial) {
+  SortOptions options;
+  options.variant = SortVariant::kPartial;
+  options.text_bytes = 96 * kKiB;
+  options.dictionary_words = 1024;
+  ExpectStepEquivalence<TextSort>(
+      options, SmallConfig(true, 1 * kMiB), [](const TextSort& a, const TextSort& b) {
+        EXPECT_EQ(a.result().comparisons, b.result().comparisons);
+        EXPECT_EQ(a.result().exchanges, b.result().exchanges);
+        EXPECT_TRUE(a.result().verified_sorted);
+        EXPECT_TRUE(b.result().verified_sorted);
+      });
+}
+
+TEST(StepPortTest, Gold) {
+  GoldOptions options;
+  options.num_messages = 256;
+  options.message_bytes = 512;
+  options.dictionary_words = 2048;
+  options.term_table_slots = 1 << 12;
+  options.postings_bytes = 512 * kKiB;
+  options.num_queries = 64;
+  ExpectStepEquivalence<GoldApp>(
+      options, SmallConfig(true, 1 * kMiB), [](const GoldApp& a, const GoldApp& b) {
+        EXPECT_EQ(a.result().create.tokens_indexed, b.result().create.tokens_indexed);
+        EXPECT_EQ(a.result().create.elapsed.nanos(), b.result().create.elapsed.nanos());
+        EXPECT_EQ(a.result().cold.postings_touched, b.result().cold.postings_touched);
+        EXPECT_EQ(a.result().cold.query_hits, b.result().cold.query_hits);
+        EXPECT_EQ(a.result().warm.query_hits, b.result().warm.query_hits);
+        EXPECT_EQ(a.result().warm.elapsed.nanos(), b.result().warm.elapsed.nanos());
+        EXPECT_GT(a.result().create.tokens_indexed, 0u);
+      });
+}
+
+TEST(StepPortTest, StepAfterDoneIsIdempotent) {
+  ThrasherOptions options;
+  options.address_space_bytes = 256 * kKiB;
+  options.passes = 1;
+  Machine machine(SmallConfig(true, 1 * kMiB));
+  Thrasher app(options);
+  app.Run(machine);
+  const uint64_t faults = machine.pager().stats().faults;
+  const int64_t now = machine.clock().Now().nanos();
+  EXPECT_TRUE(app.Step(machine));
+  EXPECT_TRUE(app.Step(machine));
+  EXPECT_EQ(machine.pager().stats().faults, faults);
+  EXPECT_EQ(machine.clock().Now().nanos(), now);
+}
+
+}  // namespace
+}  // namespace compcache

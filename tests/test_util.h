@@ -15,6 +15,40 @@ inline MachineConfig SmallConfig(bool use_ccache, uint64_t memory_bytes = 2 * kM
   return config;
 }
 
+// FNV-1a hash over every materialized page of every live segment (segment id,
+// page index, page bytes), read through the pager. Two machines whose
+// workloads computed the same data hash equal no matter how the pages are
+// currently distributed between frames, the compression cache, and the
+// backing store. Reading faults non-resident pages back in, so call this only
+// after the measured run.
+inline uint64_t HashTouchedPages(Machine& machine) {
+  uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](const uint8_t* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  Pager& pager = machine.pager();
+  for (size_t s = 0; s < pager.num_segments(); ++s) {
+    Segment* seg = pager.GetSegment(static_cast<uint32_t>(s));
+    if (seg == nullptr || seg->torn_down()) {
+      continue;
+    }
+    for (uint32_t p = 0; p < seg->num_pages(); ++p) {
+      if (seg->page(p).state == PageState::kUntouched) {
+        continue;
+      }
+      const uint32_t id = seg->id();
+      mix(reinterpret_cast<const uint8_t*>(&id), sizeof(id));
+      mix(reinterpret_cast<const uint8_t*>(&p), sizeof(p));
+      const auto frame = pager.Access(*seg, p, /*write=*/false);
+      mix(frame.data(), frame.size());
+    }
+  }
+  return h;
+}
+
 // A standalone FrameSource over a private pool, for unit-testing components
 // below the Machine level. Aborts when the pool is exhausted.
 class TestFrameSource : public FrameSource {
