@@ -8,6 +8,9 @@
 //   --quick          smaller workloads for CI smoke runs
 //   --faults=<rate>  per-attempt transient disk error probability for the
 //                    fault-injected half of the matrix (default 0.02)
+//   --superblock     enable superblock frame packing across the whole grid,
+//                    so the packing-specific audits (alignment, quantization,
+//                    per-frame entry bounds) soak alongside the classic ones
 //   --json=<path>    machine-readable report (schema in DESIGN.md)
 #include <cstdio>
 #include <cstring>
@@ -52,10 +55,11 @@ SoakResult Finish(Machine& machine, bool snapshot_metrics) {
   return result;
 }
 
-MachineConfig MakeConfig(CompressedSwapKind kind, double fault_rate) {
+MachineConfig MakeConfig(CompressedSwapKind kind, double fault_rate, bool superblock) {
   MachineConfig config = MachineConfig::WithCompressionCache(kUserMemory);
   config.compressed_swap = kind;
   config.audit_interval = kAuditInterval;
+  config.superblock_packing = superblock;
   if (fault_rate > 0.0) {
     config.fault_injection.enabled = true;
     config.fault_injection.seed = 1993;
@@ -69,8 +73,9 @@ MachineConfig MakeConfig(CompressedSwapKind kind, double fault_rate) {
 // discard the rest of the matrix.
 void DisableAbort(Machine& machine) { machine.auditor().set_abort_on_violation(false); }
 
-SoakResult RunGold(CompressedSwapKind kind, double fault_rate, bool quick, bool snapshot) {
-  Machine machine(MakeConfig(kind, fault_rate));
+SoakResult RunGold(CompressedSwapKind kind, double fault_rate, bool quick, bool superblock,
+                   bool snapshot) {
+  Machine machine(MakeConfig(kind, fault_rate, superblock));
   DisableAbort(machine);
   GoldOptions options;
   options.num_messages = quick ? 1024 : 4096;
@@ -84,8 +89,9 @@ SoakResult RunGold(CompressedSwapKind kind, double fault_rate, bool quick, bool 
   return Finish(machine, snapshot);
 }
 
-SoakResult RunSort(CompressedSwapKind kind, double fault_rate, bool quick, bool snapshot) {
-  Machine machine(MakeConfig(kind, fault_rate));
+SoakResult RunSort(CompressedSwapKind kind, double fault_rate, bool quick, bool superblock,
+                   bool snapshot) {
+  Machine machine(MakeConfig(kind, fault_rate, superblock));
   DisableAbort(machine);
   SortOptions options;
   options.variant = SortVariant::kRandom;
@@ -95,8 +101,9 @@ SoakResult RunSort(CompressedSwapKind kind, double fault_rate, bool quick, bool 
   return Finish(machine, snapshot);
 }
 
-SoakResult RunThrasher(CompressedSwapKind kind, double fault_rate, bool quick, bool snapshot) {
-  Machine machine(MakeConfig(kind, fault_rate));
+SoakResult RunThrasher(CompressedSwapKind kind, double fault_rate, bool quick, bool superblock,
+                       bool snapshot) {
+  Machine machine(MakeConfig(kind, fault_rate, superblock));
   DisableAbort(machine);
   ThrasherOptions options;
   options.address_space_bytes = quick ? 8 * kMiB : 16 * kMiB;
@@ -111,10 +118,13 @@ SoakResult RunThrasher(CompressedSwapKind kind, double fault_rate, bool quick, b
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool superblock = false;
   double fault_rate = 0.02;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--superblock") == 0) {
+      superblock = true;
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       fault_rate = std::strtod(argv[i] + 9, nullptr);
     }
@@ -127,7 +137,7 @@ int main(int argc, char** argv) {
   };
   struct Workload {
     std::string name;
-    SoakResult (*run)(CompressedSwapKind, double, bool, bool);
+    SoakResult (*run)(CompressedSwapKind, double, bool, bool, bool);
   };
   const std::vector<Workload> workloads = {
       {"gold", RunGold}, {"sort", RunSort}, {"thrasher", RunThrasher}};
@@ -137,10 +147,12 @@ int main(int argc, char** argv) {
   report.Config("audit_interval", uint64_t{kAuditInterval});
   report.Config("fault_rate", fault_rate);
   report.Config("quick", quick);
+  report.Config("superblock_packing", superblock);
 
   std::printf("audit soak: %zu workloads x %zu backends x {clean, faults=%g}, "
-              "audit every %zu faults\n\n",
-              workloads.size(), backends.size(), fault_rate, kAuditInterval);
+              "audit every %zu faults%s\n\n",
+              workloads.size(), backends.size(), fault_rate, kAuditInterval,
+              superblock ? ", superblock packing ON" : "");
   std::printf("%10s %18s %8s %10s %11s  %s\n", "workload", "backend", "faults",
               "audit_runs", "violations", "first_violation");
 
@@ -153,7 +165,9 @@ int main(int argc, char** argv) {
                               bname == backends.back().first && rate > 0.0;
         const auto run = w.run;
         const auto k = kind;
-        jobs.push_back([run, k, rate, quick, snapshot] { return run(k, rate, quick, snapshot); });
+        jobs.push_back([run, k, rate, quick, superblock, snapshot] {
+          return run(k, rate, quick, superblock, snapshot);
+        });
       }
     }
   }

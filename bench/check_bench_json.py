@@ -38,6 +38,12 @@ Schema (schema_version 1):
     fig5_multiprogramming  must publish mix.* metrics (mix.elapsed_ns,
                         mix.processes, per-process mix.<name>.run_ns/faults)
                         from its representative multiprogrammed cell
+    ablation_codec      must report one row per registered codec (store, zero,
+                        rle, wk, lzrw1, lzrw1a, bdi, fpc, dict, adaptive) with
+                        a positive compression ratio and strictly positive
+                        host compress/decompress throughput plus the three
+                        simulated thrash cell times; the adaptive row must
+                        carry the probe's pick_* counters with a non-zero sum
 """
 
 import json
@@ -49,6 +55,19 @@ METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 TOP_KEYS = {"bench", "schema_version", "config", "results", "metrics"}
 # Monotonic counter families: a negative value can only be a bug.
 COUNTER_PREFIXES = ("fault.", "retry.")
+# The full codec suite ablation_codec must cover (see src/compress/registry.cc
+# KnownCodecNames()) and the fields every per-codec row must carry.
+ABLATION_CODEC_NAMES = (
+    "adaptive", "bdi", "dict", "fpc", "lzrw1",
+    "lzrw1a", "rle", "store", "wk", "zero",
+)
+ABLATION_CODEC_ROW_FIELDS = (
+    "ratio_pct", "compress_mbps", "decompress_mbps",
+    "sim_sparse_ns", "sim_text_ns", "sim_pointer_ns",
+)
+ABLATION_ADAPTIVE_PICKS = (
+    "pick_zero", "pick_store", "pick_bdi", "pick_fpc", "pick_dict", "pick_lzrw1",
+)
 # Wall-clock metrics perf_hotpath must publish (see bench/perf_hotpath.cc).
 PERF_HOTPATH_METRICS = (
     "wall_clock.zero_pages_per_sec",
@@ -175,6 +194,44 @@ def validate(path):
         if not any(k.startswith("proc.") for k in metrics):
             err("fig5_multiprogramming snapshot must include per-process "
                 "proc.* counters")
+
+    if bench == "ablation_codec" and isinstance(results, list):
+        by_codec = {}
+        for i, row in enumerate(results):
+            if isinstance(row, dict) and isinstance(row.get("codec"), str):
+                by_codec[row["codec"]] = (i, row)
+        for name in ABLATION_CODEC_NAMES:
+            if name not in by_codec:
+                err(f'ablation_codec must report a row with codec="{name}"')
+                continue
+            i, row = by_codec[name]
+            for field in ABLATION_CODEC_ROW_FIELDS:
+                v = row.get(field)
+                if not is_number(v):
+                    err(f'results[{i}] (codec={name}) must carry numeric '
+                        f'"{field}"')
+                elif v <= 0:
+                    err(f'results[{i}] (codec={name})["{field}"] must be '
+                        f"strictly positive, got {v}")
+        if "adaptive" in by_codec:
+            i, row = by_codec["adaptive"]
+            picks = []
+            for field in ABLATION_ADAPTIVE_PICKS:
+                v = row.get(field)
+                if not is_number(v) or v < 0:
+                    err(f'results[{i}] (codec=adaptive) must carry '
+                        f'non-negative "{field}"')
+                else:
+                    picks.append(v)
+            if picks and sum(picks) <= 0:
+                err("ablation_codec adaptive row pick_* counts must sum to a "
+                    "positive value -- the probe never ran")
+        if isinstance(metrics, dict):
+            for name in ABLATION_CODEC_NAMES:
+                for kind in ("compress", "decompress"):
+                    key = f"wall_clock.{kind}_mbps.{name}"
+                    if key not in metrics:
+                        err(f'ablation_codec must publish metrics["{key}"]')
 
     if bench == "perf_hotpath" and isinstance(metrics, dict):
         for name in PERF_HOTPATH_METRICS:

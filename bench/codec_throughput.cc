@@ -97,6 +97,7 @@ void RegisterAll() {
       {ContentClass::kRepetitiveText, "reptext"},
       {ContentClass::kText, "text"},
       {ContentClass::kShuffledWords, "words"},
+      {ContentClass::kPointerArray, "pointer"},
       {ContentClass::kRandom, "random"},
   };
   for (const auto& name : KnownCodecNames()) {

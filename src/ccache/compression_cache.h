@@ -100,6 +100,17 @@ struct CcacheOptions {
   // entry's 36-byte ring header and re-verify it on every fault-in.
   bool checksums = true;
   bool verify_on_fault_in = true;
+
+  // Superblock frame packing (after Touché / the Sniper CompressCacheSet
+  // organization): entry footprints are rounded up to the sub-block quantum
+  // (kPageSize / 4), so every entry starts on a sub-block boundary and at most
+  // 4 compressed pages ever share one physical frame. The padding trades ring
+  // bytes for the fixed-compression-factor property the hardware schemes
+  // depend on: an entry's reserved footprint is one of exactly four sizes, so
+  // a recompressed page that still fits its class is rewritten in place, and
+  // one that grew out of its class evicts the (up to 4) co-resident pages of
+  // its frames — see OverwriteCompressed.
+  bool superblock_packing = false;
 };
 
 struct CcacheStats {
@@ -123,6 +134,12 @@ struct CcacheStats {
   uint64_t checksum_mismatches = 0;    // fault-ins whose payload failed its CRC
   uint64_t entries_lost = 0;           // dirty entries reclaimed after write failure
   uint64_t write_batch_failures = 0;   // WriteBatch calls that did not fully succeed
+  // Superblock packing (all zero unless CcacheOptions::superblock_packing):
+  uint64_t superblock_packed_inserts = 0;      // appends that joined a partly used frame
+  uint64_t superblock_pad_bytes = 0;           // quantization slack added at append
+  uint64_t superblock_overwrites_inplace = 0;  // overwrites that fit the reserved class
+  uint64_t superblock_overwrite_appends = 0;   // overwrites that outgrew it (re-append)
+  uint64_t superblock_overwrite_evictions = 0; // co-residents evicted by those overwrites
   RunningStats kept_ratio_pct;  // compressed/original * 100 for kept pages
 };
 
@@ -164,8 +181,22 @@ class CompressionCache {
     std::span<const uint8_t> bytes;  // compressed image; valid until the Scope closes
   };
   CompressOutcome CompressPage(std::span<const uint8_t> page);
+  // With superblock packing enabled, inserting a key that is already cached
+  // routes to OverwriteCompressed (the Sniper overwrite semantics); otherwise
+  // the key must be absent.
   void InsertCompressed(PageKey key, std::span<const uint8_t> compressed,
                         uint32_t original_size, bool dirty, bool zero_page = false);
+
+  // Replaces the compressed image of a key already in the cache. When the new
+  // image still fits the entry's reserved footprint (its superblock class) it
+  // is rewritten in place; when it has grown — e.g. the page's new contents
+  // turned incompressible — every co-resident page sharing the entry's frames
+  // is evicted first (dirty ones are written out in one clustered batch, up to
+  // 4 evictions per Sniper's CompressCacheSet), and the new image is appended
+  // fresh at the tail. A dirty overwrite invalidates any stale backing-store
+  // copy of the key.
+  void OverwriteCompressed(PageKey key, std::span<const uint8_t> compressed,
+                           uint32_t original_size, bool dirty, bool zero_page = false);
 
   // Inserts an already-compressed image read from the backing store, as a clean
   // entry. No compression charge (the bits are already compressed). A one-byte
@@ -212,6 +243,9 @@ class CompressionCache {
 
   size_t mapped_frames() const { return mapped_count_; }
   size_t live_entries() const { return index_.size(); }
+  // Frames currently overlapped by two or more live entries (0 with packing
+  // off and typical page-sized footprints).
+  size_t SharedFrames() const;
   uint64_t used_bytes() const { return tail_off_ - head_off_; }
   const CcacheStats& stats() const { return stats_; }
   const CcacheOptions& options() const { return options_; }
@@ -251,6 +285,10 @@ class CompressionCache {
   // The paper's per-compressed-page header size (section 4.4).
   static constexpr uint32_t kEntryHeaderBytes = 36;
 
+  // Superblock quantum: footprints round up to this, giving the four fixed
+  // entry classes (1, 2, 3, or 4 sub-blocks) of a 4-pages-per-frame layout.
+  static constexpr uint32_t kSubBlockBytes = kPageSize / 4;
+
   // Validates internal invariants (entries contiguous, index consistent, slot
   // mapping covers live bytes). Test hook; aborts on violation.
   void CheckInvariants() const;
@@ -283,13 +321,17 @@ class CompressionCache {
     uint32_t payload_size = 0;
     uint32_t original_size = 0;
     uint32_t checksum = 0;  // CRC-32C of the payload; 0 = not recorded
+    // Reserved-but-unused footprint bytes after the payload: superblock
+    // quantization slack, or the residue of an in-place overwrite that shrank
+    // the payload. The footprint (and thus the ring chain) includes it.
+    uint32_t slack = 0;
     bool zero_page = false;  // all-zero page: no payload, faults zero-fill
     bool dirty = false;
     bool valid = true;
     uint64_t age_ns = 0;
 
     uint64_t payload_off() const { return header_off + kEntryHeaderBytes; }
-    uint64_t end_off() const { return payload_off() + payload_size; }
+    uint64_t end_off() const { return payload_off() + payload_size + slack; }
   };
 
   size_t SlotOf(uint64_t linear_off) const {
@@ -308,6 +350,13 @@ class CompressionCache {
 
   Entry* Find(PageKey key);
   const Entry* Find(PageKey key) const;
+
+  // Evicts every valid entry except `keep` whose footprint overlaps the frames
+  // covering the linear byte range [lo, hi): dirty victims are written to the
+  // backing store in one clustered batch first (failed writes surface as
+  // OnEntryLost, like head reclamation). Core of OverwriteCompressed's grow
+  // path.
+  void EvictCoResidents(uint64_t lo, uint64_t hi, PageKey keep);
 
   // Pops head entries (writing dirty ones) until the head frame can be freed;
   // unmaps and frees it. Core of ReleaseOldest.
@@ -347,7 +396,8 @@ class CompressionCache {
   uint64_t head_off_ = 0;  // linear offsets, monotonically increasing
   uint64_t tail_off_ = 0;
 
-  std::deque<Entry> entries_;  // append order; contiguous: entry[i+1].header_off == entry[i].end_off()
+  // Append order; contiguous: entry[i+1].header_off == entry[i].end_off().
+  std::deque<Entry> entries_;
   uint64_t base_seq_ = 0;      // sequence number of entries_.front()
   std::unordered_map<PageKey, uint64_t, PageKeyHash> index_;  // key -> sequence number
 

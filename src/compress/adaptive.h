@@ -1,0 +1,72 @@
+// Per-page adaptive codec selection: a cheap content probe over the first few
+// hundred bytes of the page picks the member codec most likely to win —
+// dictionary coding for low-cardinality word streams, BDI for
+// pointer/numeric-array pages, FPC for small-integer data, LZRW1 for text,
+// raw store for high-entropy content — and all-zero pages short-circuit to
+// the shared zero-page marker before any probe runs. The probe reads a prefix
+// only, so selection cost stays far below even one full fixed-factor encode;
+// the bet is the paper's: page contents are homogeneous enough that a prefix
+// predicts the page.
+//
+// Wire format: zero pages emit the bare marker and fallbacks emit the bare
+// raw container (both shared with every other codec); a compressed pick emits
+// [kContainerAdaptive][member id][member's own image], so decode is a
+// dispatch on one byte. Pick counts are exposed for the ablation benches.
+#ifndef COMPCACHE_COMPRESS_ADAPTIVE_H_
+#define COMPCACHE_COMPRESS_ADAPTIVE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "compress/bdi.h"
+#include "compress/codec.h"
+#include "compress/dict.h"
+#include "compress/fpc.h"
+#include "compress/lzrw1.h"
+
+namespace compcache {
+
+// Container byte for the adaptive wrapper; the fixed codecs all reject it.
+inline constexpr uint8_t kContainerAdaptive = 0x03;
+
+class AdaptiveCodec : public Codec {
+ public:
+  // Outcomes of the probe, indexing pick_counts(). The store/zero outcomes
+  // emit bare raw-container/marker images rather than the 0x03 wrapper.
+  enum class Pick : uint8_t { kZero = 0, kStore, kBdi, kFpc, kDict, kLzrw1 };
+  static constexpr size_t kNumPicks = 6;
+  static const char* PickName(Pick pick);
+
+  explicit AdaptiveCodec(unsigned lzrw_hash_bits = 12) : lzrw1_(lzrw_hash_bits) {}
+
+  std::string_view name() const override { return "adaptive"; }
+  size_t MaxCompressedSize(size_t n) const override;
+  size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+  bool TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+
+  // How often each member was chosen by the probe (compress-side; counts the
+  // probe's decision even when the member's output lost to the raw fallback).
+  const std::array<uint64_t, kNumPicks>& pick_counts() const { return picks_; }
+
+ private:
+  // Member ids on the wire (after the kContainerAdaptive byte).
+  static constexpr uint8_t kIdBdi = 1;
+  static constexpr uint8_t kIdFpc = 2;
+  static constexpr uint8_t kIdDict = 3;
+  static constexpr uint8_t kIdLzrw1 = 4;
+
+  Pick Probe(std::span<const uint8_t> src) const;
+  Codec* MemberFor(uint8_t id);
+
+  BdiCodec bdi_;
+  FpcCodec fpc_;
+  DictCodec dict_;
+  Lzrw1 lzrw1_;
+  std::vector<uint8_t> sub_;  // member scratch for the chosen codec's image
+  std::array<uint64_t, kNumPicks> picks_{};
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_COMPRESS_ADAPTIVE_H_

@@ -1,0 +1,252 @@
+#include "compress/bdi.h"
+
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace compcache {
+namespace {
+
+constexpr size_t kChunkBytes = 64;
+constexpr size_t kWordsPerChunk = kChunkBytes / 8;
+
+// Chunk tags, one byte each, stored as an array right after the container
+// byte. The payload stream follows; payload size is a pure function of the
+// tag, which is what makes decode extents exactly checkable.
+enum ChunkTag : uint8_t {
+  kTagZeros = 0,      // 0-byte payload
+  kTagRepeat = 1,     // 8-byte payload: one word repeated 8 times
+  kTagDelta1 = 2,     // 17-byte payload: base + mask + 8 x 1-byte deltas
+  kTagDelta2 = 3,     // 25-byte payload: base + mask + 8 x 2-byte deltas
+  kTagDelta4 = 4,     // 41-byte payload: base + mask + 8 x 4-byte deltas
+  kTagRawChunk = 5,   // 64-byte payload: the chunk verbatim
+};
+
+constexpr size_t kTagPayloadBytes[6] = {0, 8, 17, 25, 41, kChunkBytes};
+
+uint64_t LoadWord(const uint8_t* p) {
+  uint64_t w;
+  std::memcpy(&w, p, 8);
+  return w;
+}
+
+void StoreWord(uint8_t* p, uint64_t w) { std::memcpy(p, &w, 8); }
+
+// True when `w` is representable as a signed `width`-byte delta from `base`.
+bool DeltaFits(uint64_t w, uint64_t base, unsigned width) {
+  const int64_t delta = static_cast<int64_t>(w - base);
+  switch (width) {
+    case 1:
+      return delta >= INT8_MIN && delta <= INT8_MAX;
+    case 2:
+      return delta >= INT16_MIN && delta <= INT16_MAX;
+    default:
+      return delta >= INT32_MIN && delta <= INT32_MAX;
+  }
+}
+
+// Picks the narrowest delta width (1, 2, or 4 bytes) at which every word in
+// the chunk is a delta from either zero or `base`, filling `mask` with one
+// bit per word (set = base-relative). Returns 0 when even 4-byte deltas
+// cannot cover the chunk.
+unsigned PickDeltaWidth(const uint64_t* words, uint64_t base, uint8_t* mask) {
+  for (unsigned width : {1u, 2u, 4u}) {
+    uint8_t m = 0;
+    bool ok = true;
+    for (size_t i = 0; i < kWordsPerChunk; ++i) {
+      if (DeltaFits(words[i], 0, width)) {
+        continue;  // immediate: delta from the implicit zero base
+      }
+      if (DeltaFits(words[i], base, width)) {
+        m |= static_cast<uint8_t>(1u << i);
+        continue;
+      }
+      ok = false;
+      break;
+    }
+    if (ok) {
+      *mask = m;
+      return width;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+size_t BdiCodec::MaxCompressedSize(size_t n) const {
+  // Raw fallback bound (n + 1) plus slack so Compress can build the coded
+  // image in place before deciding; the coded image itself is bounded by
+  // container + one tag per chunk + raw chunks + raw tail.
+  return n + n / kChunkBytes + 2;
+}
+
+size_t BdiCodec::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  const size_t n = src.size();
+  CC_EXPECTS(dst.size() >= MaxCompressedSize(n));
+  const size_t chunks = n / kChunkBytes;
+  const size_t tail = n % kChunkBytes;
+
+  tags_.clear();
+  payload_.clear();
+  for (size_t c = 0; c < chunks; ++c) {
+    const uint8_t* chunk = src.data() + c * kChunkBytes;
+    uint64_t words[kWordsPerChunk];
+    for (size_t i = 0; i < kWordsPerChunk; ++i) {
+      words[i] = LoadWord(chunk + i * 8);
+    }
+
+    bool all_zero = true;
+    bool all_same = true;
+    uint64_t base = 0;  // first word not already a 1-byte immediate
+    bool have_base = false;
+    for (size_t i = 0; i < kWordsPerChunk; ++i) {
+      all_zero &= words[i] == 0;
+      all_same &= words[i] == words[0];
+      if (!have_base && !DeltaFits(words[i], 0, 1)) {
+        base = words[i];
+        have_base = true;
+      }
+    }
+
+    if (all_zero) {
+      tags_.push_back(kTagZeros);
+      continue;
+    }
+    if (all_same) {
+      tags_.push_back(kTagRepeat);
+      const size_t off = payload_.size();
+      payload_.resize(off + 8);
+      StoreWord(payload_.data() + off, words[0]);
+      continue;
+    }
+    uint8_t mask = 0;
+    const unsigned width = PickDeltaWidth(words, base, &mask);
+    if (width != 0) {
+      tags_.push_back(width == 1 ? kTagDelta1 : width == 2 ? kTagDelta2 : kTagDelta4);
+      const size_t off = payload_.size();
+      payload_.resize(off + 9 + kWordsPerChunk * width);
+      StoreWord(payload_.data() + off, base);
+      payload_[off + 8] = mask;
+      uint8_t* out = payload_.data() + off + 9;
+      for (size_t i = 0; i < kWordsPerChunk; ++i) {
+        const uint64_t delta = words[i] - ((mask >> i) & 1u ? base : 0);
+        std::memcpy(out + i * width, &delta, width);
+      }
+      continue;
+    }
+    tags_.push_back(kTagRawChunk);
+    payload_.insert(payload_.end(), chunk, chunk + kChunkBytes);
+  }
+
+  const size_t total = 1 + tags_.size() + payload_.size() + tail;
+  if (total >= n + 1) {
+    dst[0] = kContainerRaw;
+    if (n > 0) {
+      std::memcpy(dst.data() + 1, src.data(), n);
+    }
+    return n + 1;
+  }
+
+  dst[0] = kContainerCompressed;
+  std::memcpy(dst.data() + 1, tags_.data(), tags_.size());
+  if (!payload_.empty()) {
+    std::memcpy(dst.data() + 1 + tags_.size(), payload_.data(), payload_.size());
+  }
+  if (tail > 0) {
+    std::memcpy(dst.data() + 1 + tags_.size() + payload_.size(),
+                src.data() + chunks * kChunkBytes, tail);
+  }
+  return total;
+}
+
+bool BdiCodec::TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  const size_t n = dst.size();
+  if (src.empty()) {
+    return false;
+  }
+  if (IsZeroPageMarker(src)) {
+    if (n > 0) {
+      std::memset(dst.data(), 0, n);
+    }
+    return true;
+  }
+  if (src[0] == kContainerRaw) {
+    if (src.size() != n + 1) {
+      return false;
+    }
+    if (n > 0) {
+      std::memcpy(dst.data(), src.data() + 1, n);
+    }
+    return true;
+  }
+  if (src[0] != kContainerCompressed) {
+    return false;
+  }
+
+  const size_t chunks = n / kChunkBytes;
+  const size_t tail = n % kChunkBytes;
+  if (src.size() < 1 + chunks) {
+    return false;
+  }
+  const uint8_t* tags = src.data() + 1;
+
+  // First pass: validate tags and compute the exact payload extent.
+  size_t payload_bytes = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    if (tags[c] > kTagRawChunk) {
+      return false;
+    }
+    payload_bytes += kTagPayloadBytes[tags[c]];
+  }
+  if (src.size() != 1 + chunks + payload_bytes + tail) {
+    return false;
+  }
+
+  const uint8_t* p = src.data() + 1 + chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    uint8_t* out = dst.data() + c * kChunkBytes;
+    switch (tags[c]) {
+      case kTagZeros:
+        std::memset(out, 0, kChunkBytes);
+        break;
+      case kTagRepeat: {
+        const uint64_t w = LoadWord(p);
+        p += 8;
+        for (size_t i = 0; i < kWordsPerChunk; ++i) {
+          StoreWord(out + i * 8, w);
+        }
+        break;
+      }
+      case kTagDelta1:
+      case kTagDelta2:
+      case kTagDelta4: {
+        const unsigned width = tags[c] == kTagDelta1 ? 1 : tags[c] == kTagDelta2 ? 2 : 4;
+        const uint64_t base = LoadWord(p);
+        const uint8_t mask = p[8];
+        const uint8_t* deltas = p + 9;
+        p += 9 + kWordsPerChunk * width;
+        for (size_t i = 0; i < kWordsPerChunk; ++i) {
+          uint64_t raw = 0;
+          std::memcpy(&raw, deltas + i * width, width);
+          // Sign-extend the width-byte delta.
+          const unsigned shift = 64 - 8 * width;
+          const uint64_t delta =
+              static_cast<uint64_t>(static_cast<int64_t>(raw << shift) >> shift);
+          StoreWord(out + i * 8, ((mask >> i) & 1u ? base : 0) + delta);
+        }
+        break;
+      }
+      case kTagRawChunk:
+        std::memcpy(out, p, kChunkBytes);
+        p += kChunkBytes;
+        break;
+    }
+  }
+  if (tail > 0) {
+    std::memcpy(dst.data() + chunks * kChunkBytes, p, tail);
+  }
+  return true;
+}
+
+}  // namespace compcache

@@ -1,0 +1,184 @@
+#include "compress/dict.h"
+
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace compcache {
+namespace {
+
+constexpr size_t kPointersPerGroup =
+    DictCodec::kGroupBytes / DictCodec::kGranularityBytes;  // 64
+constexpr size_t kPointerBytes = kPointersPerGroup * 3 / 8;  // 64 x 3 bits = 24
+
+uint32_t LoadValue(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+size_t DictCodec::MaxCompressedSize(size_t n) const {
+  // Raw fallback bound plus the trial image's overhead: one flag bit per
+  // group plus per-group payloads that never exceed the group itself.
+  return n + n / kGroupBytes + 2;
+}
+
+size_t DictCodec::Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  const size_t n = src.size();
+  CC_EXPECTS(dst.size() >= MaxCompressedSize(n));
+  const size_t groups = n / kGroupBytes;
+  const size_t tail = n % kGroupBytes;
+
+  flags_.assign((groups + 7) / 8, 0);
+  payload_.clear();
+  for (size_t g = 0; g < groups; ++g) {
+    const uint8_t* group = src.data() + g * kGroupBytes;
+
+    // Build the group dictionary: at most 8 distinct 4-byte values.
+    uint32_t dict[kMaxEntries];
+    uint8_t pointers[kPointersPerGroup];
+    size_t count = 0;
+    bool fits = true;
+    for (size_t i = 0; i < kPointersPerGroup; ++i) {
+      const uint32_t v = LoadValue(group + i * kGranularityBytes);
+      size_t slot = count;
+      for (size_t d = 0; d < count; ++d) {
+        if (dict[d] == v) {
+          slot = d;
+          break;
+        }
+      }
+      if (slot == count) {
+        if (count == kMaxEntries) {
+          fits = false;
+          break;
+        }
+        dict[count++] = v;
+      }
+      pointers[i] = static_cast<uint8_t>(slot);
+    }
+
+    if (!fits) {
+      payload_.insert(payload_.end(), group, group + kGroupBytes);
+      continue;
+    }
+    flags_[g / 8] |= static_cast<uint8_t>(1u << (g % 8));
+    payload_.push_back(static_cast<uint8_t>(count));
+    const size_t off = payload_.size();
+    payload_.resize(off + count * kGranularityBytes + kPointerBytes, 0);
+    std::memcpy(payload_.data() + off, dict, count * kGranularityBytes);
+    uint8_t* ptr_bytes = payload_.data() + off + count * kGranularityBytes;
+    for (size_t i = 0; i < kPointersPerGroup; ++i) {
+      const size_t bit = i * 3;
+      ptr_bytes[bit / 8] |= static_cast<uint8_t>(pointers[i] << (bit % 8));
+      if (bit % 8 > 5) {
+        ptr_bytes[bit / 8 + 1] |= static_cast<uint8_t>(pointers[i] >> (8 - bit % 8));
+      }
+    }
+  }
+
+  const size_t total = 1 + flags_.size() + payload_.size() + tail;
+  if (total >= n + 1) {
+    dst[0] = kContainerRaw;
+    if (n > 0) {
+      std::memcpy(dst.data() + 1, src.data(), n);
+    }
+    return n + 1;
+  }
+
+  dst[0] = kContainerCompressed;
+  std::memcpy(dst.data() + 1, flags_.data(), flags_.size());
+  if (!payload_.empty()) {
+    std::memcpy(dst.data() + 1 + flags_.size(), payload_.data(), payload_.size());
+  }
+  if (tail > 0) {
+    std::memcpy(dst.data() + 1 + flags_.size() + payload_.size(),
+                src.data() + groups * kGroupBytes, tail);
+  }
+  return total;
+}
+
+bool DictCodec::TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  const size_t n = dst.size();
+  if (src.empty()) {
+    return false;
+  }
+  if (IsZeroPageMarker(src)) {
+    if (n > 0) {
+      std::memset(dst.data(), 0, n);
+    }
+    return true;
+  }
+  if (src[0] == kContainerRaw) {
+    if (src.size() != n + 1) {
+      return false;
+    }
+    if (n > 0) {
+      std::memcpy(dst.data(), src.data() + 1, n);
+    }
+    return true;
+  }
+  if (src[0] != kContainerCompressed) {
+    return false;
+  }
+
+  const size_t groups = n / kGroupBytes;
+  const size_t tail = n % kGroupBytes;
+  const size_t flag_bytes = (groups + 7) / 8;
+  if (src.size() < 1 + flag_bytes + tail) {
+    return false;
+  }
+  const uint8_t* flags = src.data() + 1;
+  size_t cursor = 1 + flag_bytes;
+  const size_t payload_end = src.size() - tail;
+
+  for (size_t g = 0; g < groups; ++g) {
+    uint8_t* out = dst.data() + g * kGroupBytes;
+    if ((flags[g / 8] >> (g % 8)) & 1u) {
+      if (cursor >= payload_end) {
+        return false;
+      }
+      const size_t count = src[cursor++];
+      if (count == 0 || count > kMaxEntries) {
+        return false;
+      }
+      if (payload_end - cursor < count * kGranularityBytes + kPointerBytes) {
+        return false;
+      }
+      uint32_t dict[kMaxEntries];
+      std::memcpy(dict, src.data() + cursor, count * kGranularityBytes);
+      cursor += count * kGranularityBytes;
+      const uint8_t* ptr_bytes = src.data() + cursor;
+      cursor += kPointerBytes;
+      for (size_t i = 0; i < kPointersPerGroup; ++i) {
+        const size_t bit = i * 3;
+        uint32_t ptr = ptr_bytes[bit / 8] >> (bit % 8);
+        if (bit % 8 > 5) {
+          ptr |= static_cast<uint32_t>(ptr_bytes[bit / 8 + 1]) << (8 - bit % 8);
+        }
+        ptr &= 0x7u;
+        if (ptr >= count) {
+          return false;  // pointer outside the dictionary: corrupt image
+        }
+        std::memcpy(out + i * kGranularityBytes, &dict[ptr], kGranularityBytes);
+      }
+    } else {
+      if (payload_end - cursor < kGroupBytes) {
+        return false;
+      }
+      std::memcpy(out, src.data() + cursor, kGroupBytes);
+      cursor += kGroupBytes;
+    }
+  }
+  if (cursor != payload_end) {
+    return false;
+  }
+  if (tail > 0) {
+    std::memcpy(dst.data() + groups * kGroupBytes, src.data() + payload_end, tail);
+  }
+  return true;
+}
+
+}  // namespace compcache

@@ -1,0 +1,47 @@
+// DISH-style dictionary coding (after Panda & Seznec's dictionary sharing
+// design, as organized in the Sniper compression model): compression succeeds
+// only when a region's 4-byte words draw from a dictionary of at most 8
+// distinct values, in which case each word is replaced by a 3-bit pointer
+// into that dictionary. The geometry is fixed — MAX_DISH_ENTRIES = 8 4-byte
+// entries, 64-byte blocks, 16 pointers per block — and this codec applies the
+// dictionary across a 4-block superblock group (256 bytes, 64 pointers), the
+// sharing that gives DISH its ratio.
+//
+// Image layout: [0x01][group flag bits, packed][per-group payloads][raw tail].
+// A flagged (compressible) group stores [entry_count][count x 4-byte entries]
+// [24 pointer bytes]; an unflagged group stores its 256 bytes verbatim. All
+// extents are derivable during decode, which walks with a bounds-checked
+// cursor and requires exact consumption.
+#ifndef COMPCACHE_COMPRESS_DICT_H_
+#define COMPCACHE_COMPRESS_DICT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace compcache {
+
+class DictCodec : public Codec {
+ public:
+  // Fixed DISH geometry.
+  static constexpr size_t kMaxEntries = 8;           // MAX_DISH_ENTRIES
+  static constexpr size_t kGranularityBytes = 4;     // DISH_GRANULARITY_BYTES
+  static constexpr size_t kBlockBytes = 64;          // DISH_BLOCKSIZE_BYTES
+  static constexpr size_t kPointersPerBlock = 16;    // DISH_POINTERS
+  static constexpr size_t kBlocksPerGroup = 4;       // superblock: 4 blocks share a dict
+  static constexpr size_t kGroupBytes = kBlocksPerGroup * kBlockBytes;  // 256
+
+  std::string_view name() const override { return "dict"; }
+  size_t MaxCompressedSize(size_t n) const override;
+  size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+  bool TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+
+ private:
+  std::vector<uint8_t> flags_;    // member scratch: alloc-free steady state
+  std::vector<uint8_t> payload_;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_COMPRESS_DICT_H_

@@ -1,0 +1,36 @@
+// FPC — frequent-pattern compression (after Alameldeen & Wood, 2004): each
+// 32-bit word is replaced by a 3-bit prefix naming one of eight patterns plus
+// just enough data bits to reconstruct it. The pattern set targets the value
+// locality of in-memory integer data: zero runs, small sign-extended values,
+// words whose halves are independently narrow, and repeated bytes; anything
+// else is emitted verbatim behind the 111 prefix.
+//
+// Image layout mirrors wk.cc: [0x01][u32 word_count][u8 tail_len][bitstream]
+// [tail bytes], with the raw container as fallback when coding loses. The
+// decoder is corruption-safe: the bit reader saturates with an overrun flag
+// instead of asserting, zero-run lengths are bounds-checked against the
+// remaining word count, and the stream must be consumed exactly.
+#ifndef COMPCACHE_COMPRESS_FPC_H_
+#define COMPCACHE_COMPRESS_FPC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace compcache {
+
+class FpcCodec : public Codec {
+ public:
+  std::string_view name() const override { return "fpc"; }
+  size_t MaxCompressedSize(size_t n) const override;
+  size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+  bool TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override;
+
+ private:
+  std::vector<uint8_t> stream_;  // member scratch: alloc-free steady state
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_COMPRESS_FPC_H_

@@ -1,15 +1,32 @@
 #include "compress/registry.h"
 
+#include "compress/adaptive.h"
+#include "compress/bdi.h"
+#include "compress/dict.h"
+#include "compress/fpc.h"
 #include "compress/lzrw1.h"
 #include "compress/lzrw1a.h"
 #include "compress/rle.h"
 #include "compress/store.h"
 #include "compress/wk.h"
+#include "compress/zero.h"
 #include "util/assert.h"
 
 namespace compcache {
 
 std::unique_ptr<Codec> MakeCodec(std::string_view name, unsigned hash_bits) {
+  if (name == "adaptive") {
+    return std::make_unique<AdaptiveCodec>(hash_bits);
+  }
+  if (name == "bdi") {
+    return std::make_unique<BdiCodec>();
+  }
+  if (name == "dict") {
+    return std::make_unique<DictCodec>();
+  }
+  if (name == "fpc") {
+    return std::make_unique<FpcCodec>();
+  }
   if (name == "lzrw1") {
     return std::make_unique<Lzrw1>(hash_bits);
   }
@@ -25,10 +42,15 @@ std::unique_ptr<Codec> MakeCodec(std::string_view name, unsigned hash_bits) {
   if (name == "wk") {
     return std::make_unique<WkCodec>();
   }
+  if (name == "zero") {
+    return std::make_unique<ZeroCodec>();
+  }
   std::fprintf(stderr, "unknown codec: %.*s\n", static_cast<int>(name.size()), name.data());
   std::abort();
 }
 
-std::vector<std::string> KnownCodecNames() { return {"lzrw1", "lzrw1a", "rle", "store", "wk"}; }
+std::vector<std::string> KnownCodecNames() {
+  return {"adaptive", "bdi", "dict", "fpc", "lzrw1", "lzrw1a", "rle", "store", "wk", "zero"};
+}
 
 }  // namespace compcache

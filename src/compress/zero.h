@@ -1,0 +1,57 @@
+// The degenerate codec the paper's measurements single out: zero-filled pages
+// dominate real swap traffic, and detecting them costs one scan. This codec
+// compresses exactly the all-zero page (to the shared one-byte zero-page
+// marker) and stores everything else raw — useful as an ablation floor that
+// isolates how much of a smarter codec's ratio is really just zero pages.
+#ifndef COMPCACHE_COMPRESS_ZERO_H_
+#define COMPCACHE_COMPRESS_ZERO_H_
+
+#include <cstring>
+
+#include "compress/codec.h"
+#include "util/assert.h"
+
+namespace compcache {
+
+class ZeroCodec : public Codec {
+ public:
+  std::string_view name() const override { return "zero"; }
+
+  size_t MaxCompressedSize(size_t n) const override { return n + 1; }
+
+  size_t Compress(std::span<const uint8_t> src, std::span<uint8_t> dst) override {
+    CC_EXPECTS(dst.size() >= MaxCompressedSize(src.size()));
+    if (!src.empty() && IsZeroPage(src)) {
+      dst[0] = kContainerZeroPage;
+      return 1;
+    }
+    dst[0] = kContainerRaw;
+    if (!src.empty()) {
+      std::memcpy(dst.data() + 1, src.data(), src.size());
+    }
+    return src.size() + 1;
+  }
+
+  bool TryDecompress(std::span<const uint8_t> src, std::span<uint8_t> dst) override {
+    if (src.empty()) {
+      return false;
+    }
+    if (IsZeroPageMarker(src)) {
+      if (!dst.empty()) {
+        std::memset(dst.data(), 0, dst.size());
+      }
+      return true;
+    }
+    if (src[0] != kContainerRaw || src.size() != dst.size() + 1) {
+      return false;
+    }
+    if (!dst.empty()) {
+      std::memcpy(dst.data(), src.data() + 1, dst.size());
+    }
+    return true;
+  }
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_COMPRESS_ZERO_H_

@@ -26,7 +26,8 @@ Machine::Machine(MachineConfig config)
       pool_(config_.user_memory_bytes / kPageSize) {
   CC_EXPECTS(config_.user_memory_bytes >= 32 * kPageSize);
 
-  disk_ = std::make_unique<DiskDevice>(&clock_, MakeTiming(config_), config_.costs.io_setup_overhead);
+  disk_ = std::make_unique<DiskDevice>(&clock_, MakeTiming(config_),
+                                       config_.costs.io_setup_overhead);
   disk_->SetRetryPolicy(config_.retry);
   if (config_.fault_injection.enabled) {
     const FaultInjectionOptions& fi = config_.fault_injection;
@@ -93,6 +94,7 @@ Machine::Machine(MachineConfig config)
     cc_options.clean_frames_target = 8;
     cc_options.checksums = config_.integrity.checksums;
     cc_options.verify_on_fault_in = config_.integrity.verify_on_fault_in;
+    cc_options.superblock_packing = config_.superblock_packing;
     cswap_->SetVerifyChecksums(config_.integrity.checksums);
     ccache_ = std::make_unique<CompressionCache>(&clock_, &config_.costs, this, codec_.get(),
                                                  cswap_.get(), &event_router_, cc_options);
@@ -409,7 +411,8 @@ std::string Machine::Report() const {
                 "time: %.3f s (cpu %.3f, compress %.3f, decompress %.3f, copy %.3f, io %.3f)\n"
                 "memory: %zu frames total, %zu free, %zu metadata\n"
                 "vm: %llu accesses, %llu faults (%llu zero-fill, %llu ccache, %llu swap)\n"
-                "    %llu evictions (%llu clean-drop, %llu compressed, %llu raw-swap, %llu std-write)\n",
+                "    %llu evictions (%llu clean-drop, %llu compressed, %llu raw-swap,"
+                " %llu std-write)\n",
                 clock_.Now().seconds(), clock_.TimeIn(TimeCategory::kCpu).seconds(),
                 clock_.TimeIn(TimeCategory::kCompression).seconds(),
                 clock_.TimeIn(TimeCategory::kDecompression).seconds(),

@@ -77,8 +77,14 @@ struct MachineConfig {
 
   bool use_compression_cache = true;
 
+  // Any registry name; "adaptive" selects the per-page content-probe picker
+  // (store/zero/BDI/FPC/dict/LZRW1 chosen per eviction).
   std::string codec = "lzrw1";
   unsigned codec_hash_bits = 12;  // 16 KB hash table, as measured in the paper
+
+  // Superblock frame packing: quantize compressed-entry footprints so up to 4
+  // compressed pages share one physical frame (see CcacheOptions).
+  bool superblock_packing = false;
 
   CompressionThreshold threshold{4, 3};
   ArbiterBiases biases;

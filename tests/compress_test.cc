@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -140,6 +141,70 @@ TEST_P(CodecEdgeContentTest, AcceptsZeroPageMarker) {
   std::vector<uint8_t> out(kPageSize, 0xCD);  // poisoned: must be overwritten
   ASSERT_TRUE(codec->TryDecompress(marker, out));
   EXPECT_EQ(out, std::vector<uint8_t>(kPageSize, 0));
+}
+
+// Ratio classes on the content shapes the fixed-factor codecs are built
+// around. Every codec must round trip all three pages; the BDI/FPC/dict
+// assertions pin which *class* of output size each produces — catching a codec
+// that silently degrades to its fallback on the pattern it exists to exploit,
+// or one that claims compression on content it cannot represent.
+TEST_P(CodecEdgeContentTest, RatioClassesOnStructuredPatterns) {
+  const std::string name = GetParam();
+  auto codec = MakeCodec(name);
+  const auto compressed_size = [&](const std::vector<uint8_t>& page) {
+    std::vector<uint8_t> buf(codec->MaxCompressedSize(page.size()));
+    buf.resize(codec->Compress(page, buf));
+    std::vector<uint8_t> out(page.size());
+    EXPECT_TRUE(codec->TryDecompress(buf, out));
+    EXPECT_EQ(out, page);
+    return buf.size();
+  };
+
+  // One 32-bit word everywhere: a one-entry dictionary, BDI's repeated-word
+  // chunks. FPC has no repeated-arbitrary-word class (only repeated bytes), so
+  // this page forces its raw fallback.
+  std::vector<uint8_t> same_word(kPageSize);
+  for (size_t i = 0; i < kPageSize; i += 4) {
+    const uint32_t w = 0x12345678u;
+    std::memcpy(same_word.data() + i, &w, 4);
+  }
+  const size_t same = compressed_size(same_word);
+  if (name == "bdi" || name == "dict" || name == "adaptive") {
+    EXPECT_LE(same, kPageSize / 7) << name << " should crush a single-word page";
+  } else if (name == "fpc") {
+    EXPECT_EQ(same, kPageSize + 1) << "no FPC class covers a repeated arbitrary word";
+  }
+
+  // Alternating small positive / small negative words: FPC's sign-extended
+  // 8-bit class (11 bits per word); viewed as 64-bit words the page is one
+  // repeated value (BDI's repeated-word class), and as a dictionary it has two
+  // entries.
+  std::vector<uint8_t> alternating(kPageSize);
+  for (size_t i = 0; i < kPageSize; i += 4) {
+    const uint32_t w = (i % 8 == 0) ? 0x00000012u : 0xFFFFFFEDu;  // +18 / -19
+    std::memcpy(alternating.data() + i, &w, 4);
+  }
+  const size_t alternating_size = compressed_size(alternating);
+  if (name == "fpc") {
+    EXPECT_LE(alternating_size, kPageSize * 2 / 5)
+        << "alternating small values fit FPC's 8-bit sign-extended class";
+  } else if (name == "bdi" || name == "dict" || name == "adaptive") {
+    EXPECT_LE(alternating_size, kPageSize / 7) << name;
+  }
+
+  // Near-incompressible random bytes: the fixed-factor codecs have no partial
+  // wins to offer, so they must land exactly on the raw fallback (n + 1);
+  // every codec is bounded by it.
+  Rng rng(0xED6E);
+  std::vector<uint8_t> random_page(kPageSize);
+  FillPage(random_page, ContentClass::kRandom, rng);
+  const size_t random_size = compressed_size(random_page);
+  EXPECT_LE(random_size, kPageSize + 1);
+  if (name == "bdi" || name == "fpc" || name == "dict" || name == "adaptive" ||
+      name == "store" || name == "zero") {
+    EXPECT_EQ(random_size, kPageSize + 1)
+        << name << " should fall back to raw on random content";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecEdgeContentTest,
@@ -459,13 +524,26 @@ TEST(PagegenTest, CompressibilityOrdering) {
 // this suite in CI).
 class CodecFuzzTest : public ::testing::TestWithParam<std::string> {};
 
+// CC_FUZZ_ROUNDS overrides the per-codec round count (default 200): the
+// nightly CI workflow runs this suite with a much larger budget than the
+// push-gated jobs can afford.
+int FuzzRounds() {
+  const char* env = std::getenv("CC_FUZZ_ROUNDS");
+  if (env == nullptr) {
+    return 200;
+  }
+  const int rounds = std::atoi(env);
+  return rounds > 0 ? rounds : 200;
+}
+
 TEST_P(CodecFuzzTest, MutatedImagesNeverCrashDecoder) {
   auto codec = MakeCodec(GetParam());
   Rng rng(0xC0DECu);
   std::vector<uint8_t> page(kPageSize);
   std::vector<uint8_t> out(kPageSize);
 
-  for (int round = 0; round < 200; ++round) {
+  const int rounds = FuzzRounds();
+  for (int round = 0; round < rounds; ++round) {
     const ContentClass content =
         AllContentClasses()[rng.Below(AllContentClasses().size())];
     FillPage(page, content, rng);
