@@ -54,7 +54,21 @@ import sys
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 TOP_KEYS = {"bench", "schema_version", "config", "results", "metrics"}
 # Monotonic counter families: a negative value can only be a bug.
-COUNTER_PREFIXES = ("fault.", "retry.")
+COUNTER_PREFIXES = ("fault.", "retry.", "recovery.")
+# The full crash-recovery metric set crash_soak must publish (grid totals;
+# see bench/crash_soak.cc and RecoveryStats in src/core/machine.h).
+CRASH_SOAK_METRICS = (
+    "recovery.mounts",
+    "recovery.pages_recovered",
+    "recovery.pages_lost",
+    "recovery.orphans_discarded",
+    "recovery.journal_replays",
+    "recovery.checkpoint_loads",
+    "recovery.torn_writes_detected",
+    "recovery.mount_ns",
+    "recovery.content_mismatches",
+    "audit.violations",
+)
 # The full codec suite ablation_codec must cover (see src/compress/registry.cc
 # KnownCodecNames()) and the fields every per-codec row must carry.
 ABLATION_CODEC_NAMES = (
@@ -86,7 +100,7 @@ def is_number(v):
 def is_counter_metric(name):
     # Benches may prefix a machine label (e.g. "cc_rw.fault.pages_lost").
     return name.startswith(COUNTER_PREFIXES) or any(
-        f".{p}" in name for p in ("fault.", "retry."))
+        f".{p}" in name for p in COUNTER_PREFIXES)
 
 
 def validate(path):
@@ -183,6 +197,32 @@ def validate(path):
                     err(f"sum(proc.*.{field}) = {proc_sums[field]} but "
                         f'metrics["{total}"] = {metrics[total]} -- per-process '
                         f"attribution must partition the machine total exactly")
+
+    if bench == "crash_soak":
+        if isinstance(metrics, dict):
+            for name in CRASH_SOAK_METRICS:
+                v = metrics.get(name)
+                if not is_number(v):
+                    err(f'crash_soak must publish numeric metrics["{name}"]')
+                elif v < 0:
+                    err(f'metrics["{name}"] must be non-negative, got {v}')
+            # A soak that never mounted a recovered machine, or whose
+            # differential check found divergent bytes, proves nothing.
+            if is_number(metrics.get("recovery.mounts")) and metrics["recovery.mounts"] <= 0:
+                err("crash_soak recovered no machine -- recovery.mounts must be positive")
+            if is_number(metrics.get("recovery.content_mismatches")) and \
+                    metrics["recovery.content_mismatches"] != 0:
+                err(f'metrics["recovery.content_mismatches"] must be 0 -- recovered '
+                    f'pages diverged from every written version')
+        if isinstance(results, list):
+            for i, row in enumerate(results):
+                if not isinstance(row, dict):
+                    continue
+                if is_number(row.get("violations")) and row["violations"] != 0:
+                    err(f"results[{i}] carries {row['violations']} audit violation(s)")
+                if is_number(row.get("content_mismatches")) and row["content_mismatches"] != 0:
+                    err(f"results[{i}] carries {row['content_mismatches']} content "
+                        f"mismatch(es)")
 
     if bench == "fig5_multiprogramming" and isinstance(metrics, dict):
         if not any(k.startswith("mix.") for k in metrics):

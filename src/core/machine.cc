@@ -20,7 +20,18 @@ std::unique_ptr<BackingTimingModel> MakeTiming(const MachineConfig& config) {
 
 }  // namespace
 
-Machine::Machine(MachineConfig config)
+Machine::Machine(MachineConfig config) : Machine(std::move(config), nullptr) {}
+
+std::unique_ptr<Machine> Machine::Recover(Machine& crashed) {
+  MachineConfig config = crashed.config();
+  // Explicit crash-point ordinals are positional from machine start; carried
+  // over, the recovered machine's own recovery writes would re-fire the same
+  // ordinal and crash again. Rate-based power failures persist.
+  config.fault_injection.power_fail_nth_sectors.clear();
+  return std::unique_ptr<Machine>(new Machine(std::move(config), &crashed));
+}
+
+Machine::Machine(MachineConfig config, Machine* recover_from)
     : config_(std::move(config)),
       codec_(MakeCodec(config_.codec, config_.codec_hash_bits)),
       pool_(config_.user_memory_bytes / kPageSize) {
@@ -40,9 +51,18 @@ Machine::Machine(MachineConfig config)
                            {fi.sector_corruption_rate, fi.corrupt_nth_sectors});
     injector_->SetSchedule(FaultSite::kCodecCorruption,
                            {fi.codec_corruption_rate, fi.corrupt_nth_codec_ops});
+    injector_->SetSchedule(FaultSite::kPowerFail,
+                           {fi.power_fail_rate, fi.power_fail_nth_sectors});
     disk_->SetFaultInjector(injector_.get());
   }
   fs_ = std::make_unique<FileSystem>(disk_.get(), config_.fs_options);
+  if (recover_from != nullptr) {
+    // Adopt the crashed machine's surviving disk image; file-system metadata
+    // (names, sizes, block maps) is durable by fiat — see FileSystem::FsImage.
+    CC_EXPECTS(recover_from->disk().power_failed());
+    disk_->CopyContentsFrom(recover_from->disk());
+    fs_->ImportImage(recover_from->fs().ExportImage());
+  }
   buffer_cache_ = std::make_unique<BufferCache>(&clock_, &config_.costs, this, fs_.get());
 
   VmOptions vm_options;
@@ -53,13 +73,15 @@ Machine::Machine(MachineConfig config)
     switch (config_.compressed_swap) {
       case CompressedSwapKind::kClustered: {
         auto layout = std::make_unique<ClusteredSwapLayout>(
-            fs_.get(), ClusteredSwapLayout::Options{config_.allow_block_spanning});
+            fs_.get(), ClusteredSwapLayout::Options{config_.allow_block_spanning,
+                                                    config_.durability.enabled});
         clustered_swap_ = layout.get();
         cswap_ = std::move(layout);
         break;
       }
       case CompressedSwapKind::kFixedOffset: {
-        auto layout = std::make_unique<FixedCompressedSwapLayout>(fs_.get());
+        auto layout = std::make_unique<FixedCompressedSwapLayout>(
+            fs_.get(), FixedCompressedSwapLayout::Options{config_.durability.enabled});
         fixed_cswap_ = layout.get();
         cswap_ = std::move(layout);
         break;
@@ -67,7 +89,10 @@ Machine::Machine(MachineConfig config)
       case CompressedSwapKind::kLfs: {
         // The LFS segment buffer takes its frames from the pool up front — the
         // "significant memory for buffers" the paper holds against this design.
-        auto layout = std::make_unique<LfsSwapLayout>(fs_.get(), this);
+        LfsSwapLayout::Options lfs_options;
+        lfs_options.durable = config_.durability.enabled;
+        lfs_options.checkpoint_interval = config_.durability.lfs_checkpoint_interval;
+        auto layout = std::make_unique<LfsSwapLayout>(fs_.get(), this, lfs_options);
         lfs_swap_ = layout.get();
         cswap_ = std::move(layout);
         break;
@@ -180,6 +205,72 @@ Machine::Machine(MachineConfig config)
       cswap_->SetTracer(tracer_.get());
     }
   }
+
+  if (recover_from != nullptr) {
+    RecoverFrom(*recover_from);
+  }
+}
+
+void Machine::RecoverFrom(Machine& crashed) {
+  const uint64_t start_ns = clock_.Now().nanos();
+  recovery_.mounts = 1;
+  if (cswap_ != nullptr && config_.durability.enabled) {
+    const CompressedSwapBackend::MountStats mount = cswap_->Mount();
+    recovery_.journal_replays = mount.journal_replays;
+    recovery_.checkpoint_loads = mount.checkpoint_loads;
+    recovery_.torn_writes_detected = mount.torn_writes_detected;
+  }
+
+  // Rebuild the address spaces: every old segment reappears under the same id.
+  // A touched page whose image survived the mount resumes as swapped-out; the
+  // rest are lost (zero-fill + segment abort, the existing degradation ladder).
+  Pager& old_pager = crashed.pager();
+  for (size_t sid = 0; sid < old_pager.num_segments(); ++sid) {
+    Segment* old_seg = old_pager.GetSegment(static_cast<uint32_t>(sid));
+    Segment* seg = pager_->CreateSegment(old_seg->num_pages());
+    CC_ASSERT(seg->id() == old_seg->id());
+    seg->set_owner_pid(old_seg->owner_pid());
+    if (old_seg->torn_down()) {
+      pager_->TeardownSegment(*seg);
+      continue;
+    }
+    for (uint32_t p = 0; p < old_seg->num_pages(); ++p) {
+      if (old_seg->page(p).state == PageState::kUntouched) {
+        continue;
+      }
+      if (cswap_ != nullptr && cswap_->Contains(PageKey{seg->id(), p})) {
+        pager_->RestoreSwappedPage(*seg, p);
+        ++recovery_.pages_recovered;
+      } else {
+        pager_->RestoreLostPage(*seg, p);
+        ++recovery_.pages_lost;
+      }
+    }
+  }
+
+  // Purge resurrected backend entries no restored page claims (frees whose
+  // journal record never became durable): they would otherwise trip the
+  // vm <-> backing orphan audit and leak blocks.
+  if (cswap_ != nullptr) {
+    std::vector<PageKey> orphans;
+    cswap_->ForEachPage([&](PageKey key) {
+      bool claimed = false;
+      if (!IsFileKey(key) && key.segment < pager_->num_segments()) {
+        Segment* seg = pager_->GetSegment(key.segment);
+        if (!seg->torn_down() && key.page < seg->num_pages()) {
+          claimed = seg->page(key.page).state == PageState::kSwapped;
+        }
+      }
+      if (!claimed) {
+        orphans.push_back(key);
+      }
+    });
+    for (const PageKey key : orphans) {
+      cswap_->Invalidate(key);
+    }
+    recovery_.orphans_discarded = orphans.size();
+  }
+  recovery_.mount_ns = clock_.Now().nanos() - start_ns;
 }
 
 void Machine::BindAllMetrics() {
@@ -242,6 +333,27 @@ void Machine::BindAllMetrics() {
     return static_cast<double>(pager_->stats().segments_aborted);
   });
 
+  // Crash-recovery outcome, always registered for a stable bench JSON schema
+  // (all-zero on machines that were not produced by Recover()).
+  const RecoveryStats* rs = &recovery_;
+  metrics_.RegisterCounterGauge("recovery.mounts",
+                                [rs] { return static_cast<double>(rs->mounts); });
+  metrics_.RegisterCounterGauge("recovery.pages_recovered",
+                                [rs] { return static_cast<double>(rs->pages_recovered); });
+  metrics_.RegisterCounterGauge("recovery.pages_lost",
+                                [rs] { return static_cast<double>(rs->pages_lost); });
+  metrics_.RegisterCounterGauge("recovery.orphans_discarded",
+                                [rs] { return static_cast<double>(rs->orphans_discarded); });
+  metrics_.RegisterCounterGauge("recovery.journal_replays",
+                                [rs] { return static_cast<double>(rs->journal_replays); });
+  metrics_.RegisterCounterGauge("recovery.checkpoint_loads",
+                                [rs] { return static_cast<double>(rs->checkpoint_loads); });
+  metrics_.RegisterCounterGauge("recovery.torn_writes_detected", [rs] {
+    return static_cast<double>(rs->torn_writes_detected);
+  });
+  metrics_.RegisterCounterGauge("recovery.mount_ns",
+                                [rs] { return static_cast<double>(rs->mount_ns); });
+
   disk_->BindMetrics(&metrics_);
   fs_->BindMetrics(&metrics_);
   buffer_cache_->BindMetrics(&metrics_);
@@ -262,8 +374,11 @@ void Machine::BindAllMetrics() {
 Machine::~Machine() {
   // Shutdown audit: every registered invariant must hold at end of life — this
   // is where leaked swap fragments, stranded frames, and drifted gauges have no
-  // transient excuse left.
-  auditor_.RunAll();
+  // transient excuse left. A power-failed machine is exempt: the crash tore it
+  // mid-operation by design, and Recover() audits the rebuilt state instead.
+  if (!disk_->power_failed()) {
+    auditor_.RunAll();
+  }
   // The compression cache and buffer cache return their frames to the pool in
   // their destructors; destroy them before the pool (member order handles this —
   // pool_ is declared before them, so it is destroyed after).
@@ -340,6 +455,7 @@ void Machine::ResetStats() {
   if (fixed_swap_ != nullptr) {
     fixed_swap_->ResetStats();
   }
+  recovery_ = RecoveryStats{};
   // Deliberately NOT reset: the fault injector (its nth-operation schedules
   // count operations from machine start; rebasing them would fire faults at
   // different absolute points) and the clock/occupancy state gauges.

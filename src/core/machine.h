@@ -61,6 +61,11 @@ struct FaultInjectionOptions {
   std::vector<uint64_t> fail_nth_disk_writes;
   std::vector<uint64_t> corrupt_nth_sectors;
   std::vector<uint64_t> corrupt_nth_codec_ops;
+  // Simulated power failure. Counted per 512-byte sector of attempted disk
+  // writes; on trigger the disk keeps only a prefix of the in-flight request
+  // (the final sector torn), throws PowerFailure, and fails every later I/O.
+  double power_fail_rate = 0.0;
+  std::vector<uint64_t> power_fail_nth_sectors;
 };
 
 // End-to-end page integrity: CRC-32C on every compressed payload (ring header
@@ -68,6 +73,29 @@ struct FaultInjectionOptions {
 struct IntegrityOptions {
   bool checksums = true;
   bool verify_on_fault_in = true;
+};
+
+// Crash consistency: when enabled, the compressed-swap backends keep durable
+// on-disk metadata (a CRC'd intent journal for the clustered and fixed-offset
+// layouts; segment summaries plus rotating checkpoints for LFS) so
+// Machine::Recover can rebuild the swap state after a simulated power failure.
+// Off by default — the journal costs extra small writes per mutation.
+struct DurabilityOptions {
+  bool enabled = false;
+  // LFS only: checkpoint the location map every N segment flushes.
+  uint32_t lfs_checkpoint_interval = 8;
+};
+
+// Outcome of a Machine::Recover pass (published as "recovery.*" metrics).
+struct RecoveryStats {
+  uint64_t mounts = 0;                 // 1 on a recovered machine, else 0
+  uint64_t pages_recovered = 0;        // touched pages whose image survived
+  uint64_t pages_lost = 0;             // touched pages with no durable copy
+  uint64_t orphans_discarded = 0;      // resurrected backend entries purged
+  uint64_t journal_replays = 0;        // journal records / summaries applied
+  uint64_t checkpoint_loads = 0;       // valid checkpoint slots adopted
+  uint64_t torn_writes_detected = 0;   // CRC/frame damage found while mounting
+  uint64_t mount_ns = 0;               // simulated time spent recovering
 };
 
 struct MachineConfig {
@@ -122,10 +150,12 @@ struct MachineConfig {
   // turn periodic auditing on for an entire test suite without code changes.
   size_t audit_interval = 0;
 
-  // Robustness knobs: fault injection, bounded disk retry, page integrity.
+  // Robustness knobs: fault injection, bounded disk retry, page integrity,
+  // durable swap metadata (crash recovery).
   FaultInjectionOptions fault_injection;
   RetryPolicy retry;
   IntegrityOptions integrity;
+  DurabilityOptions durability;
 
   static MachineConfig Unmodified(uint64_t memory_bytes) {
     MachineConfig config;
@@ -149,6 +179,15 @@ class Machine : public FrameSource {
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
+
+  // Boots a new machine over the surviving disk image of a crashed one (the
+  // crashed machine must have hit a simulated power failure). The new machine
+  // shares the crashed one's configuration; it mounts the swap backend's
+  // durable metadata, rebuilds every segment, restores pages whose images
+  // survived as swapped-out, and routes the rest through the lost-page ladder
+  // (zero-fill + segment abort). The crashed machine is left untouched and
+  // should be destroyed afterwards.
+  static std::unique_ptr<Machine> Recover(Machine& crashed);
 
   // Creates a heap segment of the given size (rounded up to whole pages),
   // charging CostModel::heap_cpu_per_access of CPU per access so every app in
@@ -226,7 +265,14 @@ class Machine : public FrameSource {
   // Multi-line human-readable stats report.
   std::string Report() const;
 
+  // Zeros on a machine that was not produced by Recover().
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+
  private:
+  // `recover_from` non-null: adopt its disk image + file-system metadata before
+  // the backends are constructed, then run RecoverFrom() once wiring is done.
+  Machine(MachineConfig config, Machine* recover_from);
+  void RecoverFrom(Machine& crashed);
   void ChargeMetadataBytes(uint64_t bytes);
 
   // Routes compression-cache events: VM page keys to the pager, file-block keys
@@ -291,6 +337,7 @@ class Machine : public FrameSource {
 
   uint64_t metadata_bytes_charged_ = 0;
   size_t metadata_frames_ = 0;
+  RecoveryStats recovery_;
 };
 
 }  // namespace compcache

@@ -76,6 +76,8 @@ void DiskDevice::BindMetrics(MetricRegistry* registry) {
   registry->RegisterCounterGauge("retry.backoff_ns", [s] {
     return static_cast<double>(s->retry_backoff_time.nanos());
   });
+  registry->RegisterCounterGauge("fault.crashes",
+                          [s] { return static_cast<double>(s->power_failures); });
   access_latency_ = registry->BindHistogram("disk.access_ns");
 }
 
@@ -90,6 +92,9 @@ DiskDevice::Chunk& DiskDevice::ChunkFor(uint64_t index) {
 
 IoStatus DiskDevice::Read(uint64_t offset, std::span<uint8_t> out) {
   CC_EXPECTS(offset + out.size() <= capacity());
+  if (power_failed_) {
+    return IoStatus::kFailed;  // dead device: no time, no fault ordinals
+  }
   // One logical operation regardless of how many attempts it takes.
   ++stats_.read_ops;
   stats_.bytes_read += out.size();
@@ -99,7 +104,7 @@ IoStatus DiskDevice::Read(uint64_t offset, std::span<uint8_t> out) {
 
   for (uint32_t attempt = 1;; ++attempt) {
     Charge(offset, out.size());
-    if (injector_ == nullptr || !injector_->ShouldFault(FaultSite::kDiskRead)) {
+    if (!AttemptFaults(FaultSite::kDiskRead, out.size())) {
       break;  // the transfer succeeded
     }
     if (attempt >= retry_policy_.max_attempts) {
@@ -134,6 +139,9 @@ IoStatus DiskDevice::Read(uint64_t offset, std::span<uint8_t> out) {
 
 IoStatus DiskDevice::Write(uint64_t offset, std::span<const uint8_t> data) {
   CC_EXPECTS(offset + data.size() <= capacity());
+  if (power_failed_) {
+    return IoStatus::kFailed;  // dead device: no time, no fault ordinals
+  }
   ++stats_.write_ops;
   stats_.bytes_written += data.size();
   if (tracer_ != nullptr) {
@@ -142,7 +150,7 @@ IoStatus DiskDevice::Write(uint64_t offset, std::span<const uint8_t> data) {
 
   for (uint32_t attempt = 1;; ++attempt) {
     Charge(offset, data.size());
-    if (injector_ == nullptr || !injector_->ShouldFault(FaultSite::kDiskWrite)) {
+    if (!AttemptFaults(FaultSite::kDiskWrite, data.size())) {
       break;
     }
     if (attempt >= retry_policy_.max_attempts) {
@@ -156,6 +164,69 @@ IoStatus DiskDevice::Write(uint64_t offset, std::span<const uint8_t> data) {
     ChargeBackoff(attempt);
   }
 
+  // Power-fail crash points sit *inside* the transfer: one per 512-byte
+  // sector, checked in the order the sectors reach the platter. A trigger at
+  // sector s persists sectors [0, s) whole plus a drawn prefix of sector s
+  // (the torn sector), marks the device dead, and throws.
+  if (injector_ != nullptr && !data.empty()) {
+    const uint64_t sectors = (data.size() + kSectorSize - 1) / kSectorSize;
+    for (uint64_t s = 0; s < sectors; ++s) {
+      if (!injector_->ShouldFault(FaultSite::kPowerFail)) {
+        continue;
+      }
+      const uint64_t torn = injector_->Draw(FaultSite::kPowerFail, kSectorSize);
+      const size_t kept = static_cast<size_t>(
+          std::min<uint64_t>(s * kSectorSize + torn, data.size()));
+      StoreBytes(offset, data.subspan(0, kept));
+      ++stats_.power_failures;
+      power_failed_ = true;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventKind::kPowerFail, clock_->Now(), offset + kept,
+                        data.size() - kept);
+      }
+      throw PowerFailure();
+    }
+  }
+
+  StoreBytes(offset, data);
+
+  // Latent corruption: after an otherwise-successful write, one stored bit per
+  // triggered block may flip. Silent here — the device has no checksums; the
+  // layers above do.
+  if (injector_ != nullptr && !data.empty()) {
+    const uint64_t units = (data.size() + kChunkSize - 1) / kChunkSize;
+    for (uint64_t u = 0; u < units; ++u) {
+      if (!injector_->ShouldFault(FaultSite::kSectorCorruption)) {
+        continue;
+      }
+      const uint64_t unit_bytes =
+          std::min<uint64_t>(kChunkSize, data.size() - u * kChunkSize);
+      const uint64_t bit = injector_->Draw(FaultSite::kSectorCorruption, unit_bytes * 8);
+      const uint64_t victim = offset + u * kChunkSize + bit / 8;
+      ChunkFor(victim / kChunkSize)[victim % kChunkSize] ^=
+          static_cast<uint8_t>(1u << (bit % 8));
+    }
+  }
+  return IoStatus::kOk;
+}
+
+// Evaluates the transient-fault schedule once per kChunkSize block of the
+// request (minimum one), so nth-op schedules can target individual blocks of
+// a clustered batch. Every block's ordinal is consumed even after a trigger,
+// keeping the fault history independent of which block faults first.
+bool DiskDevice::AttemptFaults(FaultSite site, size_t bytes) {
+  if (injector_ == nullptr) {
+    return false;
+  }
+  const uint64_t units = bytes == 0 ? 1 : (bytes + kChunkSize - 1) / kChunkSize;
+  bool fault = false;
+  for (uint64_t u = 0; u < units; ++u) {
+    fault |= injector_->ShouldFault(site);
+  }
+  return fault;
+}
+
+void DiskDevice::StoreBytes(uint64_t offset, std::span<const uint8_t> data) {
   uint64_t pos = offset;
   size_t done = 0;
   while (done < data.size()) {
@@ -167,17 +238,13 @@ IoStatus DiskDevice::Write(uint64_t offset, std::span<const uint8_t> data) {
     pos += n;
     done += n;
   }
+}
 
-  // Latent corruption: after an otherwise-successful write, one stored bit may
-  // flip. Silent here — the device has no checksums; the layers above do.
-  if (injector_ != nullptr && !data.empty() &&
-      injector_->ShouldFault(FaultSite::kSectorCorruption)) {
-    const uint64_t bit = injector_->Draw(FaultSite::kSectorCorruption, data.size() * 8);
-    const uint64_t victim = offset + bit / 8;
-    ChunkFor(victim / kChunkSize)[victim % kChunkSize] ^=
-        static_cast<uint8_t>(1u << (bit % 8));
+void DiskDevice::CopyContentsFrom(const DiskDevice& other) {
+  chunks_.clear();
+  for (const auto& [index, chunk] : other.chunks_) {
+    chunks_[index] = std::make_unique<Chunk>(*chunk);
   }
-  return IoStatus::kOk;
 }
 
 }  // namespace compcache

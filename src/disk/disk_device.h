@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -43,6 +44,18 @@ struct DiskStats {
   uint64_t reads_exhausted = 0;
   uint64_t writes_exhausted = 0;
   SimDuration retry_backoff_time;
+  // Simulated power losses that fired mid-write (see PowerFailure).
+  uint64_t power_failures = 0;
+};
+
+// Thrown by DiskDevice::Write when the injector's kPowerFail schedule fires
+// mid-transfer. The machine owning the device is dead from that instant: the
+// stored image keeps only the sectors persisted before the cut, every later
+// request returns kFailed without advancing time, and recovery happens by
+// building a fresh machine over the surviving image (Machine::Recover).
+class PowerFailure : public std::exception {
+ public:
+  const char* what() const noexcept override { return "simulated power failure"; }
 };
 
 // Bounded exponential backoff for transient device errors. An operation is
@@ -69,8 +82,22 @@ class DiskDevice {
   IoStatus Read(uint64_t offset, std::span<uint8_t> out);
 
   // Writes `data` at `offset`. Returns kFailed when retries are exhausted; the
-  // stored bytes are unchanged in that case.
+  // stored bytes are unchanged in that case. Throws PowerFailure when the
+  // injector's kPowerFail schedule fires mid-transfer: the prefix of `data`
+  // persisted before the cut (whole 512-byte sectors plus part of the torn
+  // one) is kept, the rest of the request is lost, and the device is dead
+  // (power_failed()) from then on.
   IoStatus Write(uint64_t offset, std::span<const uint8_t> data);
+
+  // True once a PowerFailure has fired. A dead device fails every subsequent
+  // Read/Write immediately (no time charged, no fault ordinals consumed), so
+  // destructor-time writeback of a crashed machine can never re-throw.
+  bool power_failed() const { return power_failed_; }
+
+  // Replaces this device's stored bytes with a snapshot of `other`'s — the
+  // "surviving image" a recovered machine boots from. Timing/fault state is
+  // not copied; only the persisted data survives a power cut.
+  void CopyContentsFrom(const DiskDevice& other);
 
   uint64_t capacity() const { return timing_->capacity(); }
   const DiskStats& stats() const { return stats_; }
@@ -92,11 +119,17 @@ class DiskDevice {
 
  private:
   static constexpr uint64_t kChunkSize = 4096;
+  // Granularity at which a power cut can tear an in-flight write.
+  static constexpr uint64_t kSectorSize = 512;
   using Chunk = std::array<uint8_t, kChunkSize>;
 
   void Charge(uint64_t offset, uint64_t length);
   // Charges one backoff interval for `attempt` (1-based) and records it.
   void ChargeBackoff(uint32_t attempt);
+  // Evaluates `site`'s schedule once per kChunkSize block of a `bytes`-sized
+  // request; true when any block faulted.
+  bool AttemptFaults(FaultSite site, size_t bytes);
+  void StoreBytes(uint64_t offset, std::span<const uint8_t> data);
   Chunk& ChunkFor(uint64_t index);
 
   Clock* clock_;
@@ -105,6 +138,7 @@ class DiskDevice {
   RetryPolicy retry_policy_;
   std::unordered_map<uint64_t, std::unique_ptr<Chunk>> chunks_;
   DiskStats stats_;
+  bool power_failed_ = false;
   FaultInjector* injector_ = nullptr;
   LatencyHistogram* access_latency_ = nullptr;  // owned by the bound registry
   EventTracer* tracer_ = nullptr;

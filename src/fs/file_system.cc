@@ -17,6 +17,35 @@ FileId FileSystem::Create(std::string name) {
   return FileId{static_cast<uint32_t>(files_.size() - 1)};
 }
 
+FileId FileSystem::OpenOrCreate(const std::string& name) {
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].name == name) {
+      return FileId{static_cast<uint32_t>(i)};
+    }
+  }
+  return Create(name);
+}
+
+FsImage FileSystem::ExportImage() const {
+  FsImage image;
+  image.files.reserve(files_.size());
+  for (const File& f : files_) {
+    image.files.push_back(
+        FsImage::FileImage{f.name, f.size, f.blocks, f.extent_cursor, f.extent_remaining});
+  }
+  image.next_free_disk_block = next_free_disk_block_;
+  return image;
+}
+
+void FileSystem::ImportImage(const FsImage& image) {
+  files_.clear();
+  files_.reserve(image.files.size());
+  for (const FsImage::FileImage& f : image.files) {
+    files_.push_back(File{f.name, f.size, f.blocks, f.extent_cursor, f.extent_remaining});
+  }
+  next_free_disk_block_ = image.next_free_disk_block;
+}
+
 FileSystem::File& FileSystem::GetFile(FileId file) {
   CC_EXPECTS(file.valid() && file.value < files_.size());
   return files_[file.value];

@@ -32,6 +32,23 @@ struct FileId {
   friend bool operator==(FileId, FileId) = default;
 };
 
+// Snapshot of the file system's metadata: name table, sizes, block maps, and
+// the allocator cursor. FS metadata is durable by fiat in the simulator — a
+// real Sprite-style FS journals its inodes separately from file data — so
+// crash recovery clones this snapshot alongside the surviving disk image and
+// the swap backends' own durable formats carry the interesting state.
+struct FsImage {
+  struct FileImage {
+    std::string name;
+    uint64_t size = 0;
+    std::vector<uint64_t> blocks;
+    uint64_t extent_cursor = 0;
+    uint64_t extent_remaining = 0;
+  };
+  std::vector<FileImage> files;
+  uint64_t next_free_disk_block = 0;
+};
+
 struct FsStats {
   uint64_t direct_reads = 0;
   uint64_t direct_writes = 0;
@@ -55,6 +72,14 @@ class FileSystem {
   explicit FileSystem(DiskDevice* disk) : FileSystem(disk, Options{}) {}
 
   FileId Create(std::string name);
+  // Returns the existing file named `name` or creates it. Recovery mounts use
+  // this so a backend re-attaches to its durable files instead of shadowing
+  // them with fresh ones.
+  FileId OpenOrCreate(const std::string& name);
+
+  // Metadata snapshot/restore for crash recovery (see FsImage).
+  FsImage ExportImage() const;
+  void ImportImage(const FsImage& image);
 
   // Direct (uncached) I/O with whole-block semantics. Offsets and lengths are
   // arbitrary; the implementation rounds transfers to block boundaries as the

@@ -1,5 +1,6 @@
 #include "swap/clustered_swap.h"
 
+#include <algorithm>
 #include <cstring>
 #include <iterator>
 #include <string>
@@ -7,6 +8,7 @@
 #include "util/assert.h"
 #include "util/audit.h"
 #include "util/checksum.h"
+#include "util/wire.h"
 
 namespace compcache {
 
@@ -21,7 +23,10 @@ uint32_t FragsFor(size_t bytes) {
 ClusteredSwapLayout::ClusteredSwapLayout(FileSystem* fs, Options options)
     : fs_(fs), options_(options) {
   CC_EXPECTS(fs_ != nullptr);
-  file_ = fs_->Create("cswap");
+  file_ = fs_->OpenOrCreate("cswap");
+  if (options_.durable) {
+    journal_ = std::make_unique<SwapJournal>(fs_, "cswap.journal");
+  }
 }
 
 void ClusteredSwapLayout::BindMetrics(MetricRegistry* registry) {
@@ -169,6 +174,33 @@ IoStatus ClusteredSwapLayout::WriteBatch(std::span<const SwapPageImage> pages) {
     FreeBlockRun(start_block, total_blocks);
     return status;
   }
+
+  if (journal_ != nullptr) {
+    // Commit point: the data is on disk, and the batch becomes durable when
+    // this record lands. A crash before the append leaves the old locations
+    // as the durable prefix; a failed append is reported as a failed batch
+    // (map untouched), matching what replay would reconstruct.
+    std::vector<uint8_t> payload;
+    wire::PutU64(payload, start_block);
+    wire::PutU64(payload, total_blocks);
+    wire::PutU32(payload, static_cast<uint32_t>(placements.size()));
+    for (const Placement& p : placements) {
+      const SwapPageImage& img = *p.image;
+      wire::PutU32(payload, img.key.segment);
+      wire::PutU32(payload, img.key.page);
+      wire::PutU64(payload, start_frag + p.rel_frag);
+      wire::PutU32(payload, p.frag_count);
+      wire::PutU32(payload, static_cast<uint32_t>(img.bytes.size()));
+      wire::PutU8(payload, img.is_compressed ? 1 : 0);
+      wire::PutU32(payload, img.original_size);
+      wire::PutU32(payload, img.checksum);
+    }
+    if (journal_->Append(kRecBatch, payload) != IoStatus::kOk) {
+      ++io_failures_;
+      FreeBlockRun(start_block, total_blocks);
+      return IoStatus::kFailed;
+    }
+  }
   ++stats_.batches_written;
   stats_.fragment_bytes_written += staging.size();
   if (tracer_ != nullptr) {
@@ -286,9 +318,123 @@ void ClusteredSwapLayout::Invalidate(PageKey key) {
   if (it == locations_.end()) {
     return;
   }
+  if (journal_ != nullptr) {
+    std::vector<uint8_t> payload;
+    wire::PutU32(payload, key.segment);
+    wire::PutU32(payload, key.page);
+    // On an append failure the in-memory release still happens — the pager
+    // requires the copy gone — and replay would resurrect the page, which
+    // recovery then treats as part of the durable prefix.
+    if (journal_->Append(kRecFree, payload) != IoStatus::kOk) {
+      ++io_failures_;
+    }
+  }
   by_frag_start_.erase(it->second.frag_start);
   ReleaseLocation(it->second);
   locations_.erase(it);
+}
+
+CompressedSwapBackend::MountStats ClusteredSwapLayout::Mount() {
+  MountStats mount;
+  if (journal_ == nullptr) {
+    return mount;
+  }
+  CC_EXPECTS(locations_.empty() && end_block_ == 0);
+
+  const auto replay = journal_->Replay([&](uint8_t type, std::span<const uint8_t> payload) {
+    wire::Reader r(payload);
+    if (type == kRecBatch) {
+      const uint64_t start_block = r.U64();
+      const uint64_t block_count = r.U64();
+      const uint32_t npages = r.U32();
+      if (!r.ok()) {
+        return;
+      }
+      end_block_ = std::max(end_block_, start_block + block_count);
+      // The committed data write physically overwrote this extent, so any
+      // earlier location still inside it is dead even if its free record
+      // never became durable (a failed journal append is tolerated there).
+      const uint64_t extent_first = start_block * kFragsPerBlock;
+      const uint64_t extent_last = (start_block + block_count) * kFragsPerBlock;
+      for (auto it = locations_.begin(); it != locations_.end();) {
+        const Location& loc = it->second;
+        if (loc.frag_start < extent_last && loc.frag_start + loc.frag_count > extent_first) {
+          it = locations_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (uint32_t i = 0; i < npages && r.ok(); ++i) {
+        PageKey key;
+        key.segment = r.U32();
+        key.page = r.U32();
+        Location loc;
+        loc.frag_start = r.U64();
+        loc.frag_count = r.U32();
+        loc.byte_size = r.U32();
+        loc.is_compressed = r.U8() != 0;
+        loc.original_size = r.U32();
+        loc.checksum = r.U32();
+        if (r.ok()) {
+          locations_[key] = loc;  // the newest committed copy wins
+        }
+      }
+    } else if (type == kRecFree) {
+      PageKey key;
+      key.segment = r.U32();
+      key.page = r.U32();
+      if (r.ok()) {
+        locations_.erase(key);
+      }
+    }
+  });
+  mount.journal_replays = replay.records;
+  if (replay.torn) {
+    ++mount.torn_writes_detected;
+  }
+
+  // Verify every surviving page's image before trusting it: a CRC-valid
+  // journal record can still point at latently corrupted data.
+  std::vector<PageKey> dropped;
+  std::vector<uint8_t> buf;
+  for (const auto& [key, loc] : locations_) {
+    bool ok = loc.frag_count > 0 && loc.byte_size > 0 && loc.byte_size <= kPageSize &&
+              loc.byte_size <= static_cast<uint64_t>(loc.frag_count) * kSwapFragmentSize;
+    if (ok) {
+      buf.resize(loc.byte_size);
+      ok = fs_->Read(file_, loc.frag_start * kSwapFragmentSize, buf) == IoStatus::kOk &&
+           (loc.checksum == 0 || Crc32(buf) == loc.checksum);
+    }
+    if (!ok) {
+      dropped.push_back(key);
+    }
+  }
+  for (const PageKey key : dropped) {
+    locations_.erase(key);
+    ++mount.pages_dropped;
+    ++mount.torn_writes_detected;
+  }
+
+  // Rebuild the derived structures: position index, live-fragment census, and
+  // the free runs as the complement of the live blocks below the high-water
+  // mark.
+  for (const auto& [key, loc] : locations_) {
+    AddLiveFrags(loc);
+    const bool frag_ok = by_frag_start_.emplace(loc.frag_start, key).second;
+    CC_ASSERT(frag_ok && "recovered locations overlap");
+  }
+  uint64_t run_start = 0;
+  for (uint64_t block = 0; block <= end_block_; ++block) {
+    if (block < end_block_ && !live_frags_per_block_.contains(block)) {
+      continue;
+    }
+    if (block > run_start) {
+      FreeBlockRun(run_start, block - run_start);
+    }
+    run_start = block + 1;
+  }
+  mount.pages_recovered = locations_.size();
+  return mount;
 }
 
 void ClusteredSwapLayout::ForEachPage(const std::function<void(PageKey)>& fn) const {

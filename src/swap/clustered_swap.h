@@ -19,12 +19,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "fs/file_system.h"
 #include "swap/compressed_swap_backend.h"
+#include "swap/swap_journal.h"
 #include "util/units.h"
 #include "vm/page_key.h"
 
@@ -48,6 +50,11 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
   struct Options {
     // May a page's fragments cross a file-block boundary? (paper: parameterized)
     bool allow_block_spanning = true;
+    // Durable mode: every metadata mutation is intent-logged to a CRC'd
+    // journal (one record per committed batch, one per invalidate) that
+    // Mount() replays after a crash. Off by default — the journal costs one
+    // small read-modify-write per mutation.
+    bool durable = false;
   };
 
   ClusteredSwapLayout(FileSystem* fs, Options options);
@@ -72,6 +79,13 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
   // exactly one of the free runs or the live-fragment census), run coalescing,
   // and locations_/by_frag_start_ bijection.
   void RegisterAuditChecks(InvariantAuditor* auditor) override;
+
+  // Durable mode only: replays the intent journal (torn tail truncated),
+  // rebuilds the location map, free runs, and high-water mark, then verifies
+  // every recovered page's stored CRC — bad or unreadable images are dropped
+  // so they degrade through the pager's lost ladder instead of faulting in
+  // corrupt data later.
+  MountStats Mount() override;
 
   const ClusteredSwapStats& stats() const { return stats_; }
   void ResetStats() override {
@@ -105,6 +119,10 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
     uint32_t checksum = 0;  // fragment metadata; 0 = none recorded
   };
 
+  // Journal record types (payload layouts in clustered_swap.cc).
+  static constexpr uint8_t kRecBatch = 1;
+  static constexpr uint8_t kRecFree = 2;
+
   // Allocates `blocks` contiguous file blocks, preferring garbage-collected ones.
   // First fit by address over the coalesced free runs — the same placement the
   // old per-block scan over a std::set produced, but O(runs) instead of
@@ -118,6 +136,7 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
   FileSystem* fs_;
   Options options_;
   FileId file_;
+  std::unique_ptr<SwapJournal> journal_;  // non-null only in durable mode
   std::unordered_map<PageKey, Location, PageKeyHash> locations_;
   std::map<uint64_t, PageKey> by_frag_start_;  // live locations ordered by position
   std::unordered_map<uint64_t, uint32_t> live_frags_per_block_;

@@ -67,6 +67,21 @@ class CompressedSwapBackend {
   // Marks a page's copy obsolete (rewritten in memory or dropped).
   virtual void Invalidate(PageKey key) = 0;
 
+  // --- crash recovery ---
+  struct MountStats {
+    uint64_t pages_recovered = 0;        // pages readable after the scan
+    uint64_t pages_dropped = 0;          // durable metadata but bad/absent data
+    uint64_t journal_replays = 0;        // journal records (or summaries) applied
+    uint64_t torn_writes_detected = 0;   // torn tails / failed verify reads
+    uint64_t checkpoint_loads = 0;       // LFS only: checkpoint slots accepted
+  };
+
+  // Rebuilds the layout's in-memory maps from its durable on-disk format
+  // (journal replay / checkpoint + summary roll-forward). A non-durable
+  // layout mounts empty. Call exactly once, before the first WriteBatch, on a
+  // backend constructed over a surviving disk image.
+  virtual MountStats Mount() { return MountStats{}; }
+
   // Calls `fn` once per page currently stored (order unspecified). The pager's
   // audit check walks this to prove every backend copy is still claimed by a
   // page-table entry — leaked locations show up as orphans here.

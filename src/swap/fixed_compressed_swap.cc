@@ -1,15 +1,34 @@
 #include "swap/fixed_compressed_swap.h"
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "util/assert.h"
 #include "util/audit.h"
 #include "util/checksum.h"
+#include "util/wire.h"
 
 namespace compcache {
 
-FixedCompressedSwapLayout::FixedCompressedSwapLayout(FileSystem* fs) : fs_(fs) {
+namespace {
+
+void PutStoredMeta(std::vector<uint8_t>& out, uint32_t byte_size, bool is_compressed,
+                   uint32_t original_size, uint32_t checksum) {
+  wire::PutU32(out, byte_size);
+  wire::PutU8(out, is_compressed ? 1 : 0);
+  wire::PutU32(out, original_size);
+  wire::PutU32(out, checksum);
+}
+
+}  // namespace
+
+FixedCompressedSwapLayout::FixedCompressedSwapLayout(FileSystem* fs, Options options)
+    : fs_(fs), options_(options) {
   CC_EXPECTS(fs_ != nullptr);
+  if (options_.durable) {
+    journal_ = std::make_unique<SwapJournal>(fs_, "fcswap.journal");
+  }
 }
 
 FileId FixedCompressedSwapLayout::SwapFileFor(uint32_t segment) {
@@ -17,7 +36,7 @@ FileId FixedCompressedSwapLayout::SwapFileFor(uint32_t segment) {
   if (it != swap_files_.end()) {
     return it->second;
   }
-  const FileId id = fs_->Create("fcswap.seg" + std::to_string(segment));
+  const FileId id = fs_->OpenOrCreate("fcswap.seg" + std::to_string(segment));
   swap_files_.emplace(segment, id);
   return id;
 }
@@ -29,6 +48,31 @@ IoStatus FixedCompressedSwapLayout::WriteBatch(std::span<const SwapPageImage> pa
   for (const SwapPageImage& img : pages) {
     CC_EXPECTS(!img.bytes.empty());
     CC_EXPECTS(img.bytes.size() <= kPageSize);  // one fixed page-sized slot each
+    if (journal_ != nullptr) {
+      // Intent *before* data: the overwrite destroys the previous image in
+      // place, so Mount() needs both generations' metadata to classify the
+      // slot after a crash.
+      std::vector<uint8_t> payload;
+      wire::PutU32(payload, img.key.segment);
+      wire::PutU32(payload, img.key.page);
+      const auto prev = sizes_.find(img.key);
+      wire::PutU8(payload, prev != sizes_.end() ? 1 : 0);
+      if (prev != sizes_.end()) {
+        PutStoredMeta(payload, prev->second.byte_size, prev->second.is_compressed,
+                      prev->second.original_size, prev->second.checksum);
+      } else {
+        PutStoredMeta(payload, 0, false, 0, 0);
+      }
+      PutStoredMeta(payload, static_cast<uint32_t>(img.bytes.size()), img.is_compressed,
+                    img.original_size, img.checksum);
+      if (journal_->Append(kRecIntent, payload) != IoStatus::kOk) {
+        // Without a durable intent the overwrite must not start: the old slot
+        // stays untouched and authoritative.
+        ++io_failures_;
+        status = IoStatus::kFailed;
+        continue;
+      }
+    }
     if (fs_->Write(SwapFileFor(img.key.segment), OffsetOf(img.key), img.bytes) !=
         IoStatus::kOk) {
       // This page's slot is unchanged (or partially stale — the checksum would
@@ -71,7 +115,105 @@ CompressedSwapBackend::ReadResult FixedCompressedSwapLayout::ReadPage(
   return result;
 }
 
-void FixedCompressedSwapLayout::Invalidate(PageKey key) { sizes_.erase(key); }
+void FixedCompressedSwapLayout::Invalidate(PageKey key) {
+  if (journal_ != nullptr && sizes_.contains(key)) {
+    std::vector<uint8_t> payload;
+    wire::PutU32(payload, key.segment);
+    wire::PutU32(payload, key.page);
+    if (journal_->Append(kRecFree, payload) != IoStatus::kOk) {
+      // The in-memory release still happens; replay would resurrect the page,
+      // which recovery then treats as part of the durable prefix.
+      ++io_failures_;
+    }
+  }
+  sizes_.erase(key);
+}
+
+CompressedSwapBackend::MountStats FixedCompressedSwapLayout::Mount() {
+  MountStats mount;
+  if (journal_ == nullptr) {
+    return mount;
+  }
+  CC_EXPECTS(sizes_.empty());
+
+  // Fold the journal down to each key's newest record: a free record means the
+  // slot is durably absent; an intent record means the slot holds the new
+  // image, the previous one, or a torn mix — resolved below by reading it.
+  struct LastIntent {
+    bool prev_present = false;
+    StoredSize prev;
+    StoredSize next;
+  };
+  std::unordered_map<PageKey, LastIntent, PageKeyHash> intents;
+  const auto replay = journal_->Replay([&](uint8_t type, std::span<const uint8_t> payload) {
+    wire::Reader r(payload);
+    PageKey key;
+    key.segment = r.U32();
+    key.page = r.U32();
+    if (type == kRecIntent) {
+      LastIntent li;
+      li.prev_present = r.U8() != 0;
+      li.prev.byte_size = r.U32();
+      li.prev.is_compressed = r.U8() != 0;
+      li.prev.original_size = r.U32();
+      li.prev.checksum = r.U32();
+      li.next.byte_size = r.U32();
+      li.next.is_compressed = r.U8() != 0;
+      li.next.original_size = r.U32();
+      li.next.checksum = r.U32();
+      if (r.ok()) {
+        intents[key] = li;
+      }
+    } else if (type == kRecFree) {
+      if (r.ok()) {
+        intents.erase(key);
+      }
+    }
+  });
+  mount.journal_replays = replay.records;
+  if (replay.torn) {
+    ++mount.torn_writes_detected;
+  }
+
+  std::vector<uint8_t> buf;
+  for (const auto& [key, li] : intents) {
+    const bool next_sane = li.next.byte_size > 0 && li.next.byte_size <= kPageSize;
+    const bool prev_sane =
+        li.prev_present && li.prev.byte_size > 0 && li.prev.byte_size <= kPageSize;
+    if (!next_sane && !prev_sane) {
+      ++mount.pages_dropped;
+      ++mount.torn_writes_detected;
+      continue;
+    }
+    buf.assign(std::max(next_sane ? li.next.byte_size : 0u,
+                        prev_sane ? li.prev.byte_size : 0u),
+               0);
+    const bool read_ok =
+        fs_->Read(SwapFileFor(key.segment), OffsetOf(key), buf) == IoStatus::kOk;
+    const auto prefix = [&](uint32_t n) {
+      return std::span<const uint8_t>(buf).subspan(0, n);
+    };
+    if (read_ok && next_sane && li.next.checksum != 0 &&
+        Crc32(prefix(li.next.byte_size)) == li.next.checksum) {
+      sizes_[key] = li.next;  // the overwrite completed
+      continue;
+    }
+    if (read_ok && prev_sane && li.prev.checksum != 0 &&
+        Crc32(prefix(li.prev.byte_size)) == li.prev.checksum) {
+      sizes_[key] = li.prev;  // the overwrite never started
+      ++mount.torn_writes_detected;
+      continue;
+    }
+    if (read_ok && next_sane && li.next.checksum == 0) {
+      sizes_[key] = li.next;  // unverifiable image: trust the durable intent
+      continue;
+    }
+    ++mount.pages_dropped;  // torn slot: neither generation survives
+    ++mount.torn_writes_detected;
+  }
+  mount.pages_recovered = sizes_.size();
+  return mount;
+}
 
 void FixedCompressedSwapLayout::ForEachPage(const std::function<void(PageKey)>& fn) const {
   for (const auto& [key, size] : sizes_) {

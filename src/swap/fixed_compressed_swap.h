@@ -16,10 +16,12 @@
 #define COMPCACHE_SWAP_FIXED_COMPRESSED_SWAP_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "fs/file_system.h"
 #include "swap/compressed_swap_backend.h"
+#include "swap/swap_journal.h"
 
 namespace compcache {
 
@@ -31,7 +33,16 @@ struct FixedCompressedSwapStats {
 
 class FixedCompressedSwapLayout : public CompressedSwapBackend {
  public:
-  explicit FixedCompressedSwapLayout(FileSystem* fs);
+  struct Options {
+    // Durable mode: an intent record (previous + new slot metadata, CRC'd) is
+    // journaled *before* each in-place slot overwrite, so Mount() can classify
+    // a crash-straddling write as new / old / torn by reading the slot back.
+    bool durable = false;
+  };
+
+  FixedCompressedSwapLayout(FileSystem* fs, Options options);
+  explicit FixedCompressedSwapLayout(FileSystem* fs)
+      : FixedCompressedSwapLayout(fs, Options{}) {}
 
   IoStatus WriteBatch(std::span<const SwapPageImage> pages) override;
   bool Contains(PageKey key) const override { return sizes_.contains(key); }
@@ -39,6 +50,12 @@ class FixedCompressedSwapLayout : public CompressedSwapBackend {
   void Invalidate(PageKey key) override;
   void ForEachPage(const std::function<void(PageKey)>& fn) const override;
   void RegisterAuditChecks(InvariantAuditor* auditor) override;
+
+  // Durable mode only: replays the intent journal and resolves each page's
+  // slot by CRC — the new image if the overwrite completed, the previous one
+  // if it never started, dropped if the slot is torn (in-place overwrite
+  // cannot preserve the old copy, the cost of the paper's "ideal" layout).
+  MountStats Mount() override;
 
   const FixedCompressedSwapStats& stats() const { return stats_; }
   void ResetStats() override {
@@ -57,12 +74,18 @@ class FixedCompressedSwapLayout : public CompressedSwapBackend {
     uint32_t checksum = 0;  // 0 = none recorded
   };
 
+  // Journal record types (payload layouts in fixed_compressed_swap.cc).
+  static constexpr uint8_t kRecIntent = 1;
+  static constexpr uint8_t kRecFree = 2;
+
   FileId SwapFileFor(uint32_t segment);
   static uint64_t OffsetOf(PageKey key) {
     return static_cast<uint64_t>(key.page) * kPageSize;
   }
 
   FileSystem* fs_;
+  Options options_;
+  std::unique_ptr<SwapJournal> journal_;  // non-null only in durable mode
   std::unordered_map<uint32_t, FileId> swap_files_;
   std::unordered_map<PageKey, StoredSize, PageKeyHash> sizes_;
   FixedCompressedSwapStats stats_;

@@ -19,9 +19,11 @@
 #ifndef COMPCACHE_SWAP_LFS_SWAP_H_
 #define COMPCACHE_SWAP_LFS_SWAP_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "fs/file_system.h"
@@ -37,6 +39,7 @@ struct LfsSwapStats {
   uint64_t segments_cleaned = 0;
   uint64_t live_pages_copied = 0;  // cleaner rewrites (the paper's warning)
   uint64_t reads_from_buffer = 0;  // served from the open segment, no I/O
+  uint64_t checkpoints_written = 0;  // durable mode only
 };
 
 class LfsSwapLayout : public CompressedSwapBackend {
@@ -49,6 +52,14 @@ class LfsSwapLayout : public CompressedSwapBackend {
     uint32_t log_segments = 256;
     // Clean when free segments drop below this.
     uint32_t clean_threshold = 8;
+    // Durable mode: each segment's last block carries a CRC'd summary (the
+    // segment's live pages plus deletions since the previous flush), and the
+    // full location map is checkpointed to two rotating CRC'd slots. Mount()
+    // loads the newest valid checkpoint and rolls forward over the summaries.
+    // Requires segment_blocks >= 2 (one block is the summary).
+    bool durable = false;
+    // Checkpoint every N segment flushes (durable mode).
+    uint32_t checkpoint_interval = 8;
   };
 
   // `frames` pays for the segment write buffer (LFS's memory cost); pass nullptr
@@ -68,6 +79,13 @@ class LfsSwapLayout : public CompressedSwapBackend {
   // equal to a recount from the location map, and members_/locations_ mutual
   // consistency.
   void RegisterAuditChecks(InvariantAuditor* auditor) override;
+
+  // Durable mode only: loads the newest valid checkpoint slot, rolls forward
+  // over segment summaries in sequence order (deletions before additions, so
+  // an invalidate-then-rewrite inside one flush window lands correctly),
+  // verifies every recovered page's CRC, and rebuilds the segment usage table
+  // and free list.
+  MountStats Mount() override;
 
   const LfsSwapStats& stats() const { return stats_; }
   void ResetStats() override {
@@ -93,6 +111,15 @@ class LfsSwapLayout : public CompressedSwapBackend {
   uint64_t SegmentBytes() const {
     return static_cast<uint64_t>(options_.segment_blocks) * kFsBlockSize;
   }
+  // Bytes of a segment available for page images (the summary block is
+  // reserved in durable mode).
+  uint64_t DataBytes() const {
+    return SegmentBytes() - (options_.durable ? kFsBlockSize : 0);
+  }
+  // Serialized summary size for the given record counts (frame included).
+  static uint64_t SummaryBytes(size_t dels, size_t adds) {
+    return 12 + 16 + 8 * static_cast<uint64_t>(dels) + 25 * static_cast<uint64_t>(adds);
+  }
 
   // Returns kFailed when a required segment flush could not complete; the
   // image's previous copy (if any) is left valid in that case.
@@ -110,6 +137,11 @@ class LfsSwapLayout : public CompressedSwapBackend {
   // Pops a free segment and clears its bitmap bit; the only way segments leave
   // the free list, so the LIFO order of the old code is preserved exactly.
   uint32_t TakeFreeSegment();
+  // Durable mode: serializes the full location map into the next rotating
+  // checkpoint slot and, on success, promotes pending-free segments to the
+  // free list. Must be called at an open-buffer-empty point so the captured
+  // map references only flushed (durable) segments. False on device failure.
+  bool WriteCheckpoint();
 
   FileSystem* fs_;
   FrameSource* frames_;
@@ -132,6 +164,21 @@ class LfsSwapLayout : public CompressedSwapBackend {
   std::vector<uint32_t> free_segments_;
   std::vector<uint8_t> segment_is_free_;
   bool cleaning_ = false;
+
+  // --- durable mode state ---
+  // Keys invalidated since the last summary/checkpoint; emitted as deletion
+  // records in the next summary (only for keys still absent from the map —
+  // a re-added key's newest add record supersedes every older one).
+  std::unordered_set<PageKey, PageKeyHash> pending_dels_;
+  // Cleaned segments awaiting a checkpoint before they may be reused: until
+  // the re-appended copies are captured durably, overwriting the victim would
+  // let its (now stale, still replayable) summary point at garbage.
+  std::vector<uint32_t> pending_free_;
+  std::vector<uint8_t> segment_pending_free_;
+  std::array<FileId, 2> ckpt_files_{};
+  uint32_t ckpt_slot_ = 0;          // slot the next checkpoint writes to
+  uint64_t seq_ = 0;                // shared by summaries and checkpoints
+  uint32_t flushes_since_checkpoint_ = 0;
 
   LfsSwapStats stats_;
 };

@@ -19,6 +19,8 @@ const char* FaultSiteName(FaultSite site) {
       return "sector_corruption";
     case FaultSite::kCodecCorruption:
       return "codec_corruption";
+    case FaultSite::kPowerFail:
+      return "power_fail";
   }
   return "?";
 }
@@ -85,6 +87,9 @@ void FaultInjector::BindMetrics(MetricRegistry* registry) {
   });
   registry->RegisterGauge("fault.codec_corruptions", [this] {
     return static_cast<double>(injected(FaultSite::kCodecCorruption));
+  });
+  registry->RegisterGauge("fault.power_fails", [this] {
+    return static_cast<double>(injected(FaultSite::kPowerFail));
   });
 }
 

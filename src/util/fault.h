@@ -40,9 +40,11 @@ enum class FaultSite : uint8_t {
   kDiskWrite,          // transient write error: the store fails, retry may succeed
   kSectorCorruption,   // latent: a stored bit flips after an otherwise-good write
   kCodecCorruption,    // a compressed image is damaged between store and decompress
+  kPowerFail,          // whole-machine power loss mid-write: the disk keeps only a
+                       // prefix of the in-flight request (torn final sector)
 };
 
-inline constexpr size_t kNumFaultSites = 4;
+inline constexpr size_t kNumFaultSites = 5;
 
 const char* FaultSiteName(FaultSite site);
 

@@ -64,6 +64,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "page_recovered";
     case TraceEventKind::kPageLost:
       return "page_lost";
+    case TraceEventKind::kPowerFail:
+      return "power_fail";
     case TraceEventKind::kCount:
       break;
   }

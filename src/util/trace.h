@@ -66,6 +66,9 @@ enum class TraceEventKind : uint8_t {
   kChecksumMismatch,
   kPageRecovered,
   kPageLost,
+  // Power loss mid-write; key unused, a = first byte offset lost from the torn
+  // request, b = bytes lost.
+  kPowerFail,
   kCount,
 };
 

@@ -1,0 +1,94 @@
+// Little-endian serialization helpers for the durable on-disk structures
+// (swap metadata journal records, LFS segment summaries, checkpoint slots).
+//
+// Writers append into a byte vector; the Reader is fail-closed: any read past
+// the end of the buffer clears ok() and returns zero instead of touching
+// out-of-bounds memory, so torn or truncated records parse to "invalid"
+// rather than crashing the mount path.
+#ifndef COMPCACHE_UTIL_WIRE_H_
+#define COMPCACHE_UTIL_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace compcache::wire {
+
+inline void PutU8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+
+inline void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+  uint8_t U8() {
+    if (!Take(1)) {
+      return 0;
+    }
+    return data_[pos_ - 1];
+  }
+
+  uint32_t U32() {
+    if (!Take(4)) {
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_ - 4 + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Take(8)) {
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ - 8 + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  // Borrows `n` bytes from the buffer (valid while the buffer lives).
+  std::span<const uint8_t> Bytes(size_t n) {
+    if (!Take(n)) {
+      return {};
+    }
+    return data_.subspan(pos_ - n, n);
+  }
+
+ private:
+  bool Take(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace compcache::wire
+
+#endif  // COMPCACHE_UTIL_WIRE_H_

@@ -419,6 +419,28 @@ void Pager::TeardownSegment(Segment& segment) {
   ++stats_.segments_torn_down;
 }
 
+void Pager::RestoreSwappedPage(Segment& segment, uint32_t page) {
+  CC_EXPECTS(!segment.torn_down());
+  PageEntry& entry = segment.page(page);
+  CC_EXPECTS(entry.state == PageState::kUntouched);
+  entry.state = PageState::kSwapped;
+  entry.has_backing_copy = true;
+  entry.dirty = false;
+}
+
+void Pager::RestoreLostPage(Segment& segment, uint32_t page) {
+  CC_EXPECTS(!segment.torn_down());
+  PageEntry& entry = segment.page(page);
+  CC_EXPECTS(entry.state == PageState::kUntouched);
+  // The page's only copies died with the machine: it stays untouched (zero-fill
+  // on the next fault) and the segment takes the abort ladder.
+  ++stats_.pages_lost;
+  if (!segment.aborted()) {
+    segment.MarkAborted();
+    ++stats_.segments_aborted;
+  }
+}
+
 void Pager::Advise(Segment& segment, uint32_t first_page, uint32_t page_count, bool pin) {
   CC_EXPECTS(static_cast<uint64_t>(first_page) + page_count <= segment.num_pages());
   for (uint32_t p = first_page; p < first_page + page_count; ++p) {

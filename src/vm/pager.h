@@ -168,6 +168,15 @@ class Pager : public CcacheEvents {
   // and invalidates now-stale compressed/backing copies.
   std::span<uint8_t> Access(Segment& segment, uint32_t page, bool write);
 
+  // --- crash recovery (Machine::Recover) ---
+  // Marks an untouched page as swapped out: its image survived the crash in the
+  // backing store and the next access faults it back in normally.
+  void RestoreSwappedPage(Segment& segment, uint32_t page);
+  // Marks an untouched page as lost to the crash: it stays untouched (reads as
+  // zeros on fault) and the owning segment takes the same abort ladder a lost
+  // pageout does, so the application can tell recovery from silent garbage.
+  void RestoreLostPage(Segment& segment, uint32_t page);
+
   // LRU advisory (paper section 3): the application hints that these pages should
   // be retained — the evictor prefers other victims. A hint, not a guarantee: if
   // nothing else is evictable, advised pages are evicted anyway.

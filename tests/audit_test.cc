@@ -456,6 +456,16 @@ TEST(AuditTest, ResetStatsZeroesEveryCounterMetricInTheRegistry) {
     // The sweep is registry-driven: no hand-maintained metric list, so a newly
     // added subsystem counter is covered the day it is registered.
     ASSERT_FALSE(machine.metrics().counter_gauge_names().empty());
+    // The crash-recovery counters are registered unconditionally (stable bench
+    // schema even on machines that never crash), so the sweep must see them.
+    for (const char* name : {"recovery.mounts", "recovery.pages_recovered",
+                             "recovery.pages_lost", "recovery.orphans_discarded",
+                             "recovery.journal_replays", "recovery.checkpoint_loads",
+                             "recovery.torn_writes_detected", "recovery.mount_ns",
+                             "fault.crashes"}) {
+      EXPECT_TRUE(machine.metrics().counter_gauge_names().contains(name))
+          << name << " missing from the registry";
+    }
     bool any_nonzero = false;
     for (const std::string& name : machine.metrics().counter_gauge_names()) {
       any_nonzero |= machine.metrics().GaugeValue(name) != 0.0;

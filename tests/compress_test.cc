@@ -3,10 +3,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "compress/adaptive.h"
 #include "compress/codec.h"
 #include "compress/lzrw1.h"
 #include "compress/lzrw1a.h"
@@ -584,6 +586,41 @@ TEST_P(CodecFuzzTest, MutatedImagesNeverCrashDecoder) {
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecFuzzTest, ::testing::ValuesIn(KnownCodecNames()),
                          [](const auto& param_info) { return param_info.param; });
+
+// Exhaustive truncation of the adaptive 0x03 wrapper: a short image must fail
+// closed at *every* length — the wrapper dispatches to a member codec, and no
+// member may accept an image whose tail was cut off by a torn write.
+TEST(AdaptiveWrapperTruncation, EveryShortImageFailsClosed) {
+  auto codec = MakeCodec("adaptive");
+  Rng rng(0xADA97u);
+  std::vector<uint8_t> page(kPageSize);
+  std::vector<uint8_t> out(kPageSize);
+
+  int wrapped_images = 0;
+  for (const ContentClass content : AllContentClasses()) {
+    for (int round = 0; round < 4; ++round) {
+      FillPage(page, content, rng);
+      std::vector<uint8_t> compressed(codec->MaxCompressedSize(page.size()));
+      compressed.resize(codec->Compress(page, compressed));
+      if (compressed.empty() || compressed[0] != kContainerAdaptive) {
+        continue;  // zero marker or raw fallback: no wrapper to truncate
+      }
+      ++wrapped_images;
+      for (size_t len = 0; len < compressed.size(); ++len) {
+        std::fill(out.begin(), out.end(), 0xEE);
+        const bool ok = codec->TryDecompress(
+            std::span<const uint8_t>(compressed.data(), len), out);
+        ASSERT_FALSE(ok) << ContentClassName(content) << " accepted a "
+                         << len << "-byte prefix of a " << compressed.size()
+                         << "-byte wrapper image";
+      }
+      // The untruncated image still round-trips after the rejection sweep.
+      ASSERT_TRUE(codec->TryDecompress(compressed, out));
+      ASSERT_EQ(0, std::memcmp(out.data(), page.data(), page.size()));
+    }
+  }
+  EXPECT_GT(wrapped_images, 0) << "no content class produced a wrapped image";
+}
 
 }  // namespace
 }  // namespace compcache
