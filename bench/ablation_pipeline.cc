@@ -1,0 +1,255 @@
+// Ablation: async pipelined I/O (write-behind + decompress-ahead + batched
+// fault reads) against the synchronous machine, on the paper's thrashing
+// workload (6 MB user memory, RZ57-class disk, ~4:1-compressible pages).
+//
+// Two axes:
+//   curve  fig3-style size sweep on the clustered backend, sync vs pipelined
+//          (write-behind depth 4, prefetch on): shows the thrashing curve
+//          shifting down when batch disk time overlaps app CPU and
+//          stride-predicted pages are decompressed ahead of the fault.
+//   grid   at one memory-pressured size, backend x write-behind depth x
+//          prefetch: where the win comes from per configuration. Depth 1 with
+//          prefetch off is the degenerate pipeline, which the differential
+//          test pins byte-identical to sync — its row should match the sync
+//          baseline exactly.
+//
+// Headline metrics (validated by bench/check_bench_json.py): the matched
+// most-pressured curve cells, pipeline.curve.sync_ms vs
+// pipeline.curve.pipelined_ms, with pipelined strictly faster.
+//
+//   --quick   one curve size and a clustered-only grid, for CI smoke runs
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/thrasher.h"
+#include "bench_json.h"
+#include "core/machine.h"
+#include "sweep_runner.h"
+
+using namespace compcache;
+
+namespace {
+
+constexpr uint64_t kUserMemory = 6 * kMiB;
+
+struct RunResult {
+  double avg_access_ms = 0.0;
+  uint64_t batches_submitted = 0;
+  uint64_t barrier_stalls = 0;
+  uint64_t backpressure_stalls = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t batched_reads = 0;
+  // Full metric snapshot, taken for one representative run only (the machine
+  // is gone by the time the report is assembled).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+PipelineOptions Piped(uint32_t depth, bool prefetch) {
+  PipelineOptions p;
+  p.enabled = true;
+  p.write_behind_depth = depth;
+  p.prefetch = prefetch;
+  p.prefetch_buffer_pages = 8;
+  p.prefetch_per_fault = 2;
+  p.fault_batch_window = 2;
+  return p;
+}
+
+RunResult RunOne(uint64_t address_space, CompressedSwapKind kind,
+                 const PipelineOptions& pipeline, bool snapshot_metrics) {
+  MachineConfig config = MachineConfig::WithCompressionCache(kUserMemory);
+  config.compressed_swap = kind;
+  config.pipeline = pipeline;
+  Machine machine(config);
+
+  ThrasherOptions options;
+  options.address_space_bytes = address_space;
+  options.write = true;
+  options.passes = 2;
+  options.content = ContentClass::kSparseNumeric;  // ~4:1 under LZRW1, like the paper
+  Thrasher app(options);
+  app.Run(machine);
+  // Quiesce before reading stats: misses flushed, in-flight batches retired,
+  // so the prefetch conservation equation closes in the snapshot.
+  machine.DrainPipeline();
+
+  RunResult result;
+  result.avg_access_ms = app.result().AvgAccessMillis();
+  if (machine.write_behind() != nullptr) {
+    const auto& ws = machine.write_behind()->stats();
+    result.batches_submitted = ws.batches_submitted;
+    result.barrier_stalls = ws.barrier_stalls;
+    result.backpressure_stalls = ws.backpressure_stalls;
+  }
+  if (machine.pipeline() != nullptr) {
+    const auto& ps = machine.pipeline()->stats();
+    result.prefetch_issued = ps.issued;
+    result.prefetch_hits = ps.hits;
+    result.batched_reads = ps.batched;
+  }
+  if (snapshot_metrics) {
+    result.metrics = machine.metrics().Snapshot();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+
+  const std::vector<uint64_t> curve_sizes_mb =
+      quick ? std::vector<uint64_t>{12} : std::vector<uint64_t>{8, 12, 16, 20};
+  const uint64_t grid_size_mb = quick ? 12 : 16;
+  const std::vector<std::pair<std::string, CompressedSwapKind>> grid_backends =
+      quick ? std::vector<std::pair<std::string, CompressedSwapKind>>{
+                  {"clustered", CompressedSwapKind::kClustered}}
+            : std::vector<std::pair<std::string, CompressedSwapKind>>{
+                  {"clustered", CompressedSwapKind::kClustered},
+                  {"fixed_compressed", CompressedSwapKind::kFixedOffset},
+                  {"lfs", CompressedSwapKind::kLfs}};
+  const std::vector<uint32_t> grid_depths =
+      quick ? std::vector<uint32_t>{4} : std::vector<uint32_t>{1, 4, 8};
+
+  BenchReport report("ablation_pipeline", argc, argv);
+  report.Config("user_memory_mb", kUserMemory / kMiB);
+  report.Config("content", std::string("sparse_numeric"));
+  report.Config("passes", uint64_t{2});
+  report.Config("grid_size_mb", grid_size_mb);
+  report.Config("quick", quick);
+
+  std::printf("pipeline ablation: thrasher on a %llu MB machine "
+              "(RZ57-class disk, LZRW1, 4 KB pages)\n\n",
+              static_cast<unsigned long long>(kUserMemory / kMiB));
+
+  // Fan every machine across the pool; tables are formatted afterwards in
+  // sweep order so stdout and JSON match a single-threaded run byte-for-byte.
+  std::vector<std::function<RunResult()>> jobs;
+  const PipelineOptions sync;  // pipeline disabled
+  const PipelineOptions pipelined = Piped(/*depth=*/4, /*prefetch=*/true);
+  for (const uint64_t mb : curve_sizes_mb) {
+    const uint64_t bytes = mb * kMiB;
+    // The last (most pressured) size's pipelined cell contributes the full
+    // metric snapshot, so pipeline.* / prefetch.* land in the report.
+    const bool snapshot = mb == curve_sizes_mb.back() && report.enabled();
+    jobs.push_back([bytes, sync] {
+      return RunOne(bytes, CompressedSwapKind::kClustered, sync, false);
+    });
+    jobs.push_back([bytes, pipelined, snapshot] {
+      return RunOne(bytes, CompressedSwapKind::kClustered, pipelined, snapshot);
+    });
+  }
+  const uint64_t grid_bytes = grid_size_mb * kMiB;
+  for (const auto& [bname, kind] : grid_backends) {
+    const auto k = kind;
+    jobs.push_back([grid_bytes, k, sync] { return RunOne(grid_bytes, k, sync, false); });
+    for (const uint32_t depth : grid_depths) {
+      for (const bool prefetch : {false, true}) {
+        jobs.push_back([grid_bytes, k, depth, prefetch] {
+          return RunOne(grid_bytes, k, Piped(depth, prefetch), false);
+        });
+      }
+    }
+  }
+  const std::vector<RunResult> results = RunSweep(jobs, SweepThreadsFromArgs(argc, argv));
+
+  std::printf("curve: clustered backend, sync vs pipelined (depth 4, prefetch on)\n");
+  std::printf("%8s %10s %14s %8s %9s %8s %8s\n", "size(MB)", "sync_ms", "pipelined_ms",
+              "speedup", "batches", "pf_hits", "batched");
+  std::string csv = "axis,size_mb,backend,depth,prefetch,avg_access_ms\n";
+  double curve_sync_ms = 0.0;
+  double curve_pipelined_ms = 0.0;
+  size_t job = 0;
+  for (const uint64_t mb : curve_sizes_mb) {
+    const RunResult& s = results[job++];
+    const RunResult& p = results[job++];
+    if (!p.metrics.empty()) {
+      report.MergeMetrics(p.metrics);
+    }
+    if (mb == curve_sizes_mb.back()) {
+      curve_sync_ms = s.avg_access_ms;
+      curve_pipelined_ms = p.avg_access_ms;
+    }
+    std::printf("%8llu %10.3f %14.3f %8.2f %9llu %8llu %8llu\n",
+                static_cast<unsigned long long>(mb), s.avg_access_ms, p.avg_access_ms,
+                p.avg_access_ms > 0 ? s.avg_access_ms / p.avg_access_ms : 0.0,
+                static_cast<unsigned long long>(p.batches_submitted),
+                static_cast<unsigned long long>(p.prefetch_hits),
+                static_cast<unsigned long long>(p.batched_reads));
+    char line[160];
+    std::snprintf(line, sizeof(line), "curve,%llu,clustered,0,0,%.3f\n",
+                  static_cast<unsigned long long>(mb), s.avg_access_ms);
+    csv += line;
+    std::snprintf(line, sizeof(line), "curve,%llu,clustered,4,1,%.3f\n",
+                  static_cast<unsigned long long>(mb), p.avg_access_ms);
+    csv += line;
+    report.AddRow()
+        .Set("axis", std::string("curve"))
+        .Set("size_mb", mb)
+        .Set("sync_ms", s.avg_access_ms)
+        .Set("pipelined_ms", p.avg_access_ms)
+        .Set("speedup", p.avg_access_ms > 0 ? s.avg_access_ms / p.avg_access_ms : 0.0)
+        .Set("batches_submitted", p.batches_submitted)
+        .Set("prefetch_hits", p.prefetch_hits)
+        .Set("batched_reads", p.batched_reads);
+  }
+
+  std::printf("\ngrid: %llu MB working set, backend x depth x prefetch "
+              "(depth 0 = pipeline off)\n",
+              static_cast<unsigned long long>(grid_size_mb));
+  std::printf("%18s %6s %9s %10s %8s %8s %8s %8s %9s\n", "backend", "depth", "prefetch",
+              "avg_ms", "speedup", "batches", "barrier", "backpr", "pf_hits");
+  for (const auto& [bname, kind] : grid_backends) {
+    const RunResult& base = results[job++];
+    const auto print_row = [&](uint32_t depth, bool prefetch, const RunResult& r) {
+      std::printf("%18s %6u %9s %10.3f %8.2f %8llu %8llu %8llu %9llu\n", bname.c_str(),
+                  depth, prefetch ? "on" : "off", r.avg_access_ms,
+                  r.avg_access_ms > 0 ? base.avg_access_ms / r.avg_access_ms : 0.0,
+                  static_cast<unsigned long long>(r.batches_submitted),
+                  static_cast<unsigned long long>(r.barrier_stalls),
+                  static_cast<unsigned long long>(r.backpressure_stalls),
+                  static_cast<unsigned long long>(r.prefetch_hits));
+      char line[160];
+      std::snprintf(line, sizeof(line), "grid,%llu,%s,%u,%d,%.3f\n",
+                    static_cast<unsigned long long>(grid_size_mb), bname.c_str(), depth,
+                    prefetch ? 1 : 0, r.avg_access_ms);
+      csv += line;
+      report.AddRow()
+          .Set("axis", std::string("grid"))
+          .Set("backend", bname)
+          .Set("depth", static_cast<uint64_t>(depth))
+          .Set("prefetch", prefetch ? 1 : 0)
+          .Set("avg_ms", r.avg_access_ms)
+          .Set("speedup",
+               r.avg_access_ms > 0 ? base.avg_access_ms / r.avg_access_ms : 0.0)
+          .Set("batches_submitted", r.batches_submitted)
+          .Set("barrier_stalls", r.barrier_stalls)
+          .Set("backpressure_stalls", r.backpressure_stalls)
+          .Set("prefetch_hits", r.prefetch_hits);
+    };
+    print_row(0, false, base);
+    for (const uint32_t depth : grid_depths) {
+      for (const bool prefetch : {false, true}) {
+        print_row(depth, prefetch, results[job++]);
+      }
+    }
+  }
+
+  // Headline gate for the JSON validator: the matched most-pressured curve
+  // cells, pipelined strictly faster than sync.
+  report.MergeMetrics({{"pipeline.curve.sync_ms", curve_sync_ms},
+                       {"pipeline.curve.pipelined_ms", curve_pipelined_ms}});
+
+  std::printf("\nCSV:\n%s", csv.c_str());
+  return report.WriteIfEnabled() ? 0 : 1;
+}

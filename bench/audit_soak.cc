@@ -11,6 +11,9 @@
 //   --superblock     enable superblock frame packing across the whole grid,
 //                    so the packing-specific audits (alignment, quantization,
 //                    per-frame entry bounds) soak alongside the classic ones
+//   --pipeline       enable async pipelining (write-behind depth 4, prefetch,
+//                    fault batching) across the grid, so the in-flight-page
+//                    and prefetch-buffer conservation audits soak too
 //   --json=<path>    machine-readable report (schema in DESIGN.md)
 #include <cstdio>
 #include <cstring>
@@ -41,7 +44,8 @@ struct SoakResult {
 };
 
 SoakResult Finish(Machine& machine, bool snapshot_metrics) {
-  machine.RunAudit();  // final sweep on top of the periodic ones
+  machine.DrainPipeline();  // no-op when pipelining is off
+  machine.RunAudit();       // final sweep on top of the periodic ones
   SoakResult result;
   result.audit_runs = machine.auditor().runs();
   result.violations = machine.auditor().total_violations();
@@ -55,11 +59,22 @@ SoakResult Finish(Machine& machine, bool snapshot_metrics) {
   return result;
 }
 
-MachineConfig MakeConfig(CompressedSwapKind kind, double fault_rate, bool superblock) {
+struct SoakMode {
+  bool superblock = false;
+  bool pipeline = false;
+};
+
+MachineConfig MakeConfig(CompressedSwapKind kind, double fault_rate, SoakMode mode) {
   MachineConfig config = MachineConfig::WithCompressionCache(kUserMemory);
   config.compressed_swap = kind;
   config.audit_interval = kAuditInterval;
-  config.superblock_packing = superblock;
+  config.superblock_packing = mode.superblock;
+  if (mode.pipeline) {
+    config.pipeline.enabled = true;
+    config.pipeline.write_behind_depth = 4;
+    config.pipeline.prefetch = true;
+    config.pipeline.fault_batch_window = 2;
+  }
   if (fault_rate > 0.0) {
     config.fault_injection.enabled = true;
     config.fault_injection.seed = 1993;
@@ -73,9 +88,9 @@ MachineConfig MakeConfig(CompressedSwapKind kind, double fault_rate, bool superb
 // discard the rest of the matrix.
 void DisableAbort(Machine& machine) { machine.auditor().set_abort_on_violation(false); }
 
-SoakResult RunGold(CompressedSwapKind kind, double fault_rate, bool quick, bool superblock,
+SoakResult RunGold(CompressedSwapKind kind, double fault_rate, bool quick, SoakMode mode,
                    bool snapshot) {
-  Machine machine(MakeConfig(kind, fault_rate, superblock));
+  Machine machine(MakeConfig(kind, fault_rate, mode));
   DisableAbort(machine);
   GoldOptions options;
   options.num_messages = quick ? 1024 : 4096;
@@ -89,21 +104,24 @@ SoakResult RunGold(CompressedSwapKind kind, double fault_rate, bool quick, bool 
   return Finish(machine, snapshot);
 }
 
-SoakResult RunSort(CompressedSwapKind kind, double fault_rate, bool quick, bool superblock,
+SoakResult RunSort(CompressedSwapKind kind, double fault_rate, bool quick, SoakMode mode,
                    bool snapshot) {
-  Machine machine(MakeConfig(kind, fault_rate, superblock));
+  Machine machine(MakeConfig(kind, fault_rate, mode));
   DisableAbort(machine);
   SortOptions options;
   options.variant = SortVariant::kRandom;
   options.text_bytes = quick ? 3 * kMiB : 6 * kMiB;
+  // Injected unrecoverable faults may legitimately zero file blocks; the soak
+  // cares about auditor invariants, not byte-exact app output.
+  options.tolerate_data_loss = fault_rate > 0.0;
   TextSort app(options);
   app.Run(machine);
   return Finish(machine, snapshot);
 }
 
-SoakResult RunThrasher(CompressedSwapKind kind, double fault_rate, bool quick, bool superblock,
+SoakResult RunThrasher(CompressedSwapKind kind, double fault_rate, bool quick, SoakMode mode,
                        bool snapshot) {
-  Machine machine(MakeConfig(kind, fault_rate, superblock));
+  Machine machine(MakeConfig(kind, fault_rate, mode));
   DisableAbort(machine);
   ThrasherOptions options;
   options.address_space_bytes = quick ? 8 * kMiB : 16 * kMiB;
@@ -118,13 +136,15 @@ SoakResult RunThrasher(CompressedSwapKind kind, double fault_rate, bool quick, b
 
 int main(int argc, char** argv) {
   bool quick = false;
-  bool superblock = false;
+  SoakMode mode;
   double fault_rate = 0.02;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--superblock") == 0) {
-      superblock = true;
+      mode.superblock = true;
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      mode.pipeline = true;
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       fault_rate = std::strtod(argv[i] + 9, nullptr);
     }
@@ -137,7 +157,7 @@ int main(int argc, char** argv) {
   };
   struct Workload {
     std::string name;
-    SoakResult (*run)(CompressedSwapKind, double, bool, bool, bool);
+    SoakResult (*run)(CompressedSwapKind, double, bool, SoakMode, bool);
   };
   const std::vector<Workload> workloads = {
       {"gold", RunGold}, {"sort", RunSort}, {"thrasher", RunThrasher}};
@@ -147,12 +167,14 @@ int main(int argc, char** argv) {
   report.Config("audit_interval", uint64_t{kAuditInterval});
   report.Config("fault_rate", fault_rate);
   report.Config("quick", quick);
-  report.Config("superblock_packing", superblock);
+  report.Config("superblock_packing", mode.superblock);
+  report.Config("pipeline", mode.pipeline);
 
   std::printf("audit soak: %zu workloads x %zu backends x {clean, faults=%g}, "
-              "audit every %zu faults%s\n\n",
+              "audit every %zu faults%s%s\n\n",
               workloads.size(), backends.size(), fault_rate, kAuditInterval,
-              superblock ? ", superblock packing ON" : "");
+              mode.superblock ? ", superblock packing ON" : "",
+              mode.pipeline ? ", pipelining ON" : "");
   std::printf("%10s %18s %8s %10s %11s  %s\n", "workload", "backend", "faults",
               "audit_runs", "violations", "first_violation");
 
@@ -165,8 +187,8 @@ int main(int argc, char** argv) {
                               bname == backends.back().first && rate > 0.0;
         const auto run = w.run;
         const auto k = kind;
-        jobs.push_back([run, k, rate, quick, superblock, snapshot] {
-          return run(k, rate, quick, superblock, snapshot);
+        jobs.push_back([run, k, rate, quick, mode, snapshot] {
+          return run(k, rate, quick, mode, snapshot);
         });
       }
     }

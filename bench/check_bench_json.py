@@ -44,6 +44,17 @@ Schema (schema_version 1):
                         host compress/decompress throughput plus the three
                         simulated thrash cell times; the adaptive row must
                         carry the probe's pick_* counters with a non-zero sum
+    pipeline.* / prefetch.*  async-pipeline counters; non-negative, and every
+                        issued speculation must be accounted for after the
+                        bench drains the pipeline:
+                          prefetch.hits + prefetch.misses == prefetch.issued
+                          pipeline.batches_completed == pipeline.batches_submitted
+                          pipeline.inflight == 0
+    ablation_pipeline   must publish the headline thrashing-curve pair with
+                        the pipelined machine strictly faster than the
+                        synchronous baseline (pipeline.curve.pipelined_ms <
+                        pipeline.curve.sync_ms), at least one write-behind
+                        batch, and at least one speculative issue
 """
 
 import json
@@ -54,7 +65,7 @@ import sys
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 TOP_KEYS = {"bench", "schema_version", "config", "results", "metrics"}
 # Monotonic counter families: a negative value can only be a bug.
-COUNTER_PREFIXES = ("fault.", "retry.", "recovery.")
+COUNTER_PREFIXES = ("fault.", "retry.", "recovery.", "pipeline.", "prefetch.")
 # The full crash-recovery metric set crash_soak must publish (grid totals;
 # see bench/crash_soak.cc and RecoveryStats in src/core/machine.h).
 CRASH_SOAK_METRICS = (
@@ -272,6 +283,46 @@ def validate(path):
                     key = f"wall_clock.{kind}_mbps.{name}"
                     if key not in metrics:
                         err(f'ablation_codec must publish metrics["{key}"]')
+
+    # Async-pipeline conservation: benches publish these counters only after
+    # Machine::DrainPipeline(), so a dangling speculation or in-flight batch
+    # is an accounting bug, not a timing window.
+    if isinstance(metrics, dict):
+        pf = [metrics.get(k) for k in
+              ("prefetch.hits", "prefetch.misses", "prefetch.issued")]
+        if all(is_number(v) for v in pf) and pf[0] + pf[1] != pf[2]:
+            err(f"prefetch.hits + prefetch.misses = {pf[0] + pf[1]} but "
+                f"prefetch.issued = {pf[2]} -- every drained speculation must "
+                f"be a hit or a miss")
+        wb = [metrics.get(k) for k in
+              ("pipeline.batches_completed", "pipeline.batches_submitted")]
+        if all(is_number(v) for v in wb) and wb[0] != wb[1]:
+            err(f"pipeline.batches_completed = {wb[0]} but "
+                f"pipeline.batches_submitted = {wb[1]} -- drained write-behind "
+                f"must retire every batch")
+        inflight = metrics.get("pipeline.inflight")
+        if is_number(inflight) and inflight != 0:
+            err(f'metrics["pipeline.inflight"] must be 0 after a drain, '
+                f"got {inflight}")
+
+    if bench == "ablation_pipeline" and isinstance(metrics, dict):
+        sync_ms = metrics.get("pipeline.curve.sync_ms")
+        piped_ms = metrics.get("pipeline.curve.pipelined_ms")
+        if not (is_number(sync_ms) and sync_ms > 0):
+            err('ablation_pipeline must publish positive '
+                'metrics["pipeline.curve.sync_ms"]')
+        if not (is_number(piped_ms) and piped_ms > 0):
+            err('ablation_pipeline must publish positive '
+                'metrics["pipeline.curve.pipelined_ms"]')
+        if is_number(sync_ms) and is_number(piped_ms) and piped_ms >= sync_ms:
+            err(f"ablation_pipeline pipelined machine must beat the "
+                f"synchronous baseline on the headline curve cell, got "
+                f"{piped_ms} >= {sync_ms}")
+        for name in ("pipeline.batches_submitted", "prefetch.issued"):
+            v = metrics.get(name)
+            if not (is_number(v) and v >= 1):
+                err(f'ablation_pipeline must publish metrics["{name}"] >= 1 '
+                    f"-- the pipeline never engaged")
 
     if bench == "perf_hotpath" and isinstance(metrics, dict):
         for name in PERF_HOTPATH_METRICS:

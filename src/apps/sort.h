@@ -29,6 +29,10 @@ struct SortOptions {
   size_t partial_displacement = 12;  // local shuffle distance for kPartial
   SimDuration cpu_per_compare = SimDuration::Micros(1);
   uint64_t seed = 23;
+  // Fault-injection soaks only: when unrecoverable injected disk errors zero a
+  // file block (or leave a stale one), count and sort what survives instead of
+  // aborting on the word-count integrity check.
+  bool tolerate_data_loss = false;
 };
 
 struct SortResult {

@@ -661,6 +661,55 @@ bool CompressionCache::DecompressImage(std::span<const uint8_t> compressed,
   return true;
 }
 
+CcacheFaultResult CompressionCache::PrefetchIn(PageKey key, std::span<uint8_t> out,
+                                               SimDuration* cost) {
+  CC_EXPECTS(cost != nullptr);
+  Entry* e = Find(key);
+  if (e == nullptr) {
+    return CcacheFaultResult::kMiss;
+  }
+  CC_EXPECTS(out.size() == e->original_size);
+  if (e->zero_page) {
+    std::memset(out.data(), 0, out.size());
+    *cost += costs_->ZeroScanCost(out.size());
+    return CcacheFaultResult::kHit;
+  }
+  ScratchArena::Scope scope(*arena_);
+  std::span<uint8_t> buf = arena_->Alloc(e->payload_size);
+  CopyOut(e->payload_off(), buf);
+  if (options_.verify_on_fault_in && e->checksum != 0 && Crc32(buf) != e->checksum) {
+    return CcacheFaultResult::kCorrupt;
+  }
+  if (!codec_->TryDecompress(buf, out)) {
+    return CcacheFaultResult::kCorrupt;
+  }
+  *cost += costs_->DecompressCost(out.size());
+  return CcacheFaultResult::kHit;
+}
+
+bool CompressionCache::DecompressImageDeferred(std::span<const uint8_t> compressed,
+                                               std::span<uint8_t> out,
+                                               SimDuration* cost) {
+  CC_EXPECTS(cost != nullptr);
+  if (IsZeroPageMarker(compressed)) {
+    std::memset(out.data(), 0, out.size());
+    *cost += costs_->ZeroScanCost(out.size());
+    return true;
+  }
+  if (!codec_->TryDecompress(compressed, out)) {
+    return false;
+  }
+  *cost += costs_->DecompressCost(out.size());
+  return true;
+}
+
+void CompressionCache::Touch(PageKey key) {
+  Entry* e = Find(key);
+  if (e != nullptr) {
+    e->age_ns = static_cast<uint64_t>(clock_->Now().nanos());
+  }
+}
+
 void CompressionCache::Invalidate(PageKey key) {
   Entry* e = Find(key);
   if (e == nullptr) {

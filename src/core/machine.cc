@@ -69,21 +69,29 @@ Machine::Machine(MachineConfig config, Machine* recover_from)
   vm_options.insert_coresidents = config_.insert_coresidents;
   pager_ = std::make_unique<Pager>(&clock_, &config_.costs, this, vm_options);
 
+  CC_EXPECTS(!config_.pipeline.enabled || config_.use_compression_cache);
   if (config_.use_compression_cache) {
+    std::unique_ptr<CompressedSwapBackend> inner;
     switch (config_.compressed_swap) {
       case CompressedSwapKind::kClustered: {
+        // Fault batching rides the clustered layout's demand reads: the
+        // pipeline's batch window becomes read widening (one disk op).
         auto layout = std::make_unique<ClusteredSwapLayout>(
-            fs_.get(), ClusteredSwapLayout::Options{config_.allow_block_spanning,
-                                                    config_.durability.enabled});
+            fs_.get(),
+            ClusteredSwapLayout::Options{
+                config_.allow_block_spanning, config_.durability.enabled,
+                config_.pipeline.enabled
+                    ? uint64_t{config_.pipeline.fault_batch_window}
+                    : 0});
         clustered_swap_ = layout.get();
-        cswap_ = std::move(layout);
+        inner = std::move(layout);
         break;
       }
       case CompressedSwapKind::kFixedOffset: {
         auto layout = std::make_unique<FixedCompressedSwapLayout>(
             fs_.get(), FixedCompressedSwapLayout::Options{config_.durability.enabled});
         fixed_cswap_ = layout.get();
-        cswap_ = std::move(layout);
+        inner = std::move(layout);
         break;
       }
       case CompressedSwapKind::kLfs: {
@@ -94,17 +102,30 @@ Machine::Machine(MachineConfig config, Machine* recover_from)
         lfs_options.checkpoint_interval = config_.durability.lfs_checkpoint_interval;
         auto layout = std::make_unique<LfsSwapLayout>(fs_.get(), this, lfs_options);
         lfs_swap_ = layout.get();
-        cswap_ = std::move(layout);
+        inner = std::move(layout);
         break;
       }
     }
+    if (config_.pipeline.enabled) {
+      // Write-behind decorator: every layout write becomes a submitted
+      // background batch; reads barrier on in-flight pages.
+      auto behind = std::make_unique<WriteBehindBackend>(
+          std::move(inner), &clock_,
+          std::max<uint32_t>(1, config_.pipeline.write_behind_depth));
+      write_behind_ = behind.get();
+      cswap_ = std::move(behind);
+    } else {
+      cswap_ = std::move(inner);
+    }
 #ifndef NDEBUG
     // Layout identity: the typed alias must be the same object the owning
-    // pointer holds (guards against a future construction path forgetting to
-    // set the alias).
-    CC_ASSERT(static_cast<CompressedSwapBackend*>(clustered_swap_) == cswap_.get() ||
-              static_cast<CompressedSwapBackend*>(fixed_cswap_) == cswap_.get() ||
-              static_cast<CompressedSwapBackend*>(lfs_swap_) == cswap_.get());
+    // pointer (or its decorator) holds (guards against a future construction
+    // path forgetting to set the alias).
+    CompressedSwapBackend* layout_backend =
+        write_behind_ != nullptr ? write_behind_->inner() : cswap_.get();
+    CC_ASSERT(static_cast<CompressedSwapBackend*>(clustered_swap_) == layout_backend ||
+              static_cast<CompressedSwapBackend*>(fixed_cswap_) == layout_backend ||
+              static_cast<CompressedSwapBackend*>(lfs_swap_) == layout_backend);
     CC_ASSERT((clustered_swap_ != nullptr) + (fixed_cswap_ != nullptr) +
                   (lfs_swap_ != nullptr) ==
               1);
@@ -130,6 +151,13 @@ Machine::Machine(MachineConfig config, Machine* recover_from)
     pager_->AttachCompressionCache(ccache_.get(), cswap_.get());
     if (config_.compress_file_cache) {
       buffer_cache_->SetCompressionCache(ccache_.get());
+    }
+    if (config_.pipeline.enabled) {
+      pipeline_ = std::make_unique<PipelineEngine>(&clock_, &config_.costs, this,
+                                                   ccache_.get(), write_behind_,
+                                                   config_.pipeline);
+      pipeline_->SetPager(pager_.get());
+      pager_->SetPrefetcher(pipeline_.get());
     }
 
     if (config_.charge_metadata_overhead) {
@@ -167,6 +195,18 @@ Machine::Machine(MachineConfig config, Machine* recover_from)
     arbiter_.AddConsumer(
         "ccache", [this] { return ccache_->OldestAge(); },
         [this] { return ccache_->ReleaseOldest(); }, config_.biases.ccache,
+        /*monotone_age=*/false);
+  }
+  if (pipeline_ != nullptr) {
+    // Speculative frames compete at parity with resident VM pages: a buffered
+    // prediction is a page expected to be referenced next, so it should not
+    // be shredded the moment any consumer allocates — but a speculation that
+    // has grown older than the oldest resident page is a stale guess and goes
+    // first. Non-monotone: TryFill and Invalidate remove arbitrary entries,
+    // so the front can jump around.
+    arbiter_.AddConsumer(
+        "prefetch", [this] { return pipeline_->OldestAge(); },
+        [this] { return pipeline_->ReleaseOldest(); }, config_.biases.vm,
         /*monotone_age=*/false);
   }
 
@@ -368,6 +408,9 @@ void Machine::BindAllMetrics() {
   if (fixed_swap_ != nullptr) {
     fixed_swap_->BindMetrics(&metrics_);
   }
+  if (pipeline_ != nullptr) {
+    pipeline_->BindMetrics(&metrics_);
+  }
   auditor_.BindMetrics(&metrics_);
 }
 
@@ -398,14 +441,16 @@ void Machine::RegisterAuditChecks() {
     if (lfs_swap_ != nullptr) {
       lfs_buffer = lfs_swap_->buffer_frame_count();
     }
-    const size_t accounted = free + resident + bcache + ccache + metadata_frames_ + lfs_buffer;
+    const size_t prefetch = pipeline_ != nullptr ? pipeline_->buffered_frames() : 0;
+    const size_t accounted =
+        free + resident + bcache + ccache + metadata_frames_ + lfs_buffer + prefetch;
     if (accounted != total) {
       return "pool holds " + std::to_string(total) + " frames but " +
              std::to_string(accounted) + " are accounted for (free " + std::to_string(free) +
              " + resident " + std::to_string(resident) + " + bcache " +
              std::to_string(bcache) + " + ccache " + std::to_string(ccache) +
              " + metadata " + std::to_string(metadata_frames_) + " + lfs buffer " +
-             std::to_string(lfs_buffer) + ")";
+             std::to_string(lfs_buffer) + " + prefetch " + std::to_string(prefetch) + ")";
     }
     return std::nullopt;
   });
@@ -438,6 +483,9 @@ void Machine::RegisterAuditChecks() {
   if (fixed_swap_ != nullptr) {
     fixed_swap_->RegisterAuditChecks(&auditor_);
   }
+  if (pipeline_ != nullptr) {
+    pipeline_->RegisterAuditChecks(&auditor_);
+  }
 }
 
 void Machine::ResetStats() {
@@ -455,11 +503,23 @@ void Machine::ResetStats() {
   if (fixed_swap_ != nullptr) {
     fixed_swap_->ResetStats();
   }
+  if (pipeline_ != nullptr) {
+    pipeline_->ResetStats();
+  }
   recovery_ = RecoveryStats{};
   // Deliberately NOT reset: the fault injector (its nth-operation schedules
   // count operations from machine start; rebasing them would fire faults at
   // different absolute points) and the clock/occupancy state gauges.
   counter_watermarks_.clear();
+}
+
+void Machine::DrainPipeline() {
+  if (pipeline_ != nullptr) {
+    pipeline_->Flush();
+  }
+  if (write_behind_ != nullptr) {
+    write_behind_->Drain(/*advance_clock=*/!disk_->power_failed());
+  }
 }
 
 void Machine::ChargeMetadataBytes(uint64_t bytes) {
@@ -512,6 +572,18 @@ FrameId Machine::AllocateFrame() {
       std::abort();
     }
   }
+}
+
+std::optional<FrameId> Machine::TryAllocateFrame() {
+  if (const auto frame = pool_.TryAllocate(); frame.has_value()) {
+    return frame;
+  }
+  // Dead ring slots are free memory nobody is using; harvesting one is not a
+  // reclaim, so speculative allocation may take it.
+  if (ccache_ != nullptr && ccache_->FreeOneDeadSlot()) {
+    return pool_.TryAllocate();
+  }
+  return std::nullopt;
 }
 
 void Machine::FreeFrame(FrameId id) { pool_.Free(id); }
@@ -600,6 +672,25 @@ std::string Machine::Report() const {
     std::snprintf(buf, sizeof(buf), "fixed swap: %llu pages written, %llu pages read\n",
                   static_cast<unsigned long long>(fixed_swap_->pages_written()),
                   static_cast<unsigned long long>(fixed_swap_->pages_read()));
+    out += buf;
+  }
+
+  if (write_behind_ != nullptr) {
+    const auto& wb = write_behind_->stats();
+    const auto& ps = pipeline_->stats();
+    std::snprintf(buf, sizeof(buf),
+                  "pipeline: %llu batches submitted (%llu completed, %zu in flight), "
+                  "%llu barrier / %llu backpressure stalls\n"
+                  "prefetch: %llu issued, %llu hits, %llu misses, %llu batched\n",
+                  static_cast<unsigned long long>(wb.batches_submitted),
+                  static_cast<unsigned long long>(wb.batches_completed),
+                  write_behind_->inflight_batches(),
+                  static_cast<unsigned long long>(wb.barrier_stalls),
+                  static_cast<unsigned long long>(wb.backpressure_stalls),
+                  static_cast<unsigned long long>(ps.issued),
+                  static_cast<unsigned long long>(ps.hits),
+                  static_cast<unsigned long long>(ps.misses),
+                  static_cast<unsigned long long>(ps.batched));
     out += buf;
   }
 

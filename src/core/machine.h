@@ -13,6 +13,7 @@
 
 #include "ccache/compression_cache.h"
 #include "compress/registry.h"
+#include "core/pipeline.h"
 #include "disk/disk_device.h"
 #include "fs/buffer_cache.h"
 #include "fs/file_system.h"
@@ -27,6 +28,7 @@
 #include "swap/fixed_compressed_swap.h"
 #include "swap/fixed_swap.h"
 #include "swap/lfs_swap.h"
+#include "swap/write_behind_backend.h"
 #include "vm/frame_pool.h"
 #include "vm/frame_source.h"
 #include "vm/heap.h"
@@ -157,6 +159,10 @@ struct MachineConfig {
   IntegrityOptions integrity;
   DurabilityOptions durability;
 
+  // Async pipelined I/O: write-behind swap batches, decompress-ahead
+  // prefetching, and fault batching. Requires use_compression_cache.
+  PipelineOptions pipeline;
+
   static MachineConfig Unmodified(uint64_t memory_bytes) {
     MachineConfig config;
     config.user_memory_bytes = memory_bytes;
@@ -219,6 +225,10 @@ class Machine : public FrameSource {
   FixedCompressedSwapLayout* fixed_compressed_swap() { return fixed_cswap_; }
   LfsSwapLayout* lfs_swap() { return lfs_swap_; }
   FixedSwapLayout* fixed_swap() { return fixed_swap_.get(); }  // null in cc mode
+  // Non-null only when MachineConfig::pipeline.enabled; write_behind() is then
+  // the same object as compressed_swap() (the decorator wraps the layout).
+  WriteBehindBackend* write_behind() { return write_behind_; }
+  PipelineEngine* pipeline() { return pipeline_.get(); }
   FramePool& frame_pool() { return pool_; }
   const MachineConfig& config() const { return config_; }
   // Per-machine scratch arena backing the compress/decompress hot path (shared
@@ -256,11 +266,19 @@ class Machine : public FrameSource {
 
   // --- FrameSource ---
   FrameId AllocateFrame() override;
+  std::optional<FrameId> TryAllocateFrame() override;
   void FreeFrame(FrameId id) override;
   std::span<uint8_t> FrameData(FrameId id) override;
 
   // Frames permanently consumed by metadata (section 4.4 accounting).
   size_t metadata_frames() const { return metadata_frames_; }
+
+  // Quiesces the async pipeline: discards the prefetch buffer (counting the
+  // entries as misses) and waits out every in-flight write-behind batch (no
+  // clock advance after a power failure). Benches call this before taking a
+  // metric snapshot so issued == hits + misses and inflight == 0 hold over the
+  // published counters. A no-op when pipelining is off.
+  void DrainPipeline();
 
   // Multi-line human-readable stats report.
   std::string Report() const;
@@ -332,12 +350,17 @@ class Machine : public FrameSource {
   ClusteredSwapLayout* clustered_swap_ = nullptr;
   FixedCompressedSwapLayout* fixed_cswap_ = nullptr;
   LfsSwapLayout* lfs_swap_ = nullptr;
+  // Alias of cswap_ when it is the write-behind decorator (pipeline enabled).
+  WriteBehindBackend* write_behind_ = nullptr;
   std::unique_ptr<FixedSwapLayout> fixed_swap_;
   std::unique_ptr<CompressionCache> ccache_;
 
   uint64_t metadata_bytes_charged_ = 0;
   size_t metadata_frames_ = 0;
   RecoveryStats recovery_;
+  // Declared last: its destructor returns the prefetch buffer's frames to
+  // pool_, which (declared above) is destroyed after it.
+  std::unique_ptr<PipelineEngine> pipeline_;
 };
 
 }  // namespace compcache

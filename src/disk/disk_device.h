@@ -24,6 +24,7 @@
 
 #include "disk/disk_model.h"
 #include "sim/clock.h"
+#include "util/assert.h"
 #include "util/fault.h"
 #include "util/io_status.h"
 #include "util/metrics.h"
@@ -38,6 +39,9 @@ struct DiskStats {
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
   SimDuration busy_time;
+  // Foreground time spent waiting for deferred (write-behind) requests already
+  // queued at the device — the FIFO ordering cost of background I/O.
+  SimDuration queue_wait_time;
   // Retry-policy outcomes under fault injection (all zero without an injector).
   uint64_t read_retries = 0;
   uint64_t write_retries = 0;
@@ -111,6 +115,53 @@ class DiskDevice {
   // device.
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
+  // --- async request lifecycle (write-behind) ---
+  // While a deferred window is open, Read/Write move bytes and consume fault
+  // ordinals exactly as in the synchronous path, but device time accumulates
+  // on a background timeline instead of advancing the caller's clock. Each
+  // request is stamped at its actual (virtual) issue time — the later of "now"
+  // and the end of the previously queued request — so the timing model's
+  // positional state and the disk.access_ns histogram reflect the order the
+  // device really services requests, not the submit instant. EndDeferred
+  // returns the virtual time at which everything submitted in the window
+  // completes. Windows do not nest.
+  //
+  // Outside a window, a request first waits for any still-pending deferred
+  // work (the device is a single FIFO queue); that wait is charged to the
+  // caller as kIo and counted in queue_wait_time.
+  void BeginDeferred();
+  SimTime EndDeferred();
+  bool deferred_active() const { return deferred_active_; }
+  // End of the last deferred request's service time (the background queue is
+  // idle once the clock passes this point).
+  SimTime deferred_busy_until() const { return deferred_busy_until_; }
+
+  // RAII wrapper: opens a deferred window for its lifetime; Close() (or the
+  // destructor) ends it. Safe against exceptions thrown mid-window
+  // (PowerFailure), which would otherwise leave the device stuck in
+  // deferred mode.
+  class DeferredScope {
+   public:
+    explicit DeferredScope(DiskDevice* disk) : disk_(disk) { disk_->BeginDeferred(); }
+    ~DeferredScope() {
+      if (open_) disk_->EndDeferred();
+    }
+    DeferredScope(const DeferredScope&) = delete;
+    DeferredScope& operator=(const DeferredScope&) = delete;
+    // Ends the window and returns the completion time of its requests.
+    SimTime Close() {
+      CC_EXPECTS(open_);
+      open_ = false;
+      return disk_->EndDeferred();
+    }
+    // Device time accumulated by requests in this window so far.
+    SimDuration busy() const { return disk_->window_busy_; }
+
+   private:
+    DiskDevice* disk_;
+    bool open_ = true;
+  };
+
   // --- observability ---
   // Publishes counters as "disk.*" / "retry.*" gauges and creates the
   // "disk.access_ns" per-request latency histogram.
@@ -138,6 +189,13 @@ class DiskDevice {
   RetryPolicy retry_policy_;
   std::unordered_map<uint64_t, std::unique_ptr<Chunk>> chunks_;
   DiskStats stats_;
+  bool deferred_active_ = false;
+  // End of the busiest queued deferred request; requests (deferred or not)
+  // issue no earlier than this.
+  SimTime deferred_busy_until_;
+  // Charges accumulated by the currently open window (count and device time).
+  uint64_t window_charges_ = 0;
+  SimDuration window_busy_;
   bool power_failed_ = false;
   FaultInjector* injector_ = nullptr;
   LatencyHistogram* access_latency_ = nullptr;  // owned by the bound registry

@@ -1,0 +1,74 @@
+// Deterministic virtual-time event queue for the async I/O pipeline.
+//
+// Completion events are ordered by (time, sequence): two events scheduled for
+// the same virtual instant fire in the order they were scheduled. The sequence
+// tiebreak is what keeps pipelined runs bit-identical — heap ordering alone
+// would make same-time completions fire in an implementation-defined order.
+//
+// The queue never advances a clock itself; callers decide when virtual time
+// moves (e.g. a backpressure or barrier stall) and then drain the events that
+// the new time has made due with RunUntil().
+#ifndef COMPCACHE_SIM_EVENT_QUEUE_H_
+#define COMPCACHE_SIM_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace compcache {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` to fire at virtual time `when`. Events due at the same time
+  // fire in schedule order. Returns the event's sequence number.
+  uint64_t Schedule(SimTime when, Callback fn) {
+    const uint64_t seq = next_seq_++;
+    heap_.push(Event{when, seq, std::move(fn)});
+    return seq;
+  }
+
+  // Fires every event with `when <= now`, in (time, seq) order. An event's
+  // callback may schedule further events; those also fire if due.
+  void RunUntil(SimTime now) {
+    while (!heap_.empty() && heap_.top().when <= now) {
+      // Moving out of a priority_queue top requires a const_cast; the element
+      // is popped immediately after, so the heap invariant is unaffected.
+      Callback fn = std::move(const_cast<Event&>(heap_.top()).fn);
+      heap_.pop();
+      fn();
+    }
+  }
+
+  // Virtual time of the earliest pending event. Only valid when !empty().
+  SimTime NextTime() const { return heap_.top().when; }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq = 0;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when.nanos() != b.when.nanos()) return a.when.nanos() > b.when.nanos();
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_SIM_EVENT_QUEUE_H_

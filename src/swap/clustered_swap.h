@@ -41,6 +41,7 @@ struct ClusteredSwapStats {
   uint64_t blocks_reused = 0;   // garbage-collected blocks recycled
   uint64_t blocks_appended = 0;
   uint64_t coresident_pages_returned = 0;
+  uint64_t readahead_blocks_read = 0;  // extra blocks widened onto demand reads
 };
 
 class ClusteredSwapLayout : public CompressedSwapBackend {
@@ -55,6 +56,12 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
     // Mount() replays after a crash. Off by default — the journal costs one
     // small read-modify-write per mutation.
     bool durable = false;
+    // Fault batching: widen each coresident-collecting demand read by up to
+    // this many adjacent file blocks in the same disk operation. Clustered
+    // writes put neighboring pages in neighboring fragments, so the extra
+    // blocks ride the seek already paid and cost only transfer time; every
+    // whole live page they cover comes back as a coresident. 0 disables.
+    uint64_t readahead_blocks = 0;
   };
 
   ClusteredSwapLayout(FileSystem* fs, Options options);
@@ -66,6 +73,8 @@ class ClusteredSwapLayout : public CompressedSwapBackend {
   IoStatus WriteBatch(std::span<const SwapPageImage> pages) override;
 
   bool Contains(PageKey key) const override { return locations_.contains(key); }
+
+  DiskDevice* device() override { return fs_->disk(); }
 
   // Reads one page (whole-block transfers underneath). The page must be present.
   ReadResult ReadPage(PageKey key, bool collect_coresidents) override;

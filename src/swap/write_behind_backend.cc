@@ -1,0 +1,187 @@
+#include "swap/write_behind_backend.h"
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/audit.h"
+
+namespace compcache {
+
+WriteBehindBackend::WriteBehindBackend(
+    std::unique_ptr<CompressedSwapBackend> inner, Clock* clock, uint32_t depth)
+    : inner_(std::move(inner)), clock_(clock), depth_(depth) {
+  CC_EXPECTS(inner_ != nullptr);
+  CC_EXPECTS(clock_ != nullptr);
+  CC_EXPECTS(depth_ >= 1);
+}
+
+void WriteBehindBackend::Poll() { events_.RunUntil(clock_->Now()); }
+
+void WriteBehindBackend::StallUntil(SimTime t) {
+  if (t > clock_->Now()) {
+    stats_.stall_time += t - clock_->Now();
+    clock_->Advance(t - clock_->Now(), TimeCategory::kIo);
+  }
+  events_.RunUntil(clock_->Now());
+}
+
+void WriteBehindBackend::Retire(uint64_t seq) {
+  for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+    if (it->seq != seq) {
+      continue;
+    }
+    for (const PageKey& key : it->keys) {
+      // A newer in-flight batch may have overwritten the page; only drop the
+      // index entry if it still points at this batch.
+      const auto kit = inflight_keys_.find(key);
+      if (kit != inflight_keys_.end() && kit->second == seq) {
+        inflight_keys_.erase(kit);
+      }
+    }
+    inflight_.erase(it);
+    ++stats_.batches_completed;
+    ++lifetime_completed_;
+    return;
+  }
+  CC_EXPECTS(false && "completion event for unknown batch");
+}
+
+IoStatus WriteBehindBackend::WriteBatch(std::span<const SwapPageImage> pages) {
+  Poll();
+  // The batch happens physically now — stored bytes, metadata, status, and
+  // fault ordinals are exactly the synchronous ones; only the time is deferred.
+  const WriteTicket ticket = inner_->SubmitWriteBatch(pages);
+  const uint64_t seq = next_seq_++;
+  Batch batch;
+  batch.seq = seq;
+  batch.complete_at = ticket.complete_at;
+  if (ticket.status == IoStatus::kOk) {
+    batch.keys.reserve(pages.size());
+    for (const SwapPageImage& image : pages) {
+      batch.keys.push_back(image.key);
+      inflight_keys_[image.key] = seq;
+    }
+  }
+  inflight_.push_back(std::move(batch));
+  events_.Schedule(ticket.complete_at, [this, seq] { Retire(seq); });
+  ++stats_.batches_submitted;
+  ++lifetime_submitted_;
+  stats_.pages_submitted += pages.size();
+  stats_.deferred_io_time += ticket.device_time;
+
+  // Backpressure: the queue holds at most `depth` batches counting this one,
+  // so depth 1 waits out its own disk time (the synchronous machine).
+  bool stalled = false;
+  while (inflight_.size() >= depth_ && !events_.empty()) {
+    const SimTime target = events_.NextTime();
+    if (target > clock_->Now()) {
+      stalled = true;
+    }
+    StallUntil(target);
+  }
+  if (stalled) {
+    ++stats_.backpressure_stalls;
+  }
+  return ticket.status;
+}
+
+CompressedSwapBackend::ReadResult WriteBehindBackend::ReadPage(
+    PageKey key, bool collect_coresidents) {
+  Poll();
+  const auto it = inflight_keys_.find(key);
+  if (it != inflight_keys_.end()) {
+    // Barrier: the data is physically readable, but a real disk queue would
+    // not let this read overtake the still-queued write of the same page.
+    const uint64_t seq = it->second;
+    SimTime target = clock_->Now();
+    for (const Batch& batch : inflight_) {
+      if (batch.seq == seq) {
+        target = batch.complete_at;
+        break;
+      }
+    }
+    if (target > clock_->Now()) {
+      ++stats_.barrier_stalls;
+      StallUntil(target);
+    }
+  }
+  return inner_->ReadPage(key, collect_coresidents);
+}
+
+void WriteBehindBackend::Drain(bool advance_clock) {
+  if (!advance_clock) {
+    events_.RunUntil(SimTime::FromNanos(std::numeric_limits<int64_t>::max()));
+    return;
+  }
+  while (!events_.empty()) {
+    StallUntil(events_.NextTime());
+  }
+}
+
+void WriteBehindBackend::RegisterAuditChecks(InvariantAuditor* auditor) {
+  inner_->RegisterAuditChecks(auditor);
+  auditor->Register("pipeline", "inflight-conservation",
+                    [this]() -> std::optional<std::string> {
+                      if (lifetime_submitted_ !=
+                          lifetime_completed_ + inflight_.size()) {
+                        return "submitted " + std::to_string(lifetime_submitted_) +
+                               " != completed " +
+                               std::to_string(lifetime_completed_) +
+                               " + inflight " + std::to_string(inflight_.size());
+                      }
+                      return std::nullopt;
+                    });
+  auditor->Register("pipeline", "event-queue-coherent",
+                    [this]() -> std::optional<std::string> {
+                      if (events_.size() != inflight_.size()) {
+                        return "pending events " + std::to_string(events_.size()) +
+                               " != inflight batches " +
+                               std::to_string(inflight_.size());
+                      }
+                      for (const auto& [key, seq] : inflight_keys_) {
+                        bool live = false;
+                        for (const Batch& batch : inflight_) {
+                          live |= batch.seq == seq;
+                        }
+                        if (!live) {
+                          return "in-flight key maps to retired batch " +
+                                 std::to_string(seq);
+                        }
+                      }
+                      return std::nullopt;
+                    });
+}
+
+void WriteBehindBackend::BindMetrics(MetricRegistry* registry) {
+  CC_EXPECTS(registry != nullptr);
+  inner_->BindMetrics(registry);
+  const WriteBehindStats* s = &stats_;
+  registry->RegisterCounterGauge("pipeline.batches_submitted", [s] {
+    return static_cast<double>(s->batches_submitted);
+  });
+  registry->RegisterCounterGauge("pipeline.batches_completed", [s] {
+    return static_cast<double>(s->batches_completed);
+  });
+  registry->RegisterCounterGauge("pipeline.pages_submitted", [s] {
+    return static_cast<double>(s->pages_submitted);
+  });
+  registry->RegisterCounterGauge("pipeline.barrier_stalls", [s] {
+    return static_cast<double>(s->barrier_stalls);
+  });
+  registry->RegisterCounterGauge("pipeline.backpressure_stalls", [s] {
+    return static_cast<double>(s->backpressure_stalls);
+  });
+  registry->RegisterCounterGauge("pipeline.stall_ns", [s] {
+    return static_cast<double>(s->stall_time.nanos());
+  });
+  registry->RegisterCounterGauge("pipeline.deferred_io_ns", [s] {
+    return static_cast<double>(s->deferred_io_time.nanos());
+  });
+  registry->RegisterGauge("pipeline.inflight",
+                          [this] { return static_cast<double>(inflight_.size()); });
+}
+
+}  // namespace compcache

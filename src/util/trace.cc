@@ -16,6 +16,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "fault_from_ccache";
     case TraceEventKind::kFaultFromSwap:
       return "fault_from_swap";
+    case TraceEventKind::kFaultPrefetchHit:
+      return "fault_prefetch_hit";
     case TraceEventKind::kEvictCleanDrop:
       return "evict_clean_drop";
     case TraceEventKind::kEvictCompressed:

@@ -26,6 +26,7 @@ enum class TraceEventKind : uint8_t {
   kFaultZeroFill = 0,
   kFaultFromCcache,
   kFaultFromSwap,
+  kFaultPrefetchHit,  // served from the decompress-ahead buffer
   // VM eviction dispositions; a/b unused except kEvictCompressed (a = compressed
   // size in bytes).
   kEvictCleanDrop,

@@ -7,6 +7,7 @@
 #ifndef COMPCACHE_VM_FRAME_SOURCE_H_
 #define COMPCACHE_VM_FRAME_SOURCE_H_
 
+#include <optional>
 #include <span>
 
 #include "vm/frame_pool.h"
@@ -20,6 +21,12 @@ class FrameSource {
   // Returns a zeroed frame, reclaiming from other consumers if necessary. Aborts
   // only if the machine is genuinely wedged (nothing reclaimable anywhere).
   virtual FrameId AllocateFrame() = 0;
+
+  // Returns a zeroed frame only if one is free right now — never reclaims.
+  // Speculative consumers (the decompress-ahead buffer) use this so that
+  // betting on a prediction can only spend idle memory, not steal live pages
+  // from the demand-driven consumers.
+  virtual std::optional<FrameId> TryAllocateFrame() = 0;
 
   virtual void FreeFrame(FrameId id) = 0;
 

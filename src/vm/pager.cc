@@ -48,7 +48,22 @@ PageEntry& Pager::EntryFor(PageKey key) {
   return segments_[key.segment]->page(key.page);
 }
 
+const PageEntry* Pager::PeekEntry(PageKey key) const {
+  if (key.segment >= segments_.size()) {
+    return nullptr;
+  }
+  const Segment& segment = *segments_[key.segment];
+  if (segment.torn_down() || key.page >= segment.num_pages()) {
+    return nullptr;
+  }
+  return &segment.page(key.page);
+}
+
 void Pager::DropStaleCopies(PageEntry& entry) {
+  if (prefetcher_ != nullptr) {
+    // Any speculative decompressed copy mirrors the copies dropped here.
+    prefetcher_->Invalidate(entry.key);
+  }
   if (entry.has_ccache_copy) {
     CC_ASSERT(ccache_ != nullptr);
     ccache_->Invalidate(entry.key);
@@ -95,6 +110,7 @@ void Pager::BindMetrics(MetricRegistry* registry) {
   gauge("vm.faults_zero_fill", &VmStats::faults_zero_fill);
   gauge("vm.faults_from_ccache", &VmStats::faults_from_ccache);
   gauge("vm.faults_from_swap", &VmStats::faults_from_swap);
+  gauge("vm.faults_prefetch_hit", &VmStats::faults_prefetch_hit);
   gauge("vm.coresidents_inserted", &VmStats::coresidents_inserted);
   gauge("vm.evictions", &VmStats::evictions);
   gauge("vm.evictions_clean_drop", &VmStats::evictions_clean_drop);
@@ -137,7 +153,25 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
   TraceEventKind fault_kind = TraceEventKind::kFaultZeroFill;
   PageState source = entry.state;
   bool lost = false;
+  bool prefetched = false;
   CC_ASSERT(source != PageState::kResident && "fault on resident page");
+
+  // Decompress-ahead short-circuit: a buffered speculative copy services the
+  // fault with a memory copy, skipping the codec and the backing store. The
+  // compressed/backing copies stay where they are, exactly as on the rung
+  // that originally produced the buffered image.
+  if (prefetcher_ != nullptr &&
+      (source == PageState::kCompressed || source == PageState::kSwapped)) {
+    if (const auto origin = prefetcher_->TryFill(entry.key, frame_data)) {
+      prefetched = true;
+      ++stats_.faults_prefetch_hit;
+      fault_kind = TraceEventKind::kFaultPrefetchHit;
+      entry.dirty = false;
+      if (*origin == FaultOrigin::kSwap) {
+        entry.has_backing_copy = true;
+      }
+    }
+  }
 
   if (source == PageState::kUntouched) {
     // Zero-fill. No copy exists anywhere, so the page is born dirty: eviction
@@ -146,7 +180,7 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
     entry.dirty = true;
   }
 
-  if (source == PageState::kCompressed) {
+  if (source == PageState::kCompressed && !prefetched) {
     CC_ASSERT(ccache_ != nullptr);
     const CcacheFaultResult hit = ccache_->FaultIn(entry.key, frame_data);
     CC_ASSERT(hit != CcacheFaultResult::kMiss);  // events keep state coherent
@@ -172,7 +206,7 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
     }
   }
 
-  if (source == PageState::kSwapped && !lost) {
+  if (source == PageState::kSwapped && !lost && !prefetched) {
     if (cswap_ != nullptr) {
       auto result = cswap_->ReadPage(entry.key, options_.insert_coresidents);
       if (result.status != IoStatus::kOk) {
@@ -236,7 +270,6 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
   entry.frame = frame;
   entry.age_ns = static_cast<uint64_t>(clock_->Now().nanos());
   lru_.PushMru(entry);
-  entry.pinned = false;
 
   const auto latency_ns = static_cast<uint64_t>((clock_->Now() - fault_start).nanos());
   if (fault_latency_ != nullptr) {
@@ -249,6 +282,23 @@ void Pager::ServiceFault(Segment& segment, PageEntry& entry, bool write) {
   (void)segment;
   (void)write;  // dirtying is handled by the caller after the fault completes
 
+  // Feed the predictor and let the prefetcher issue speculative work for the
+  // pages it expects next. The entry stays pinned across this: speculative
+  // frames come from the arbiter, and the reclamation cascade they trigger
+  // must never evict the very page being handed back to the app.
+  if (prefetcher_ != nullptr && !IsFileKey(entry.key)) {
+    FaultOrigin origin = FaultOrigin::kZeroFill;
+    if (prefetched) {
+      origin = FaultOrigin::kPrefetch;
+    } else if (fault_kind == TraceEventKind::kFaultFromCcache) {
+      origin = FaultOrigin::kCcache;
+    } else if (fault_kind == TraceEventKind::kFaultFromSwap) {
+      origin = FaultOrigin::kSwap;
+    }
+    prefetcher_->OnFault(entry.key, origin);
+  }
+  entry.pinned = false;
+
   if (post_fault_hook_) {
     post_fault_hook_();
   }
@@ -260,6 +310,9 @@ void Pager::MarkPageLost(PageEntry& entry, std::span<uint8_t> frame_data) {
   // preserves the zeros. Only the owning segment is poisoned; the machine and
   // every other segment keep running.
   std::memset(frame_data.data(), 0, frame_data.size());
+  if (prefetcher_ != nullptr) {
+    prefetcher_->Invalidate(entry.key);
+  }
   if (entry.has_ccache_copy) {
     CC_ASSERT(ccache_ != nullptr);
     ccache_->Invalidate(entry.key);
@@ -393,6 +446,9 @@ void Pager::TeardownSegment(Segment& segment) {
   for (uint32_t p = 0; p < segment.num_pages(); ++p) {
     PageEntry& e = segment.page(p);
     CC_EXPECTS(!e.pinned);  // teardown mid-fault would orphan the frame
+    if (prefetcher_ != nullptr) {
+      prefetcher_->Invalidate(e.key);
+    }
     if (e.state == PageState::kResident) {
       lru_.Remove(e);
       frames_->FreeFrame(e.frame);
@@ -514,6 +570,11 @@ void Pager::OnEntryLost(PageKey key) {
   CC_ASSERT(entry.has_ccache_copy);
   CC_ASSERT(!entry.has_backing_copy);
   entry.has_ccache_copy = false;
+  if (prefetcher_ != nullptr) {
+    // A buffered speculative copy would let the fault path serve a "clean"
+    // resident page with no copy anywhere behind it; drop it with the entry.
+    prefetcher_->Invalidate(key);
+  }
   if (entry.state == PageState::kResident) {
     // The resident copy is intact and now the only one; keep it evictable but
     // make sure eviction preserves it.

@@ -31,6 +31,7 @@
 #include "util/trace.h"
 #include "vm/frame_source.h"
 #include "vm/page_key.h"
+#include "vm/prefetcher.h"
 
 namespace compcache {
 
@@ -120,6 +121,7 @@ struct VmStats {
   uint64_t faults_zero_fill = 0;
   uint64_t faults_from_ccache = 0;   // served by in-memory decompression
   uint64_t faults_from_swap = 0;     // required backing-store I/O
+  uint64_t faults_prefetch_hit = 0;  // served from the decompress-ahead buffer
   uint64_t coresidents_inserted = 0;
   uint64_t evictions = 0;
   uint64_t evictions_clean_drop = 0;  // frame dropped, copy already existed
@@ -186,6 +188,15 @@ class Pager : public CcacheEvents {
   // cleaner here).
   void SetPostFaultHook(std::function<void()> hook) { post_fault_hook_ = std::move(hook); }
 
+  // Wires the decompress-ahead prefetcher (nullptr disables). The fault path
+  // consults it before the ccache/swap ladder and feeds it the fault stream.
+  void SetPrefetcher(PagePrefetcher* prefetcher) { prefetcher_ = prefetcher; }
+
+  // Read-only page lookup for the prefetch engine: nullptr when the key does
+  // not name a live page (segment out of range or torn down, page index out
+  // of bounds).
+  const PageEntry* PeekEntry(PageKey key) const;
+
   // --- memory arbitration interface ---
   uint64_t OldestAge() const;
   bool ReleaseOldest();
@@ -236,6 +247,7 @@ class Pager : public CcacheEvents {
   CompressionCache* ccache_ = nullptr;
   CompressedSwapBackend* cswap_ = nullptr;
   FixedSwapLayout* fixed_swap_ = nullptr;
+  PagePrefetcher* prefetcher_ = nullptr;
 
   std::vector<std::unique_ptr<Segment>> segments_;
   LruList<PageEntry> lru_;  // resident pages, LRU first

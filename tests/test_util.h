@@ -60,6 +60,7 @@ class TestFrameSource : public FrameSource {
     CC_ASSERT(frame.has_value() && "test frame pool exhausted");
     return *frame;
   }
+  std::optional<FrameId> TryAllocateFrame() override { return pool_.TryAllocate(); }
   void FreeFrame(FrameId id) override { pool_.Free(id); }
   std::span<uint8_t> FrameData(FrameId id) override { return pool_.Data(id); }
 
