@@ -55,6 +55,19 @@ Schema (schema_version 1):
                         synchronous baseline (pipeline.curve.pipelined_ms <
                         pipeline.curve.sync_ms), at least one write-behind
                         batch, and at least one speculative issue
+    kv.*                KV service workload counters; must be non-negative,
+                        and a snapshot that carries them must conserve
+                        requests: kv.gets + kv.sets == kv.requests ==
+                        kv.request_ns.count, kv.validation_failures == 0
+    swap.clustered.coresidents_dropped  corrupt-coresident discard tally;
+                        must be non-negative when present
+    fig6_service        must report every backend x {sync, pipelined} cell
+                        with a sane tail (0 < p50 <= p99 <= p999), exact
+                        request conservation (gets + sets == requests, all
+                        served), positive throughput, zero validation
+                        failures; the headline knee pair must show the
+                        pipelined machine's p99 no worse than sync
+                        (service.pipelined_p99_ns <= service.sync_p99_ns)
 """
 
 import json
@@ -65,7 +78,18 @@ import sys
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 TOP_KEYS = {"bench", "schema_version", "config", "results", "metrics"}
 # Monotonic counter families: a negative value can only be a bug.
-COUNTER_PREFIXES = ("fault.", "retry.", "recovery.", "pipeline.", "prefetch.")
+COUNTER_PREFIXES = ("fault.", "retry.", "recovery.", "pipeline.", "prefetch.", "kv.")
+# Counter gauges that are not part of a whole-family prefix but must still
+# never go negative when present.
+COUNTER_METRICS = ("swap.clustered.coresidents_dropped", "swap.lfs.coresidents_dropped")
+# Every backend x mode cell fig6_service must cover, and the numeric fields
+# each of its rows must carry.
+FIG6_BACKENDS = ("clustered", "fixed_compressed", "lfs")
+FIG6_MODES = ("sync", "pipelined")
+FIG6_ROW_FIELDS = (
+    "memory_mb", "requests", "gets", "sets", "p50_ns", "p99_ns", "p999_ns",
+    "ops_per_sec", "validation_failures",
+)
 # The full crash-recovery metric set crash_soak must publish (grid totals;
 # see bench/crash_soak.cc and RecoveryStats in src/core/machine.h).
 CRASH_SOAK_METRICS = (
@@ -111,7 +135,8 @@ def is_number(v):
 def is_counter_metric(name):
     # Benches may prefix a machine label (e.g. "cc_rw.fault.pages_lost").
     return name.startswith(COUNTER_PREFIXES) or any(
-        f".{p}" in name for p in COUNTER_PREFIXES)
+        f".{p}" in name for p in COUNTER_PREFIXES) or any(
+        name == m or name.endswith(f".{m}") for m in COUNTER_METRICS)
 
 
 def validate(path):
@@ -304,6 +329,80 @@ def validate(path):
         if is_number(inflight) and inflight != 0:
             err(f'metrics["pipeline.inflight"] must be 0 after a drain, '
                 f"got {inflight}")
+
+    # KV service conservation: any snapshot carrying the kv.* family must
+    # account every request exactly once in both the counters and the latency
+    # histogram, and must have served all of them correctly.
+    if isinstance(metrics, dict) and "kv.requests" in metrics:
+        kv = [metrics.get(k) for k in ("kv.gets", "kv.sets", "kv.requests")]
+        if all(is_number(v) for v in kv) and kv[0] + kv[1] != kv[2]:
+            err(f"kv.gets + kv.sets = {kv[0] + kv[1]} but kv.requests = "
+                f"{kv[2]} -- every request is exactly one get or one set")
+        hist_count = metrics.get("kv.request_ns.count")
+        if is_number(hist_count) and hist_count != metrics["kv.requests"]:
+            err(f"kv.request_ns.count = {hist_count} but kv.requests = "
+                f"{metrics['kv.requests']} -- every request must observe "
+                f"exactly one latency sample")
+        vf = metrics.get("kv.validation_failures")
+        if is_number(vf) and vf != 0:
+            err(f'metrics["kv.validation_failures"] must be 0 -- a get '
+                f"returned a corrupted or stale object header, got {vf}")
+
+    if bench == "fig6_service":
+        if isinstance(results, list):
+            cells = set()
+            for i, row in enumerate(results):
+                if not isinstance(row, dict):
+                    continue
+                backend, mode = row.get("backend"), row.get("mode")
+                if isinstance(backend, str) and isinstance(mode, str):
+                    cells.add((backend, mode))
+                for field in FIG6_ROW_FIELDS:
+                    if not is_number(row.get(field)):
+                        err(f'results[{i}] must carry numeric "{field}"')
+                tail = [row.get(k) for k in ("p50_ns", "p99_ns", "p999_ns")]
+                if all(is_number(v) for v in tail):
+                    if tail[0] <= 0:
+                        err(f"results[{i}] p50_ns must be positive, got {tail[0]}")
+                    if not tail[0] <= tail[1] <= tail[2]:
+                        err(f"results[{i}] latency tail must be monotone: "
+                            f"p50 {tail[0]} <= p99 {tail[1]} <= p999 {tail[2]}")
+                reqs = [row.get(k) for k in ("gets", "sets", "requests")]
+                if all(is_number(v) for v in reqs):
+                    if reqs[2] <= 0:
+                        err(f"results[{i}] served no requests")
+                    if reqs[0] + reqs[1] != reqs[2]:
+                        err(f"results[{i}] gets + sets = {reqs[0] + reqs[1]} "
+                            f"but requests = {reqs[2]}")
+                if is_number(row.get("ops_per_sec")) and row["ops_per_sec"] <= 0:
+                    err(f"results[{i}] ops_per_sec must be positive, got "
+                        f"{row['ops_per_sec']}")
+                if is_number(row.get("validation_failures")) and \
+                        row["validation_failures"] != 0:
+                    err(f"results[{i}] carries {row['validation_failures']} "
+                        f"validation failure(s)")
+            for backend in FIG6_BACKENDS:
+                for mode in FIG6_MODES:
+                    if (backend, mode) not in cells:
+                        err(f"fig6_service must report a ({backend}, {mode}) "
+                            f"cell -- the backend x mode grid is incomplete")
+        if isinstance(metrics, dict):
+            sync_p99 = metrics.get("service.sync_p99_ns")
+            piped_p99 = metrics.get("service.pipelined_p99_ns")
+            if not (is_number(sync_p99) and sync_p99 > 0):
+                err('fig6_service must publish positive '
+                    'metrics["service.sync_p99_ns"]')
+            if not (is_number(piped_p99) and piped_p99 > 0):
+                err('fig6_service must publish positive '
+                    'metrics["service.pipelined_p99_ns"]')
+            if is_number(sync_p99) and is_number(piped_p99) and \
+                    piped_p99 > sync_p99:
+                err(f"fig6_service pipelined p99 must be no worse than sync "
+                    f"at the headline memory pressure, got {piped_p99} > "
+                    f"{sync_p99}")
+            if "kv.requests" not in metrics:
+                err("fig6_service snapshot must include the kv.* service "
+                    "counters from its headline cell")
 
     if bench == "ablation_pipeline" and isinstance(metrics, dict):
         sync_ms = metrics.get("pipeline.curve.sync_ms")

@@ -1,0 +1,139 @@
+#include "apps/zipfian.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace compcache {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_keys, double s)
+    : num_keys_(num_keys), s_(s) {
+  CC_EXPECTS(num_keys_ > 0);
+  CC_EXPECTS(s_ > 0.0 && s_ < 1.0);
+  for (uint64_t i = 1; i <= num_keys_; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), s_);
+  }
+  theta_half_ = std::pow(0.5, s_);
+  alpha_ = 1.0 / (1.0 - s_);
+  const double zeta2 = 1.0 + theta_half_;
+  const double n = static_cast<double>(num_keys_);
+  eta_ = (1.0 - std::pow(2.0 / n, 1.0 - s_)) / (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfianGenerator::Sample(Rng& rng) const {
+  if (num_keys_ == 1) {
+    (void)rng.NextDouble();  // constant draw count per call
+    return 0;
+  }
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + theta_half_) {
+    return 1;
+  }
+  const double n = static_cast<double>(num_keys_);
+  const auto rank = static_cast<uint64_t>(n * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= num_keys_ ? num_keys_ - 1 : rank;
+}
+
+KvWorkload::KvWorkload(KvWorkloadOptions options)
+    : options_(options),
+      zipf_(options.num_keys, options.zipf_s),
+      rng_(options.seed) {
+  CC_EXPECTS(options_.get_fraction >= 0.0 && options_.get_fraction <= 1.0);
+  CC_EXPECTS(options_.min_value_bytes > 0 &&
+             options_.min_value_bytes <= options_.max_value_bytes);
+  key_mask_ = std::bit_ceil(options_.num_keys) - 1;
+  key_mult_ = rng_.Next() | 1;  // odd: a bijection on any power-of-two domain
+  key_add_ = rng_.Next();
+}
+
+uint64_t KvWorkload::KeyForRank(uint64_t rank) const {
+  const uint64_t n = options_.num_keys;
+  if (n <= 2) {
+    return rank;
+  }
+  // Affine step + xorshift is a bijection on [0, mask+1); cycle-walk until the
+  // image lands inside [0, n). Expected iterations < 2.
+  uint64_t x = rank;
+  do {
+    x = (x * key_mult_ + key_add_) & key_mask_;
+    x ^= x >> 7;
+  } while (x >= n);
+  return x;
+}
+
+uint32_t DrawLogNormalBytes(Rng& rng, const KvWorkloadOptions& options) {
+  // Standard normal via Irwin-Hall (sum of 12 uniforms minus 6): avoids the
+  // implementation-defined <random> distributions while staying close enough
+  // to log-normal for a size model.
+  double z = -6.0;
+  for (int i = 0; i < 12; ++i) {
+    z += rng.NextDouble();
+  }
+  const double raw = std::exp(options.value_log_mean + options.value_log_sigma * z);
+  if (raw <= static_cast<double>(options.min_value_bytes)) {
+    return options.min_value_bytes;
+  }
+  if (raw >= static_cast<double>(options.max_value_bytes)) {
+    return options.max_value_bytes;
+  }
+  return static_cast<uint32_t>(raw);
+}
+
+uint32_t KvWorkload::DrawValueBytes() { return DrawLogNormalBytes(rng_, options_); }
+
+double KvWorkload::RateMultiplier(uint64_t index) const {
+  if (options_.diurnal_period_requests == 0 || options_.diurnal_amplitude <= 0.0) {
+    return 1.0;
+  }
+  const double frac = static_cast<double>(index % options_.diurnal_period_requests) /
+                      static_cast<double>(options_.diurnal_period_requests);
+  const double tri = 1.0 - std::abs(2.0 * frac - 1.0);  // 0 at trough, 1 at peak
+  return 1.0 + options_.diurnal_amplitude * tri;
+}
+
+KvRequest KvWorkload::Next() {
+  const uint64_t i = index_++;
+  KvRequest req;
+
+  bool in_flash = false;
+  if (options_.flash_period_requests > 0 && options_.flash_len_requests > 0) {
+    const uint64_t window = i / options_.flash_period_requests;
+    if (i % options_.flash_period_requests < options_.flash_len_requests) {
+      if (window != flash_window_) {
+        flash_window_ = window;
+        flash_key_ = KeyForRank(zipf_.Sample(rng_));
+      }
+      in_flash = true;
+    }
+  }
+
+  req.key = KeyForRank(zipf_.Sample(rng_));
+  if (in_flash && rng_.Chance(options_.flash_fraction)) {
+    req.key = flash_key_;
+    req.flash = true;
+  }
+  req.is_get = rng_.NextDouble() < options_.get_fraction;
+  if (!req.is_get) {
+    req.value_bytes = DrawValueBytes();
+  }
+
+  // Open-loop arrival: exponential gap around the diurnal- and flash-modulated
+  // mean. A flash crowd doubles the offered load for its window.
+  double rate = RateMultiplier(i);
+  if (in_flash) {
+    rate *= 2.0;
+  }
+  const double mean_gap = static_cast<double>(options_.mean_interarrival.nanos()) / rate;
+  const double u = rng_.NextDouble();
+  const double gap = -std::log(1.0 - u) * mean_gap;
+  next_arrival_ns_ += gap < 1.0 ? 1 : static_cast<uint64_t>(gap);
+  req.arrival_ns = next_arrival_ns_;
+  return req;
+}
+
+}  // namespace compcache

@@ -47,6 +47,11 @@ void ClusteredSwapLayout::BindMetrics(MetricRegistry* registry) {
         &ClusteredSwapStats::coresident_pages_returned);
   gauge("swap.clustered.readahead_blocks_read",
         &ClusteredSwapStats::readahead_blocks_read);
+  // Base-class counter (bumped when a coresident fails its CRC and is not
+  // returned); published here so silent integrity drops are observable.
+  registry->RegisterCounterGauge("swap.clustered.coresidents_dropped", [this] {
+    return static_cast<double>(coresidents_dropped());
+  });
   registry->RegisterGauge("swap.clustered.live_pages",
                           [this] { return static_cast<double>(locations_.size()); });
   registry->RegisterGauge("swap.clustered.free_blocks",

@@ -782,6 +782,10 @@ void LfsSwapLayout::BindMetrics(MetricRegistry* registry) {
   gauge("swap.lfs.live_pages_copied", &LfsSwapStats::live_pages_copied);
   gauge("swap.lfs.reads_from_buffer", &LfsSwapStats::reads_from_buffer);
   gauge("swap.lfs.checkpoints_written", &LfsSwapStats::checkpoints_written);
+  // Base-class counter, same drop path as the clustered layout's.
+  registry->RegisterCounterGauge("swap.lfs.coresidents_dropped", [this] {
+    return static_cast<double>(coresidents_dropped());
+  });
   registry->RegisterGauge("swap.lfs.free_segments",
                           [this] { return static_cast<double>(free_segments_.size()); });
 }

@@ -121,8 +121,8 @@ LatencyHistogram& MetricRegistry::GetHistogram(const std::string& name) {
     CheckNameFree(name, nullptr);
     HistogramEntry entry;
     entry.hist = std::make_unique<LatencyHistogram>();
-    entry.field_names = {name + ".count", name + ".mean", name + ".min", name + ".max",
-                         name + ".p50",   name + ".p90",  name + ".p99"};
+    entry.field_names = {name + ".count", name + ".mean", name + ".min",  name + ".max",
+                         name + ".p50",   name + ".p90",  name + ".p99",  name + ".p999"};
     it = histograms_.emplace(name, std::move(entry)).first;
   }
   return *it->second.hist;
@@ -177,6 +177,8 @@ bool MetricRegistry::Lookup(const std::string& name, double* out) const {
     *out = h->Percentile(90);
   } else if (field == "p99") {
     *out = h->Percentile(99);
+  } else if (field == "p999") {
+    *out = h->Percentile(99.9);
   } else {
     return false;
   }
@@ -185,7 +187,7 @@ bool MetricRegistry::Lookup(const std::string& name, double* out) const {
 
 std::vector<std::pair<std::string, double>> MetricRegistry::Snapshot() const {
   std::vector<std::pair<std::string, double>> out;
-  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 7);
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 8);
   for (const auto& [name, counter] : counters_) {
     out.emplace_back(name, static_cast<double>(counter->value()));
   }
@@ -202,6 +204,7 @@ std::vector<std::pair<std::string, double>> MetricRegistry::Snapshot() const {
     out.emplace_back(f[4], h.Percentile(50));
     out.emplace_back(f[5], h.Percentile(90));
     out.emplace_back(f[6], h.Percentile(99));
+    out.emplace_back(f[7], h.Percentile(99.9));
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });

@@ -12,7 +12,7 @@
 // Naming convention: dotted lower_snake paths, subsystem first —
 //   vm.faults, ccache.pages_kept, swap.clustered.batches_written,
 //   disk.read_ops, bcache.hits, arbiter.ccache.reclaims, clock.io_ns.
-// Histograms flatten into <name>.count/.mean/.min/.max/.p50/.p90/.p99 in
+// Histograms flatten into <name>.count/.mean/.min/.max/.p50/.p90/.p99/.p999 in
 // snapshots. DESIGN.md documents the full metric list.
 #ifndef COMPCACHE_UTIL_METRICS_H_
 #define COMPCACHE_UTIL_METRICS_H_
@@ -139,7 +139,7 @@ class MetricRegistry {
   size_t num_histograms() const { return histograms_.size(); }
 
   // Flat name -> value view of everything, histograms expanded into
-  // .count/.mean/.min/.max/.p50/.p90/.p99. Sorted by name (deterministic).
+  // .count/.mean/.min/.max/.p50/.p90/.p99/.p999. Sorted by name (deterministic).
   // Returned as a vector so the whole snapshot is one reserved allocation;
   // histogram field names are built once at registration, not per snapshot.
   std::vector<std::pair<std::string, double>> Snapshot() const;
@@ -154,7 +154,7 @@ class MetricRegistry {
   // when the histogram is created so Snapshot() never rebuilds them.
   struct HistogramEntry {
     std::unique_ptr<LatencyHistogram> hist;
-    std::array<std::string, 7> field_names;
+    std::array<std::string, 8> field_names;
   };
 
   std::map<std::string, std::unique_ptr<Counter>> counters_;

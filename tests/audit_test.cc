@@ -489,6 +489,54 @@ TEST(AuditTest, ResetStatsZeroesEveryCounterMetricInTheRegistry) {
   }
 }
 
+// PR-8's pipeline-era counters (disk queue waits, write-behind batches,
+// decompress-ahead prefetching) must obey the same reset parity as everything
+// older. This variant of the sweep runs a pipelined clustered machine so those
+// metrics exist and are non-trivial before the reset.
+TEST(AuditTest, ResetStatsZeroesPipelineEraCounters) {
+  MachineConfig config = SmallConfig(true);
+  config.compressed_swap = CompressedSwapKind::kClustered;
+  config.pipeline.enabled = true;
+  config.pipeline.write_behind_depth = 4;
+  config.pipeline.prefetch = true;
+  config.pipeline.prefetch_buffer_pages = 8;
+  config.pipeline.prefetch_per_fault = 2;
+  config.pipeline.fault_batch_window = 2;
+  Machine machine(config);
+  Heap heap = machine.NewHeap(4 * kMiB);
+  Thrash(machine, heap, 800);
+  // Quiesce in-flight batches and the prefetch buffer so the conservation
+  // rules (issued == hits + misses, inflight == 0) hold over the counters the
+  // sweep reads.
+  machine.DrainPipeline();
+
+  const auto& names = machine.metrics().counter_gauge_names();
+  for (const char* name :
+       {"disk.queue_wait_ns", "pipeline.batches_submitted", "pipeline.batches_completed",
+        "pipeline.pages_submitted", "pipeline.barrier_stalls", "pipeline.backpressure_stalls",
+        "pipeline.stall_ns", "pipeline.deferred_io_ns", "prefetch.issued", "prefetch.hits",
+        "prefetch.misses", "prefetch.batched", "prefetch.wait_ready_ns",
+        "prefetch.background_ns", "swap.clustered.coresidents_dropped"}) {
+    EXPECT_TRUE(names.contains(name)) << name << " missing from the registry";
+  }
+  ASSERT_GT(machine.metrics().GaugeValue("pipeline.batches_submitted"), 0.0);
+  ASSERT_GT(machine.metrics().GaugeValue("prefetch.issued"), 0.0);
+
+  machine.ResetStats();
+  for (const std::string& name : names) {
+    EXPECT_EQ(machine.metrics().GaugeValue(name), 0.0) << name << " survived ResetStats";
+  }
+  for (const std::string& name : machine.metrics().HistogramNames()) {
+    EXPECT_EQ(machine.metrics().FindHistogram(name)->count(), 0u)
+        << name << " survived ResetStats";
+  }
+
+  // Still a working, auditable machine after the reset.
+  Thrash(machine, heap, 200, /*seed=*/9);
+  machine.DrainPipeline();
+  EXPECT_EQ(machine.RunAudit(), 0u);
+}
+
 TEST(AuditTest, ResetStatsPreservesStateGauges) {
   Machine machine(SmallConfig(true));
   Heap heap = machine.NewHeap(3 * kMiB);

@@ -363,6 +363,51 @@ TEST(MachineFaultTest, SortSurvivesLatentCorruption) {
   machine.ccache()->CheckInvariants();
 }
 
+// Direct coverage for SortOptions::tolerate_data_loss (previously exercised
+// only through audit_soak --pipeline): when injected unrecoverable disk errors
+// zero file blocks out from under the word scan, tolerate mode must neither
+// trip the word-count assertion nor corrupt the words that survive.
+TEST(MachineFaultTest, SortTolerateDataLossSortsWhatSurvives) {
+  SortOptions options;
+  options.variant = SortVariant::kRandom;
+  options.text_bytes = 1 * kMiB;
+  options.dictionary_words = 2000;
+
+  // Baseline word census from a clean run with the same seed.
+  Machine clean(SmallConfig(true, 2 * kMiB));
+  TextSort clean_sort(options);
+  clean_sort.Run(clean);
+  ASSERT_TRUE(clean_sort.result().verified_sorted);
+  const uint64_t clean_words = clean_sort.result().words;
+  ASSERT_GT(clean_words, 0u);
+
+  // Generous memory keeps the heap resident, so the injected read errors land
+  // on file blocks (the tolerate path) rather than swapped pages.
+  MachineConfig config = SmallConfig(true, 6 * kMiB);
+  config.fault_injection.enabled = true;
+  config.fault_injection.seed = 31;
+  // High enough that some reads exhaust the 4-attempt retry budget and
+  // surface deterministic zero blocks (0.35^4 ~ 1.5% of file reads).
+  config.fault_injection.disk_read_error_rate = 0.35;
+  Machine machine(config);
+  machine.auditor().set_abort_on_violation(false);
+
+  options.tolerate_data_loss = true;
+  TextSort app(options);
+  app.Run(machine);  // must not CC_ASSERT on the truncated census
+
+  // Preconditions: the injection really was unrecoverable somewhere, and no
+  // heap page was lost (so sortedness of the survivors is a hard requirement).
+  ASSERT_GT(machine.disk().stats().reads_exhausted, 0u);
+  ASSERT_EQ(machine.pager().stats().pages_lost, 0u);
+  // Loss only ever shrinks the census, and the survivors are genuinely
+  // sorted — the verify pass re-reads every adjacent pair through the heap.
+  EXPECT_LE(app.result().words, clean_words);
+  EXPECT_GT(app.result().words, 0u);
+  EXPECT_TRUE(app.result().verified_sorted);
+  machine.pager().CheckInvariants();
+}
+
 TEST(MachineFaultTest, ThrasherDegradesGraduallyAsErrorRateRises) {
   const auto run = [](double rate) {
     MachineConfig config = SmallConfig(true, 2 * kMiB);

@@ -1,0 +1,207 @@
+// Tests for the Zipfian request generator and the KV object-cache server:
+// distribution sanity, determinism, permutation correctness, end-to-end
+// request accounting on a pressured machine, backend-independence of the
+// served data, and composition with the scheduler and the async pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "apps/kv_server.h"
+#include "apps/thrasher.h"
+#include "apps/zipfian.h"
+#include "core/machine.h"
+#include "proc/scheduler.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace compcache {
+namespace {
+
+TEST(ZipfianTest, SkewConcentratesOnLowRanks) {
+  ZipfianGenerator zipf(1000, 0.99);
+  Rng rng(7);
+  std::vector<uint64_t> counts(1000, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t rank = zipf.Sample(rng);
+    ASSERT_LT(rank, 1000u);
+    ++counts[rank];
+  }
+  // Rank 0 of a 1000-key Zipf(0.99) draws ~9% of the traffic; uniform would
+  // give 0.1%. Loose bounds keep the test seed-robust.
+  EXPECT_GT(counts[0], static_cast<uint64_t>(draws) / 25);
+  EXPECT_GT(counts[0], counts[500] * 5);
+  // The head dominates: top 10 ranks take more than a quarter of the draws.
+  uint64_t head = 0;
+  for (int i = 0; i < 10; ++i) {
+    head += counts[i];
+  }
+  EXPECT_GT(head, static_cast<uint64_t>(draws) / 4);
+}
+
+TEST(ZipfianTest, SamplingIsDeterministic) {
+  ZipfianGenerator zipf(4096, 0.9);
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.Sample(a), zipf.Sample(b));
+  }
+}
+
+TEST(ZipfianTest, KeyPermutationIsABijection) {
+  KvWorkloadOptions options;
+  options.num_keys = 1000;  // deliberately not a power of two
+  KvWorkload workload(options);
+  std::set<uint64_t> seen;
+  for (uint64_t rank = 0; rank < options.num_keys; ++rank) {
+    const uint64_t key = workload.KeyForRank(rank);
+    ASSERT_LT(key, options.num_keys);
+    seen.insert(key);
+  }
+  EXPECT_EQ(seen.size(), options.num_keys);
+}
+
+TEST(ZipfianTest, WorkloadStreamIsWellFormedAndDeterministic) {
+  KvWorkloadOptions options;
+  options.num_keys = 512;
+  options.get_fraction = 0.8;
+  options.diurnal_period_requests = 1000;
+  options.diurnal_amplitude = 1.0;
+  options.flash_period_requests = 800;
+  options.flash_len_requests = 200;
+  KvWorkload a(options);
+  KvWorkload b(options);
+
+  uint64_t last_arrival = 0;
+  uint64_t gets = 0;
+  uint64_t flash = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const KvRequest ra = a.Next();
+    const KvRequest rb = b.Next();
+    EXPECT_EQ(ra.key, rb.key);
+    EXPECT_EQ(ra.is_get, rb.is_get);
+    EXPECT_EQ(ra.value_bytes, rb.value_bytes);
+    EXPECT_EQ(ra.arrival_ns, rb.arrival_ns);
+
+    ASSERT_LT(ra.key, options.num_keys);
+    EXPECT_GT(ra.arrival_ns, last_arrival);  // strictly increasing open loop
+    last_arrival = ra.arrival_ns;
+    if (ra.is_get) {
+      ++gets;
+      EXPECT_EQ(ra.value_bytes, 0u);
+    } else {
+      EXPECT_GE(ra.value_bytes, options.min_value_bytes);
+      EXPECT_LE(ra.value_bytes, options.max_value_bytes);
+    }
+    flash += ra.flash ? 1 : 0;
+  }
+  // ~80% gets, and the configured flash windows really produced hot traffic.
+  EXPECT_GT(gets, static_cast<uint64_t>(n) * 7 / 10);
+  EXPECT_LT(gets, static_cast<uint64_t>(n) * 9 / 10);
+  EXPECT_GT(flash, 0u);
+}
+
+KvServerOptions SmallKvOptions() {
+  KvServerOptions options;
+  options.workload.num_keys = 1024;
+  options.workload.flash_period_requests = 1000;
+  options.workload.flash_len_requests = 100;
+  options.workload.diurnal_period_requests = 2000;
+  options.slot_bytes = 2048;  // 2 MiB object heap
+  options.num_requests = 3000;
+  return options;
+}
+
+TEST(KvServerTest, ServesEveryRequestAndAccountsThemOnce) {
+  Machine machine(SmallConfig(true, 1 * kMiB));  // pressured: heap > memory
+  KvServer server(SmallKvOptions());
+  server.Run(machine);
+
+  const KvServerResult& r = server.result();
+  EXPECT_EQ(r.requests, 3000u);
+  EXPECT_EQ(r.gets + r.sets, r.requests);
+  EXPECT_GT(r.gets, 0u);
+  EXPECT_GT(r.sets, 0u);
+  EXPECT_GT(r.flash_requests, 0u);
+  EXPECT_EQ(r.validation_failures, 0u);
+  EXPECT_EQ(r.latency.count(), r.requests);
+  EXPECT_GT(r.elapsed.nanos(), 0);
+  EXPECT_LE(r.latency.Percentile(50), r.latency.Percentile(99));
+  EXPECT_LE(r.latency.Percentile(99), r.latency.Percentile(99.9));
+
+  // Registry view agrees with the app-local result.
+  MetricRegistry& m = machine.metrics();
+  EXPECT_EQ(m.FindCounter("kv.requests")->value(), r.requests);
+  EXPECT_EQ(m.FindCounter("kv.gets")->value(), r.gets);
+  EXPECT_EQ(m.FindCounter("kv.sets")->value(), r.sets);
+  EXPECT_EQ(m.FindCounter("kv.validation_failures")->value(), 0u);
+  EXPECT_EQ(m.FindHistogram("kv.request_ns")->count(), r.requests);
+  // The server really paged: under 1 MiB of memory the 2 MiB heap must fault.
+  EXPECT_GT(machine.pager().stats().faults, 0u);
+  machine.pager().CheckInvariants();
+}
+
+TEST(KvServerTest, HeapContentsAreBackendIndependent) {
+  // The served data is a pure function of the options: byte-identical heaps
+  // across swap backends, like the differential checker pins for the other
+  // apps.
+  uint64_t hashes[3];
+  size_t i = 0;
+  for (const CompressedSwapKind kind :
+       {CompressedSwapKind::kClustered, CompressedSwapKind::kFixedOffset,
+        CompressedSwapKind::kLfs}) {
+    MachineConfig config = SmallConfig(true, 1 * kMiB);
+    config.compressed_swap = kind;
+    Machine machine(config);
+    KvServer server(SmallKvOptions());
+    server.Run(machine);
+    EXPECT_EQ(server.result().validation_failures, 0u);
+    hashes[i++] = HashTouchedPages(machine);
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
+}
+
+TEST(KvServerTest, ComposesWithSchedulerAndNoisyNeighbor) {
+  Machine machine(SmallConfig(true, 2 * kMiB));
+  Scheduler sched(machine);
+  sched.Spawn("kv", std::make_unique<KvServer>(SmallKvOptions()));
+  ThrasherOptions thrash;
+  thrash.address_space_bytes = 1 * kMiB;
+  thrash.write = true;
+  thrash.passes = 1;
+  sched.Spawn("thrash", std::make_unique<Thrasher>(thrash));
+  sched.RunToCompletion();
+
+  EXPECT_EQ(machine.metrics().FindCounter("kv.requests")->value(), 3000u);
+  EXPECT_EQ(machine.metrics().FindCounter("kv.validation_failures")->value(), 0u);
+  machine.pager().CheckInvariants();
+}
+
+TEST(KvServerTest, RunsOnThePipelinedMachine) {
+  MachineConfig config = SmallConfig(true, 1 * kMiB);
+  config.pipeline.enabled = true;
+  config.pipeline.write_behind_depth = 4;
+  config.pipeline.prefetch = true;
+  config.pipeline.fault_batch_window = 2;
+  Machine machine(config);
+  KvServer server(SmallKvOptions());
+  server.Run(machine);
+  machine.DrainPipeline();
+
+  EXPECT_EQ(server.result().requests, 3000u);
+  EXPECT_EQ(server.result().validation_failures, 0u);
+  // Pipeline conservation over the published counters after the drain.
+  const MetricRegistry& m = machine.metrics();
+  EXPECT_EQ(m.GaugeValue("prefetch.issued"),
+            m.GaugeValue("prefetch.hits") + m.GaugeValue("prefetch.misses"));
+  EXPECT_EQ(m.GaugeValue("pipeline.inflight"), 0.0);
+  EXPECT_EQ(machine.RunAudit(), 0u);
+}
+
+}  // namespace
+}  // namespace compcache

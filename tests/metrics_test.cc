@@ -82,10 +82,18 @@ TEST(MetricRegistryTest, SnapshotFlattensEverything) {
   EXPECT_FALSE(std::isnan(at("c.hist.p50")));
   EXPECT_FALSE(std::isnan(at("c.hist.p90")));
   EXPECT_FALSE(std::isnan(at("c.hist.p99")));
+  EXPECT_FALSE(std::isnan(at("c.hist.p999")));
+  // Percentiles are non-decreasing in p (the tail-latency report relies on
+  // p50 <= p99 <= p999).
+  EXPECT_LE(at("c.hist.p50"), at("c.hist.p99"));
+  EXPECT_LE(at("c.hist.p99"), at("c.hist.p999"));
 
   // Histogram sub-fields resolve through Lookup as well.
   double out = 0;
   ASSERT_TRUE(registry.Lookup("c.hist.p99", &out));
+  EXPECT_GE(out, 10.0);
+  EXPECT_LE(out, 20.0);
+  ASSERT_TRUE(registry.Lookup("c.hist.p999", &out));
   EXPECT_GE(out, 10.0);
   EXPECT_LE(out, 20.0);
 

@@ -8,6 +8,8 @@
 #include "swap/fixed_swap.h"
 #include "swap/lfs_swap.h"
 #include "tests/test_util.h"
+#include "util/checksum.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -285,6 +287,89 @@ TEST_F(SwapTest, ManyBatchesStressWithShadow) {
       ASSERT_TRUE(shadow.contains(co.key.page));
       EXPECT_EQ(co.bytes, shadow.at(co.key.page));
     }
+  }
+}
+
+TEST_F(SwapTest, ClusteredCorruptCoresidentIsDroppedAndCounted) {
+  ClusteredSwapLayout swap(&fs_);
+  MetricRegistry registry;
+  swap.BindMetrics(&registry);
+
+  // Four single-fragment pages sharing one block, each with a stored CRC.
+  std::vector<SwapPageImage> batch;
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto img = MakeImage(PageKey{0, i}, 900, 700 + i);
+    img.checksum = Crc32(img.bytes);
+    batch.push_back(std::move(img));
+  }
+  swap.WriteBatch(batch);
+
+  // Corrupt page 2's fragment on disk (fragment i sits at offset i * 1 KB).
+  const FileId file = fs_.OpenOrCreate("cswap");
+  const std::vector<uint8_t> garbage(16, 0xAB);
+  ASSERT_EQ(fs_.Write(file, 2 * kSwapFragmentSize + 64, garbage), IoStatus::kOk);
+
+  // A demand read of page 0 collects the block's coresidents: the corrupt one
+  // must be dropped (never seeding the ccache with a bad image) and counted.
+  auto r = swap.ReadPage(PageKey{0, 0}, /*collect_coresidents=*/true);
+  ASSERT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, batch[0].bytes);
+  EXPECT_EQ(r.coresidents.size(), 2u);
+  for (const auto& co : r.coresidents) {
+    EXPECT_NE(co.key.page, 2u);
+  }
+  EXPECT_EQ(swap.coresidents_dropped(), 1u);
+  EXPECT_EQ(registry.GaugeValue("swap.clustered.coresidents_dropped"), 1.0);
+
+  // The on-disk copy stays; a direct fault on the page reports the corruption
+  // through the full recovery ladder rather than silently.
+  auto direct = swap.ReadPage(PageKey{0, 2}, /*collect_coresidents=*/false);
+  EXPECT_EQ(direct.status, IoStatus::kCorrupt);
+
+  // Counter-gauge reset parity, like every other swap.clustered.* counter.
+  swap.ResetStats();
+  EXPECT_EQ(registry.GaugeValue("swap.clustered.coresidents_dropped"), 0.0);
+}
+
+TEST_F(SwapTest, ClusteredReadaheadBoundedAtDeviceEnd) {
+  // Satellite audit: the widening bound min(readahead_blocks,
+  // end_block_ - 1 - last_block) must never underflow or read past the file's
+  // high-water mark, even with an absurd window and a fault on the last
+  // allocatable block.
+  ClusteredSwapLayout::Options options;
+  options.readahead_blocks = ~uint64_t{0};  // pathological: widen "forever"
+  ClusteredSwapLayout swap(&fs_, options);
+
+  // Three batches of four single-fragment pages: blocks 0, 1, 2.
+  std::vector<std::vector<SwapPageImage>> batches;
+  for (uint32_t b = 0; b < 3; ++b) {
+    std::vector<SwapPageImage> batch;
+    for (uint32_t i = 0; i < 4; ++i) {
+      batch.push_back(MakeImage(PageKey{0, b * 4 + i}, 900, 800 + b * 4 + i));
+    }
+    swap.WriteBatch(batch);
+    batches.push_back(std::move(batch));
+  }
+  ASSERT_EQ(swap.end_block(), 3u);
+
+  // Fault on a page in the LAST block: end_block_ - 1 - last_block == 0, so
+  // the read must stay a single block with no widening.
+  auto last = swap.ReadPage(PageKey{0, 9}, /*collect_coresidents=*/true);
+  ASSERT_EQ(last.status, IoStatus::kOk);
+  EXPECT_EQ(last.bytes, batches[2][1].bytes);
+  EXPECT_EQ(last.blocks_read, 1u);
+  EXPECT_EQ(last.coresidents.size(), 3u);
+  EXPECT_EQ(swap.stats().readahead_blocks_read, 0u);
+
+  // Fault on the FIRST block: widening is clamped to the file extent (2 extra
+  // blocks), returning every other live page as a coresident.
+  auto first = swap.ReadPage(PageKey{0, 0}, /*collect_coresidents=*/true);
+  ASSERT_EQ(first.status, IoStatus::kOk);
+  EXPECT_EQ(first.blocks_read, 3u);
+  EXPECT_EQ(first.coresidents.size(), 11u);
+  EXPECT_EQ(swap.stats().readahead_blocks_read, 2u);
+  for (const auto& co : first.coresidents) {
+    EXPECT_EQ(co.bytes, batches[co.key.page / 4][co.key.page % 4].bytes);
   }
 }
 
