@@ -14,6 +14,9 @@
 //   --pipeline       enable async pipelining (write-behind depth 4, prefetch,
 //                    fault batching) across the grid, so the in-flight-page
 //                    and prefetch-buffer conservation audits soak too
+//   --tiers          run every machine over a RAM + SSD tier stack, so the
+//                    tier audits (residency coherence, per-tier occupancy and
+//                    boundary flow conservation) soak alongside the rest
 //   --json=<path>    machine-readable report (schema in DESIGN.md)
 #include <cstdio>
 #include <cstring>
@@ -62,6 +65,7 @@ SoakResult Finish(Machine& machine, bool snapshot_metrics) {
 struct SoakMode {
   bool superblock = false;
   bool pipeline = false;
+  bool tiers = false;
 };
 
 MachineConfig MakeConfig(CompressedSwapKind kind, double fault_rate, SoakMode mode) {
@@ -74,6 +78,21 @@ MachineConfig MakeConfig(CompressedSwapKind kind, double fault_rate, SoakMode mo
     config.pipeline.write_behind_depth = 4;
     config.pipeline.prefetch = true;
     config.pipeline.fault_batch_window = 2;
+  }
+  if (mode.tiers) {
+    config.tiers.enabled = true;
+    TierSpec ram;
+    ram.name = "ram";
+    ram.medium = TierMedium::kCompressedRam;
+    ram.capacity_bytes = 128 * kKiB;
+    TierSpec ssd;
+    ssd.name = "ssd";
+    ssd.medium = TierMedium::kSsd;
+    ssd.capacity_bytes = 1 * kMiB;
+    config.tiers.tiers = {ram, ssd};
+    config.tiers.classifier.hot_window = SimDuration::Seconds(120);
+    // Cap the ccache ring so traffic actually flows through the stack.
+    config.ccache_max_frames = 256;
   }
   if (fault_rate > 0.0) {
     config.fault_injection.enabled = true;
@@ -145,6 +164,8 @@ int main(int argc, char** argv) {
       mode.superblock = true;
     } else if (std::strcmp(argv[i], "--pipeline") == 0) {
       mode.pipeline = true;
+    } else if (std::strcmp(argv[i], "--tiers") == 0) {
+      mode.tiers = true;
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       fault_rate = std::strtod(argv[i] + 9, nullptr);
     }
@@ -169,12 +190,14 @@ int main(int argc, char** argv) {
   report.Config("quick", quick);
   report.Config("superblock_packing", mode.superblock);
   report.Config("pipeline", mode.pipeline);
+  report.Config("tiers", mode.tiers);
 
   std::printf("audit soak: %zu workloads x %zu backends x {clean, faults=%g}, "
-              "audit every %zu faults%s%s\n\n",
+              "audit every %zu faults%s%s%s\n\n",
               workloads.size(), backends.size(), fault_rate, kAuditInterval,
               mode.superblock ? ", superblock packing ON" : "",
-              mode.pipeline ? ", pipelining ON" : "");
+              mode.pipeline ? ", pipelining ON" : "",
+              mode.tiers ? ", RAM+SSD tier stack ON" : "");
   std::printf("%10s %18s %8s %10s %11s  %s\n", "workload", "backend", "faults",
               "audit_runs", "violations", "first_violation");
 

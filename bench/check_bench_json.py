@@ -61,6 +61,17 @@ Schema (schema_version 1):
                         kv.request_ns.count, kv.validation_failures == 0
     swap.clustered.coresidents_dropped  corrupt-coresident discard tally;
                         must be non-negative when present
+    tier.*              multi-tier hierarchy counters; non-negative, and any
+                        snapshot naming tiers (tier.<name>.level) must
+                        conserve flows across every adjacent boundary:
+                          tier[i].demotions_out  == tier[i+1].demotions_in
+                          tier[i+1].promotions_out == tier[i].promotions_in
+                        with nothing crossing the stack's ends (the top tier
+                        receives no demotions, the bottom emits none)
+    ablation_tier       must publish the crossover frontier with an interior
+                        DRAM split strictly beating both degenerate machines
+                        (tier.frontier.best_ms < tier.frontier.all_dram_ms
+                        and < tier.frontier.all_ssd_ms, 0 < best_split < 1)
     fig6_service        must report every backend x {sync, pipelined} cell
                         with a sane tail (0 < p50 <= p99 <= p999), exact
                         request conservation (gets + sets == requests, all
@@ -77,8 +88,10 @@ import sys
 
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 TOP_KEYS = {"bench", "schema_version", "config", "results", "metrics"}
-# Monotonic counter families: a negative value can only be a bug.
-COUNTER_PREFIXES = ("fault.", "retry.", "recovery.", "pipeline.", "prefetch.", "kv.")
+# Monotonic counter families: a negative value can only be a bug. (tier.*
+# includes a few gauges — level, pages, frames — but none may go negative.)
+COUNTER_PREFIXES = ("fault.", "retry.", "recovery.", "pipeline.", "prefetch.", "kv.",
+                    "tier.")
 # Counter gauges that are not part of a whole-family prefix but must still
 # never go negative when present.
 COUNTER_METRICS = ("swap.clustered.coresidents_dropped", "swap.lfs.coresidents_dropped")
@@ -330,6 +343,39 @@ def validate(path):
             err(f'metrics["pipeline.inflight"] must be 0 after a drain, '
                 f"got {inflight}")
 
+    # Multi-tier flow conservation: a snapshot naming tiers carries each
+    # tier's flow counters from one machine, so every page that left tier i
+    # downward must have arrived at tier i+1 (and vice versa for promotions),
+    # and nothing may cross the ends of the stack.
+    if isinstance(metrics, dict):
+        tiers = []
+        for k, v in metrics.items():
+            m = re.match(r"^tier\.([a-z0-9_]+)\.level$", k)
+            if m and is_number(v):
+                tiers.append((v, m.group(1)))
+        tiers.sort()
+        def tier_counter(name, field):
+            return metrics.get(f"tier.{name}.{field}")
+        for (lvl_a, a), (lvl_b, b) in zip(tiers, tiers[1:]):
+            dout, din = tier_counter(a, "demotions_out"), tier_counter(b, "demotions_in")
+            if is_number(dout) and is_number(din) and dout != din:
+                err(f"tier boundary {a}/{b}: demotions_out = {dout} but "
+                    f"demotions_in = {din} -- a demoted page left one tier "
+                    f"without arriving at the next")
+            pout, pin = tier_counter(b, "promotions_out"), tier_counter(a, "promotions_in")
+            if is_number(pout) and is_number(pin) and pout != pin:
+                err(f"tier boundary {a}/{b}: promotions_out = {pout} but "
+                    f"promotions_in = {pin} -- a promoted page left one tier "
+                    f"without arriving at the one above")
+        if tiers:
+            top, bottom = tiers[0][1], tiers[-1][1]
+            for name, field in ((top, "demotions_in"), (top, "promotions_out"),
+                                (bottom, "demotions_out"), (bottom, "promotions_in")):
+                v = tier_counter(name, field)
+                if is_number(v) and v != 0:
+                    err(f'metrics["tier.{name}.{field}"] must be 0 -- flow '
+                        f"crossed the end of the tier stack, got {v}")
+
     # KV service conservation: any snapshot carrying the kv.* family must
     # account every request exactly once in both the counters and the latency
     # histogram, and must have served all of them correctly.
@@ -422,6 +468,31 @@ def validate(path):
             if not (is_number(v) and v >= 1):
                 err(f'ablation_pipeline must publish metrics["{name}"] >= 1 '
                     f"-- the pipeline never engaged")
+
+    if bench == "ablation_tier" and isinstance(metrics, dict):
+        frontier = {}
+        for field in ("best_ms", "all_dram_ms", "all_ssd_ms", "best_split"):
+            v = metrics.get(f"tier.frontier.{field}")
+            if not (is_number(v) and v > 0):
+                err(f'ablation_tier must publish positive '
+                    f'metrics["tier.frontier.{field}"]')
+            else:
+                frontier[field] = v
+        if "best_split" in frontier and not 0 < frontier["best_split"] < 1:
+            err(f"ablation_tier best_split must be an interior DRAM share in "
+                f"(0, 1), got {frontier['best_split']}")
+        if {"best_ms", "all_dram_ms", "all_ssd_ms"} <= frontier.keys():
+            if frontier["best_ms"] >= frontier["all_dram_ms"]:
+                err(f"ablation_tier interior split must beat the all-DRAM "
+                    f"machine, got {frontier['best_ms']} >= "
+                    f"{frontier['all_dram_ms']}")
+            if frontier["best_ms"] >= frontier["all_ssd_ms"]:
+                err(f"ablation_tier interior split must beat the all-SSD "
+                    f"machine, got {frontier['best_ms']} >= "
+                    f"{frontier['all_ssd_ms']}")
+        if not any(re.match(r"^tier\.[a-z0-9_]+\.level$", k) for k in metrics):
+            err("ablation_tier snapshot must include the tier.* metric "
+                "families from its representative tiered cell")
 
     if bench == "perf_hotpath" and isinstance(metrics, dict):
         for name in PERF_HOTPATH_METRICS:

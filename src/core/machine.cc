@@ -70,6 +70,7 @@ Machine::Machine(MachineConfig config, Machine* recover_from)
   pager_ = std::make_unique<Pager>(&clock_, &config_.costs, this, vm_options);
 
   CC_EXPECTS(!config_.pipeline.enabled || config_.use_compression_cache);
+  CC_EXPECTS(!config_.tiers.enabled || config_.use_compression_cache);
   if (config_.use_compression_cache) {
     std::unique_ptr<CompressedSwapBackend> inner;
     switch (config_.compressed_swap) {
@@ -106,6 +107,17 @@ Machine::Machine(MachineConfig config, Machine* recover_from)
         break;
       }
     }
+    if (config_.tiers.enabled) {
+      // Tier stack: the configured layout becomes the stack's bottom tier and
+      // every intermediate tier (compressed DRAM, flash-class device) sits in
+      // front of it, behind the same CompressedSwapBackend contract. With an
+      // empty tier list the stack is degenerate and forwards verbatim.
+      auto stack = std::make_unique<TierStack>(&clock_, &config_.costs, this,
+                                               codec_.get(), std::move(inner),
+                                               config_.tiers);
+      tier_stack_ = stack.get();
+      inner = std::move(stack);
+    }
     if (config_.pipeline.enabled) {
       // Write-behind decorator: every layout write becomes a submitted
       // background batch; reads barrier on in-flight pages.
@@ -123,6 +135,10 @@ Machine::Machine(MachineConfig config, Machine* recover_from)
     // path forgetting to set the alias).
     CompressedSwapBackend* layout_backend =
         write_behind_ != nullptr ? write_behind_->inner() : cswap_.get();
+    if (tier_stack_ != nullptr) {
+      CC_ASSERT(layout_backend == static_cast<CompressedSwapBackend*>(tier_stack_));
+      layout_backend = tier_stack_->bottom_backend();
+    }
     CC_ASSERT(static_cast<CompressedSwapBackend*>(clustered_swap_) == layout_backend ||
               static_cast<CompressedSwapBackend*>(fixed_cswap_) == layout_backend ||
               static_cast<CompressedSwapBackend*>(lfs_swap_) == layout_backend);
@@ -132,7 +148,8 @@ Machine::Machine(MachineConfig config, Machine* recover_from)
 #endif
 
     CcacheOptions cc_options;
-    cc_options.max_slots = pool_.total_frames();
+    cc_options.max_slots = config_.ccache_max_frames != 0 ? config_.ccache_max_frames
+                                                          : pool_.total_frames();
     cc_options.adaptive = config_.adaptive_compression;
     cc_options.threshold = config_.threshold;
     cc_options.write_batch_bytes = config_.write_batch_bytes;
@@ -208,6 +225,26 @@ Machine::Machine(MachineConfig config, Machine* recover_from)
         "prefetch", [this] { return pipeline_->OldestAge(); },
         [this] { return pipeline_->ReleaseOldest(); }, config_.biases.vm,
         /*monotone_age=*/false);
+  }
+  if (tier_stack_ != nullptr) {
+    // Each compressed-RAM tier competes for physical frames like the ccache
+    // ring does: its oldest entry's landing stamp plus the tier's configured
+    // age penalty. Releasing demotes LRU pages down the stack until a frame
+    // actually frees. Non-monotone: promotion and invalidation remove
+    // arbitrary LRU positions. Device-backed tiers hold no frames and are
+    // not registered.
+    for (size_t t = 0; t < tier_stack_->num_tiers(); ++t) {
+      if (!tier_stack_->tier_is_ram(t)) {
+        continue;
+      }
+      TierStack* stack = tier_stack_;
+      arbiter_.AddConsumer(
+          "tier_" + tier_stack_->tier_name(t),
+          [stack, t] { return stack->TierOldestAgeNs(t); },
+          [stack, t] { return stack->TierReleaseOldestFrame(t); },
+          tier_stack_->tier_age_penalty(t),
+          /*monotone_age=*/false);
+    }
   }
 
   audit_interval_ = config_.audit_interval;
@@ -355,7 +392,11 @@ void Machine::BindAllMetrics() {
     double total = ccache_ != nullptr
                        ? static_cast<double>(ccache_->stats().checksum_mismatches)
                        : 0.0;
-    if (cswap_ != nullptr) {
+    if (tier_stack_ != nullptr) {
+      // Sums the stack's own detections plus every tier backend's (the plain
+      // accessor below would only see the outermost decorator's counter).
+      total += static_cast<double>(tier_stack_->total_checksum_mismatches());
+    } else if (cswap_ != nullptr) {
       total += static_cast<double>(cswap_->checksum_mismatches());
     }
     if (fixed_swap_ != nullptr) {
@@ -430,7 +471,8 @@ Machine::~Machine() {
 void Machine::RegisterAuditChecks() {
   // Frame conservation across the whole machine: every physical frame is free,
   // resident (VM), a buffer-cache block, a mapped ccache slot, wired metadata,
-  // or an LFS segment buffer — and nothing else.
+  // an LFS segment buffer, a prefetch-buffer entry, or a compressed-RAM tier
+  // frame — and nothing else.
   auditor_.Register("machine", "frame-conservation", [this]() -> std::optional<std::string> {
     const size_t total = pool_.total_frames();
     const size_t free = pool_.free_frames();
@@ -442,15 +484,17 @@ void Machine::RegisterAuditChecks() {
       lfs_buffer = lfs_swap_->buffer_frame_count();
     }
     const size_t prefetch = pipeline_ != nullptr ? pipeline_->buffered_frames() : 0;
-    const size_t accounted =
-        free + resident + bcache + ccache + metadata_frames_ + lfs_buffer + prefetch;
+    const size_t tier_frames = tier_stack_ != nullptr ? tier_stack_->ram_frames_held() : 0;
+    const size_t accounted = free + resident + bcache + ccache + metadata_frames_ +
+                             lfs_buffer + prefetch + tier_frames;
     if (accounted != total) {
       return "pool holds " + std::to_string(total) + " frames but " +
              std::to_string(accounted) + " are accounted for (free " + std::to_string(free) +
              " + resident " + std::to_string(resident) + " + bcache " +
              std::to_string(bcache) + " + ccache " + std::to_string(ccache) +
              " + metadata " + std::to_string(metadata_frames_) + " + lfs buffer " +
-             std::to_string(lfs_buffer) + " + prefetch " + std::to_string(prefetch) + ")";
+             std::to_string(lfs_buffer) + " + prefetch " + std::to_string(prefetch) +
+             " + tier " + std::to_string(tier_frames) + ")";
     }
     return std::nullopt;
   });
@@ -673,6 +717,27 @@ std::string Machine::Report() const {
                   static_cast<unsigned long long>(fixed_swap_->pages_written()),
                   static_cast<unsigned long long>(fixed_swap_->pages_read()));
     out += buf;
+  }
+
+  if (tier_stack_ != nullptr) {
+    // Intermediate tiers only; the bottom tier is the layout reported above.
+    for (size_t t = 0; t + 1 < tier_stack_->num_tiers(); ++t) {
+      const TierCounters& tc = tier_stack_->tier_counters(t);
+      std::snprintf(buf, sizeof(buf),
+                    "tier %-8s %zu pages (%llu KB), %llu landings, "
+                    "%llu/%llu demotions in/out, %llu/%llu promotions in/out, "
+                    "%llu reads, %llu transcodes\n",
+                    tier_stack_->tier_name(t).c_str(), tier_stack_->tier_pages(t),
+                    static_cast<unsigned long long>(tier_stack_->tier_sub_blocks(t)),
+                    static_cast<unsigned long long>(tc.landings),
+                    static_cast<unsigned long long>(tc.demotions_in),
+                    static_cast<unsigned long long>(tc.demotions_out),
+                    static_cast<unsigned long long>(tc.promotions_in),
+                    static_cast<unsigned long long>(tc.promotions_out),
+                    static_cast<unsigned long long>(tc.reads),
+                    static_cast<unsigned long long>(tc.transcodes));
+      out += buf;
+    }
   }
 
   if (write_behind_ != nullptr) {

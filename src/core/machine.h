@@ -29,6 +29,7 @@
 #include "swap/fixed_swap.h"
 #include "swap/lfs_swap.h"
 #include "swap/write_behind_backend.h"
+#include "tier/tier_stack.h"
 #include "vm/frame_pool.h"
 #include "vm/frame_source.h"
 #include "vm/heap.h"
@@ -163,6 +164,19 @@ struct MachineConfig {
   // prefetching, and fault batching. Requires use_compression_cache.
   PipelineOptions pipeline;
 
+  // Multi-tier compressed memory hierarchy: intermediate tiers (compressed
+  // DRAM, flash-class devices) interposed between the compression cache and
+  // the configured disk layout. Requires use_compression_cache. With
+  // `tiers.enabled` and an empty tier list the stack is degenerate and the
+  // machine behaves byte-identically to one without it.
+  TierOptions tiers;
+
+  // Cap on compression-cache slots (frames the ccache ring may map). 0 means
+  // every pool frame is eligible — the historical behavior. Tier ablations
+  // use this as the DRAM-share knob: a small cap forces evictions through to
+  // the tier stack instead of lingering in uncompressed-adjacent DRAM.
+  size_t ccache_max_frames = 0;
+
   static MachineConfig Unmodified(uint64_t memory_bytes) {
     MachineConfig config;
     config.user_memory_bytes = memory_bytes;
@@ -228,6 +242,10 @@ class Machine : public FrameSource {
   // Non-null only when MachineConfig::pipeline.enabled; write_behind() is then
   // the same object as compressed_swap() (the decorator wraps the layout).
   WriteBehindBackend* write_behind() { return write_behind_; }
+  // Non-null only when MachineConfig::tiers.enabled; the stack sits between
+  // the write-behind decorator (when present) and the disk layout, so the
+  // typed layout aliases above point at the stack's bottom backend.
+  TierStack* tier_stack() { return tier_stack_; }
   PipelineEngine* pipeline() { return pipeline_.get(); }
   FramePool& frame_pool() { return pool_; }
   const MachineConfig& config() const { return config_; }
@@ -352,6 +370,8 @@ class Machine : public FrameSource {
   LfsSwapLayout* lfs_swap_ = nullptr;
   // Alias of cswap_ when it is the write-behind decorator (pipeline enabled).
   WriteBehindBackend* write_behind_ = nullptr;
+  // Alias into the cswap_ chain when MachineConfig::tiers.enabled.
+  TierStack* tier_stack_ = nullptr;
   std::unique_ptr<FixedSwapLayout> fixed_swap_;
   std::unique_ptr<CompressionCache> ccache_;
 

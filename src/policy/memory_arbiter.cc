@@ -30,15 +30,17 @@ bool MemoryArbiter::ReclaimOne() {
   // so an enormous age cannot wrap around to look young; a saturated consumer
   // is still non-empty and stays eligible (only age == UINT64_MAX means
   // empty). Ties — including several consumers all at age 0 near virtual time
-  // zero — break deterministically toward the lower registration index, i.e.
-  // toward the consumer registered as most reclaimable.
+  // zero — break deterministically by consumer name, so the arbitration
+  // outcome is a function of the configured consumer set alone, never of the
+  // order the machine happened to register them in.
   struct Ranked {
     uint64_t effective;
     size_t idx;
     bool empty;
+    const std::string* name;
     bool operator<(const Ranked& other) const {
       return effective != other.effective ? effective < other.effective
-                                          : idx < other.idx;
+                                          : *name < *other.name;
     }
   };
   std::vector<Ranked> order;
@@ -47,7 +49,7 @@ bool MemoryArbiter::ReclaimOne() {
     const uint64_t age = consumers_[i].oldest_age_ns();
     const uint64_t bias = consumers_[i].bias_ns;
     const uint64_t effective = age > UINT64_MAX - bias ? UINT64_MAX : age + bias;
-    order.push_back(Ranked{effective, i, age == UINT64_MAX});
+    order.push_back(Ranked{effective, i, age == UINT64_MAX, &consumers_[i].name});
   }
   std::sort(order.begin(), order.end());
 
@@ -65,13 +67,14 @@ bool MemoryArbiter::ReclaimOne() {
     ++c.refusals;
     fell_through = true;
   }
-  // Last resort: ask everyone once more in order, ignoring emptiness markers
-  // (a consumer may hold frames yet report UINT64_MAX transiently).
-  for (size_t i = 0; i < consumers_.size(); ++i) {
-    Consumer& c = consumers_[i];
+  // Last resort: ask everyone once more, ignoring emptiness markers (a
+  // consumer may hold frames yet report UINT64_MAX transiently). Same
+  // name-determined order as the ranked pass, for the same reason.
+  for (const Ranked& r : order) {
+    Consumer& c = consumers_[r.idx];
     if (c.release_oldest()) {
       ++c.reclaims;
-      RecordReclaim(i, /*fell_through=*/true);
+      RecordReclaim(r.idx, /*fell_through=*/true);
       return true;
     }
   }

@@ -1,0 +1,78 @@
+#include "tier/ram_store.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace compcache {
+
+RamTierStore::~RamTierStore() {
+  for (const FrameId id : held_) {
+    frames_->FreeFrame(id);
+  }
+}
+
+bool RamTierStore::Reserve(size_t frames) {
+  while (held_.size() < frames) {
+    const auto frame = frames_->TryAllocateFrame();
+    if (!frame.has_value()) {
+      return false;
+    }
+    held_.push_back(*frame);
+  }
+  return true;
+}
+
+bool RamTierStore::ReleaseFrame() {
+  if (held_.empty()) {
+    return false;
+  }
+  const uint64_t after = static_cast<uint64_t>(held_.size() - 1) * kSubBlocksPerFrame;
+  if (after < sub_blocks_used_) {
+    return false;
+  }
+  frames_->FreeFrame(held_.back());
+  held_.pop_back();
+  return true;
+}
+
+bool RamTierStore::Put(PageKey key, Image image) {
+  const uint32_t new_sb = SubBlocksFor(image.bytes.size());
+  uint32_t old_sb = 0;
+  const auto it = images_.find(key);
+  if (it != images_.end()) {
+    old_sb = SubBlocksFor(it->second.bytes.size());
+  }
+  // Reserve for the peak (old + new coexist only in this accounting instant);
+  // an overwrite that shrinks needs no growth and cannot fail.
+  const uint64_t target = sub_blocks_used_ - old_sb + new_sb;
+  const size_t needed = static_cast<size_t>(
+      (target + kSubBlocksPerFrame - 1) / kSubBlocksPerFrame);
+  if (needed > held_.size()) {
+    const size_t before = held_.size();
+    if (!Reserve(needed)) {
+      // Roll back any partial grab so failure leaves no state change.
+      while (held_.size() > before) {
+        frames_->FreeFrame(held_.back());
+        held_.pop_back();
+      }
+      return false;
+    }
+  }
+  images_[key] = std::move(image);
+  sub_blocks_used_ = target;
+  return true;
+}
+
+RamTierStore::Image RamTierStore::Take(PageKey key) {
+  const auto it = images_.find(key);
+  CC_EXPECTS(it != images_.end());
+  Image image = std::move(it->second);
+  sub_blocks_used_ -= SubBlocksFor(image.bytes.size());
+  images_.erase(it);
+  // The freed footprint stays in the wired reserve; only ReleaseFrame (the
+  // arbiter hook) returns frames to the pool.
+  return image;
+}
+
+}  // namespace compcache

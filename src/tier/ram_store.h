@@ -1,0 +1,99 @@
+// Frame-accounted store for a compressed-DRAM tier.
+//
+// Holds compressed page images in memory, charging their footprint against
+// real frames from the machine pool at a 1 KB sub-block quantum (the same
+// quantum as superblock ccache packing and swap fragments), so the
+// machine-wide frame-conservation audit sees the tier's DRAM for what it is.
+//
+// The frames are a *wired reserve*, like the LFS segment buffer: the TierStack
+// pre-reserves the tier's capacity at construction, and Take/Erase keep the
+// freed frames in the reserve rather than returning them to the pool. This
+// matters because tier inserts happen exactly at memory pressure — ccache
+// writes back when the pool is empty — so a tier that allocated lazily would
+// never hold anything. The reserve shrinks only through ReleaseFrame() (the
+// arbiter's reclaim hook) and regrows opportunistically in Put. Frames are
+// obtained with TryAllocateFrame only — never through the arbiter — so a tier
+// insert can never recurse into frame reclamation; when the reserve cannot
+// cover an insert and the pool has no spare frame, the Put fails and the
+// TierStack demotes instead.
+#ifndef COMPCACHE_TIER_RAM_STORE_H_
+#define COMPCACHE_TIER_RAM_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+#include "vm/frame_source.h"
+#include "vm/page_key.h"
+
+namespace compcache {
+
+class RamTierStore {
+ public:
+  static constexpr uint32_t kSubBlockBytes = kPageSize / 4;
+  static constexpr uint32_t kSubBlocksPerFrame = 4;
+
+  struct Image {
+    std::vector<uint8_t> bytes;
+    bool is_compressed = true;
+    uint32_t original_size = kPageSize;
+    uint32_t checksum = 0;      // as stored; 0 = none recorded
+    bool tier_coded = false;    // bytes are this tier's codec, not the stack's
+  };
+
+  explicit RamTierStore(FrameSource* frames) : frames_(frames) {}
+  ~RamTierStore();
+
+  RamTierStore(const RamTierStore&) = delete;
+  RamTierStore& operator=(const RamTierStore&) = delete;
+
+  static uint32_t SubBlocksFor(size_t bytes) {
+    const uint32_t sb = static_cast<uint32_t>((bytes + kSubBlockBytes - 1) / kSubBlockBytes);
+    return sb < 1 ? 1 : sb;
+  }
+
+  // Best-effort: grows the wired reserve toward `frames` held frames (never
+  // shrinks). Returns true when the target is reached.
+  bool Reserve(size_t frames);
+
+  // Returns one reserve frame to the pool, provided the remaining reserve
+  // still covers the stored images. Returns false when the tier is packed
+  // (every held frame is needed) or the reserve is empty.
+  bool ReleaseFrame();
+
+  // Inserts or replaces `key`. Returns false — with no state change — when the
+  // added footprint needs frames beyond the reserve that the pool cannot
+  // supply right now.
+  bool Put(PageKey key, Image image);
+
+  bool Contains(PageKey key) const { return images_.contains(key); }
+  // Must be present.
+  const Image& Find(PageKey key) const { return images_.at(key); }
+
+  // Removes `key` (must be present) and returns its image; the freed frames
+  // stay in the wired reserve.
+  Image Take(PageKey key);
+  void Erase(PageKey key) { (void)Take(key); }
+
+  void ForEach(const std::function<void(PageKey)>& fn) const {
+    for (const auto& [key, image] : images_) {
+      fn(key);
+    }
+  }
+
+  size_t pages() const { return images_.size(); }
+  uint64_t sub_blocks_used() const { return sub_blocks_used_; }
+  size_t frames_held() const { return held_.size(); }
+
+ private:
+  FrameSource* frames_;
+  std::unordered_map<PageKey, Image, PageKeyHash> images_;
+  std::vector<FrameId> held_;
+  uint64_t sub_blocks_used_ = 0;
+};
+
+}  // namespace compcache
+
+#endif  // COMPCACHE_TIER_RAM_STORE_H_

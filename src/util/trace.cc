@@ -68,6 +68,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "page_lost";
     case TraceEventKind::kPowerFail:
       return "power_fail";
+    case TraceEventKind::kTierDemotion:
+      return "tier_demotion";
+    case TraceEventKind::kTierPromotion:
+      return "tier_promotion";
     case TraceEventKind::kCount:
       break;
   }

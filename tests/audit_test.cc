@@ -259,7 +259,10 @@ TEST(ArbiterAuditTest, MonotoneConsumerMovingBackwardsIsFlagged) {
 
 TEST(ArbiterEdgeTest, EqualEffectiveAgesBreakTowardLowerIndex) {
   // Near virtual time 0 every consumer can publish age 0; selection must still
-  // be deterministic: the first-registered (most reclaimable) consumer goes.
+  // be deterministic: ties break by consumer name (not registration index), so
+  // "first" — alphabetically lowest — goes. The name here happens to coincide
+  // with registration order; ReclaimChoiceIgnoresRegistrationOrder pins the
+  // distinction.
   MemoryArbiter arbiter;
   FakeConsumer first;
   FakeConsumer second;
@@ -270,6 +273,50 @@ TEST(ArbiterEdgeTest, EqualEffectiveAgesBreakTowardLowerIndex) {
   EXPECT_TRUE(arbiter.ReclaimOne());
   EXPECT_EQ(first.released, 1);
   EXPECT_EQ(second.released, 0);
+}
+
+TEST(ArbiterEdgeTest, ReclaimChoiceIgnoresRegistrationOrder) {
+  // Registering a new consumer (an N-tier stack adds one per RAM tier) must
+  // never perturb which of the existing consumers gets reclaimed: ties and the
+  // refusal fallback walk consumers in name order, not registration order.
+  for (const bool reversed : {false, true}) {
+    MemoryArbiter arbiter;
+    FakeConsumer alpha;
+    FakeConsumer beta;
+    alpha.age = 50;
+    beta.age = 50;  // genuine tie
+    if (reversed) {
+      beta.AddTo(arbiter, "beta", SimDuration::Nanos(0));
+      alpha.AddTo(arbiter, "alpha", SimDuration::Nanos(0));
+    } else {
+      alpha.AddTo(arbiter, "alpha", SimDuration::Nanos(0));
+      beta.AddTo(arbiter, "beta", SimDuration::Nanos(0));
+    }
+    EXPECT_TRUE(arbiter.ReclaimOne());
+    EXPECT_EQ(alpha.released, 1) << "reversed=" << reversed;
+    EXPECT_EQ(beta.released, 0) << "reversed=" << reversed;
+  }
+
+  // The last-resort fallback pass (everything looked empty or refused in the
+  // ordered pass, e.g. a wired tier reserve publishing UINT64_MAX) is equally
+  // order-blind.
+  for (const bool reversed : {false, true}) {
+    MemoryArbiter arbiter;
+    FakeConsumer alpha;
+    FakeConsumer beta;
+    alpha.age = UINT64_MAX;  // "empty" to the ordered pass, releasable anyway
+    beta.age = UINT64_MAX;
+    if (reversed) {
+      beta.AddTo(arbiter, "beta", SimDuration::Nanos(0));
+      alpha.AddTo(arbiter, "alpha", SimDuration::Nanos(0));
+    } else {
+      alpha.AddTo(arbiter, "alpha", SimDuration::Nanos(0));
+      beta.AddTo(arbiter, "beta", SimDuration::Nanos(0));
+    }
+    EXPECT_TRUE(arbiter.ReclaimOne());
+    EXPECT_EQ(alpha.released, 1) << "reversed=" << reversed;
+    EXPECT_EQ(beta.released, 0) << "reversed=" << reversed;
+  }
 }
 
 TEST(ArbiterEdgeTest, BiasSaturatesInsteadOfWrapping) {
@@ -534,6 +581,60 @@ TEST(AuditTest, ResetStatsZeroesPipelineEraCounters) {
   // Still a working, auditable machine after the reset.
   Thrash(machine, heap, 200, /*seed=*/9);
   machine.DrainPipeline();
+  EXPECT_EQ(machine.RunAudit(), 0u);
+}
+
+// PR-10's tier-era counters (per-tier landings, demotion/promotion flows,
+// the SSD tier's device stats, per-tier read latency histograms) get the same
+// registry-driven reset parity. The machine runs a RAM + SSD stack over the
+// clustered disk so every tier level exists and sees traffic first.
+TEST(AuditTest, ResetStatsZeroesTierEraCounters) {
+  MachineConfig config = SmallConfig(true);
+  config.tiers.enabled = true;
+  TierSpec ram;
+  ram.name = "ram";
+  ram.medium = TierMedium::kCompressedRam;
+  ram.capacity_bytes = 128 * kKiB;
+  TierSpec ssd;
+  ssd.name = "ssd";
+  ssd.medium = TierMedium::kSsd;
+  ssd.capacity_bytes = 512 * kKiB;
+  config.tiers.tiers = {ram, ssd};
+  config.tiers.classifier.hot_window = SimDuration::Seconds(120);
+  config.ccache_max_frames = 128;
+  Machine machine(config);
+  Heap heap = machine.NewHeap(4 * kMiB);
+  Thrash(machine, heap, 2000);
+
+  const auto& names = machine.metrics().counter_gauge_names();
+  for (const char* name :
+       {"tier.ram.landings", "tier.ram.demotions_out", "tier.ram.promotions_in",
+        "tier.ram.invalidations", "tier.ram.reads", "tier.ram.transcodes",
+        "tier.ram.demotion_failures", "tier.ssd.landings", "tier.ssd.demotions_in",
+        "tier.ssd.device_read_ops", "tier.ssd.device_write_ops", "tier.ssd.device_busy_ns",
+        "tier.disk.landings", "tier.disk.demotions_in", "tier.disk.reads"}) {
+    EXPECT_TRUE(names.contains(name)) << name << " missing from the registry";
+  }
+  ASSERT_GT(machine.metrics().GaugeValue("tier.ram.landings") +
+                machine.metrics().GaugeValue("tier.ram.promotions_in"),
+            0.0);
+  ASSERT_GT(machine.metrics().GaugeValue("tier.disk.landings") +
+                machine.metrics().GaugeValue("tier.disk.demotions_in"),
+            0.0);
+
+  machine.ResetStats();
+  for (const std::string& name : names) {
+    EXPECT_EQ(machine.metrics().GaugeValue(name), 0.0) << name << " survived ResetStats";
+  }
+  for (const std::string& name : machine.metrics().HistogramNames()) {
+    EXPECT_EQ(machine.metrics().FindHistogram(name)->count(), 0u)
+        << name << " survived ResetStats";
+  }
+
+  // Still a working machine whose tier conservation audits (re-baselined by
+  // the reset) stay clean.
+  Thrash(machine, heap, 200, /*seed=*/10);
+  EXPECT_GT(machine.pager().stats().accesses, 0u);
   EXPECT_EQ(machine.RunAudit(), 0u);
 }
 

@@ -186,7 +186,7 @@ struct MachineRun {
 };
 
 MachineRun RunOne(const std::string& name, bool use_cc, CompressedSwapKind kind,
-                  bool superblock_packing = false) {
+                  bool superblock_packing = false, bool degenerate_tiers = false) {
   // The LFS layout wires its 128-frame segment buffer out of the pool at
   // construction. Give every other machine a pool that is 128 frames smaller,
   // so the *usable* frame count — which drives cleaner pacing and arbiter
@@ -196,6 +196,9 @@ MachineRun RunOne(const std::string& name, bool use_cc, CompressedSwapKind kind,
   MachineConfig config = NeutralConfig(use_cc, memory);
   config.compressed_swap = kind;
   config.superblock_packing = superblock_packing;
+  // An enabled tier stack with no intermediate tiers: the wrapper must forward
+  // every operation verbatim, with zero cost and zero behavioral difference.
+  config.tiers.enabled = degenerate_tiers;
   Machine machine(config);
 
   Heap heap = machine.NewHeap(3 * kMiB);
@@ -314,6 +317,62 @@ TEST(DifferentialMachineTest, SuperblockPackingKeepsBackendsIdentical) {
           << name << " diverges: " << gold.name << "=" << value << " " << runs[r].name
           << "=" << other.at(name);
     }
+  }
+}
+
+// The degenerate tier stack (tiers.enabled, empty tier list) interposes the
+// TierStack between the ccache and the configured layout but adds no
+// intermediate tiers. It must be a perfect no-op: final page bytes and the
+// ENTIRE metric snapshot — timing gauges included — byte-identical to the
+// unwrapped machine, for every compressed backend. The only new names allowed
+// are the stack's own "tier." family (which exists so bench JSON schemas stay
+// stable whether or not intermediate tiers are configured).
+TEST(DifferentialMachineTest, DegenerateTierStackIsByteIdentical) {
+  const struct {
+    const char* name;
+    CompressedSwapKind kind;
+  } kBackends[] = {
+      {"clustered", CompressedSwapKind::kClustered},
+      {"fixed_compressed", CompressedSwapKind::kFixedOffset},
+      {"lfs", CompressedSwapKind::kLfs},
+  };
+  for (const auto& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    const MachineRun plain = RunOne(backend.name, true, backend.kind,
+                                    /*superblock_packing=*/false,
+                                    /*degenerate_tiers=*/false);
+    const MachineRun tiered = RunOne(std::string(backend.name) + "+tiers", true,
+                                     backend.kind, /*superblock_packing=*/false,
+                                     /*degenerate_tiers=*/true);
+
+    ASSERT_EQ(tiered.pages.size(), plain.pages.size());
+    for (size_t p = 0; p < plain.pages.size(); ++p) {
+      ASSERT_EQ(tiered.pages[p], plain.pages[p]) << "page " << p << " diverged";
+    }
+
+    std::map<std::string, double> tiered_metrics;
+    for (const auto& [name, value] : tiered.snapshot) {
+      tiered_metrics[name] = value;
+    }
+    size_t extra = tiered_metrics.size();
+    for (const auto& [name, value] : plain.snapshot) {
+      ASSERT_TRUE(tiered_metrics.contains(name)) << "tiered machine lacks " << name;
+      // "audit." gauges count registered checks, not machine behavior; the
+      // stack legitimately registers its own conservation checks.
+      if (name.rfind("audit.", 0) != 0) {
+        EXPECT_EQ(tiered_metrics.at(name), value) << name << " diverges";
+      }
+      --extra;
+    }
+    // Everything the tiered machine adds belongs to the stack's own family.
+    size_t tier_names = 0;
+    for (const auto& [name, value] : tiered_metrics) {
+      tier_names += name.rfind("tier.", 0) == 0 ? 1 : 0;
+    }
+    EXPECT_EQ(extra, tier_names);
+    EXPECT_GT(tier_names, 0u);
+    // The comparison exercised the stack: pages actually flowed through it.
+    EXPECT_GT(tiered_metrics.at("tier.disk.landings"), 0.0);
   }
 }
 
